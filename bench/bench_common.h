@@ -1,0 +1,46 @@
+// Shared helpers for the experiment harnesses in bench/.
+//
+// Each bench binary regenerates one experiment from DESIGN.md's index
+// (E1–E10): it sweeps the workload, measures completion steps through the
+// simulator, and prints a text table whose rows mirror the claim being
+// reproduced. EXPERIMENTS.md records the paper-vs-measured comparison.
+#pragma once
+
+#include <cmath>
+#include <iostream>
+#include <string>
+
+#include "core/runner.h"
+#include "graph/analysis.h"
+#include "graph/generators.h"
+#include "sim/simulator.h"
+#include "util/fit.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace radiocast::bench {
+
+/// Mean completion time of `proto` on `g` over seeded trials.
+inline double mean_time(const graph& g, const protocol& proto, int trials,
+                        std::uint64_t seed = 1,
+                        std::int64_t cap = 50'000'000) {
+  return summarize(completion_times(g, proto, trials, seed, cap)).mean;
+}
+
+/// log₂ with a floor at 1 to keep ratios finite for tiny arguments.
+inline double lg(double x) { return std::max(1.0, std::log2(x)); }
+
+/// The paper's randomized bounds.
+inline double kp_bound(double n, double d) {
+  return d * lg(n / d) + lg(n) * lg(n);
+}
+inline double bgi_bound(double n, double d) { return d * lg(n) + lg(n) * lg(n); }
+
+/// Prints a one-line fit verdict under a table.
+inline void print_fit(const std::string& label, const fit_result& f) {
+  std::cout << "  fit " << label << ": coefficient="
+            << text_table::format_double(f.coefficients[0], 3)
+            << "  R²=" << text_table::format_double(f.r_squared, 4) << "\n";
+}
+
+}  // namespace radiocast::bench

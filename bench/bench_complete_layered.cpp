@@ -1,0 +1,86 @@
+// Experiment E5 (Theorem 4): Complete-Layered broadcasts in O(n + D log n)
+// on undirected complete layered networks, refuting the claimed Ω(n log D)
+// lower bound of [10] for the undirected case.
+//
+// Sweep D at several n and compare measured time against the refuted bound
+// n·log D: at fixed D the ratio must vanish as n grows — for any
+// unbounded D ∈ o(n) the claimed bound fails. Runs with identity labels
+// (where phase 1 is nearly free) and with adversarially permuted labels
+// (which exercise the O(n) phase-1 announcement in full), plus the
+// Select-and-Send time on the same networks for scale.
+#include "bench_common.h"
+
+namespace radiocast {
+namespace {
+
+void run() {
+  text_table table("E5: Complete-Layered vs the refuted Ω(n log D) claim");
+  table.set_header({"n", "D", "cl", "cl-advlabels", "n+D·logn", "refuted "
+                    "n·logD", "cl/refuted", "select-and-send"});
+  std::vector<std::vector<double>> features;
+  std::vector<double> ys;
+  for (const node_id n : {1024, 2048, 4096}) {
+    for (int d = 4; d <= n / 4; d *= 4) {
+      graph g = make_complete_layered_uniform(n, d);
+      // Adversarial labeling: give layer 1 the highest labels so phase 1's
+      // announcement pays its full Θ(n) cost (slot 2·minlabel).
+      const node_id l1_size = (n - 1 + d - 1) / d;  // first (largest) layer
+      std::vector<node_id> perm(static_cast<std::size_t>(n));
+      perm[0] = 0;
+      for (node_id v = 1; v <= l1_size; ++v) {
+        perm[static_cast<std::size_t>(v)] = n - l1_size + (v - 1);
+      }
+      for (node_id v = l1_size + 1; v < n; ++v) {
+        perm[static_cast<std::size_t>(v)] = v - l1_size;
+      }
+      graph gp = permute_labels(g, perm);
+      const auto cl = make_protocol("complete-layered", n - 1);
+      run_options opts;
+      opts.max_steps = 100'000'000;
+      const run_result res = run_broadcast(g, *cl, opts);
+      RC_CHECK(res.completed);
+      const double t_cl = static_cast<double>(res.informed_step);
+      const run_result res_p = run_broadcast(gp, *cl, opts);
+      RC_CHECK(res_p.completed);
+      const double t_clp = static_cast<double>(res_p.informed_step);
+      // The Select-and-Send comparison column gets expensive on the
+      // largest instances; sample it where it is cheap enough.
+      std::string sas_cell = "-";
+      if (n <= 2048) {
+        const auto sas = make_protocol("select-and-send", n - 1);
+        sas_cell = std::to_string(
+            run_broadcast(g, *sas, opts).informed_step);
+      }
+      const double our_bound = n + d * bench::lg(n);
+      const double refuted = n * bench::lg(d);
+      table.add_row({std::to_string(n), std::to_string(d),
+                     text_table::format_double(t_cl),
+                     text_table::format_double(t_clp),
+                     text_table::format_double(our_bound),
+                     text_table::format_double(refuted),
+                     text_table::format_double(t_clp / refuted),
+                     sas_cell});
+      features.push_back({static_cast<double>(n), d * bench::lg(n)});
+      ys.push_back(t_clp);
+    }
+  }
+  table.print(std::cout);
+  const fit_result f = fit_features(features, ys);
+  std::cout << "  fit cl-advlabels ≈ a·n + b·D·log n: a="
+            << text_table::format_double(f.coefficients[0], 3)
+            << " b=" << text_table::format_double(f.coefficients[1], 3)
+            << " R²=" << text_table::format_double(f.r_squared, 4) << "\n"
+            << "\nExpected shape: read 'cl/refuted' down a fixed-D column —\n"
+               "it shrinks as n grows, so time = o(n·log D): the claimed\n"
+               "undirected Ω(n log D) bound is refuted. The adversarial\n"
+               "labeling exposes the O(n) phase-1 term (a ≈ 2); identity\n"
+               "labels make it nearly free.\n";
+}
+
+}  // namespace
+}  // namespace radiocast
+
+int main() {
+  radiocast::run();
+  return 0;
+}

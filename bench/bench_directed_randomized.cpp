@@ -1,0 +1,54 @@
+// Experiment E13 (Section 2's setting): the randomized algorithm on
+// genuinely DIRECTED radio networks.
+//
+// Theorem 1 is proved for directed networks of directed radius D
+// (undirected graphs are the special case with every edge doubled). The
+// harness runs KP and Decay on directed layered networks — arcs point only
+// forward, so there is no feedback whatsoever — and on the symmetrized
+// versions, checking that the bound shape and the KP-vs-Decay ordering are
+// insensitive to direction.
+#include <set>
+
+#include "bench_common.h"
+
+namespace radiocast {
+namespace {
+
+void run() {
+  text_table table("E13: randomized broadcast on directed layered networks "
+                   "(15 trials)");
+  table.set_header({"n", "D", "arc density", "kp directed", "decay directed",
+                    "kp undirected", "kp-dir/bound"});
+  rng gen(8);
+  for (const node_id n : {512, 1024, 2048}) {
+    const std::set<int> ds{8, 32, n / 16};
+    for (const int d : ds) {
+      for (const double p : {0.1, 0.9}) {
+        std::vector<node_id> sizes{1};
+        const auto rest = even_split(n - 1, d);
+        sizes.insert(sizes.end(), rest.begin(), rest.end());
+        graph dir = make_directed_layered(sizes, p, gen);
+        graph und = make_complete_layered_uniform(n, d);
+        const auto kp = make_protocol("kp", n - 1, d);
+        const auto decay = make_protocol("decay", n - 1);
+        const double t_dir = bench::mean_time(dir, *kp, 15, 3);
+        const double t_dir_decay = bench::mean_time(dir, *decay, 15, 3);
+        const double t_und = bench::mean_time(und, *kp, 15, 3);
+        table.add(n, d, p, t_dir, t_dir_decay, t_und,
+                  t_dir / bench::kp_bound(n, d));
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: the normalized column stays bounded and\n"
+               "KP beats Decay on directed networks just as on undirected\n"
+               "ones — Theorem 1's analysis is direction-agnostic.\n";
+}
+
+}  // namespace
+}  // namespace radiocast
+
+int main() {
+  radiocast::run();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Experiment E15 (supplementary): energy — transmission counts.
+//
+// In radio networks a node's power budget is dominated by transmitting.
+// The paper optimizes time only; this experiment asks what that costs in
+// energy. Both algorithms fire every informed node once per window
+// (the probability-1 step), so total energy ≈ #informed × #windows —
+// KP's windows are log(r/D)+2 steps against Decay's 2·log n, i.e. KP packs
+// proportionally more windows into its proportionally shorter run, and the
+// two effects roughly cancel.
+//
+// Reports total and max-per-node transmissions at completion.
+#include "bench_common.h"
+
+namespace radiocast {
+namespace {
+
+void run() {
+  text_table table("E15: energy (transmissions) until completion, mean over "
+                   "10 trials");
+  table.set_header({"n", "D", "kp total tx", "decay total tx", "tx ratio",
+                    "kp max/node", "decay max/node"});
+  for (const node_id n : {512, 1024, 2048}) {
+    for (const int d : {16, n / 16}) {
+      graph g = make_complete_layered_uniform(n, d);
+      const auto kp = make_protocol("kp", n - 1, d);
+      const auto decay = make_protocol("decay", n - 1);
+      double kp_tx = 0;
+      double decay_tx = 0;
+      double kp_max = 0;
+      double decay_max = 0;
+      constexpr int kTrials = 10;
+      for (int t = 0; t < kTrials; ++t) {
+        run_options opts;
+        opts.seed = 7 + static_cast<std::uint64_t>(t);
+        opts.max_steps = 10'000'000;
+        const run_result a = run_broadcast(g, *kp, opts);
+        const run_result b = run_broadcast(g, *decay, opts);
+        RC_CHECK(a.completed && b.completed);
+        kp_tx += static_cast<double>(a.transmissions);
+        decay_tx += static_cast<double>(b.transmissions);
+        for (std::int64_t x : a.transmissions_per_node) {
+          kp_max = std::max(kp_max, static_cast<double>(x));
+        }
+        for (std::int64_t x : b.transmissions_per_node) {
+          decay_max = std::max(decay_max, static_cast<double>(x));
+        }
+      }
+      kp_tx /= kTrials;
+      decay_tx /= kTrials;
+      table.add(n, d, kp_tx, decay_tx, decay_tx / kp_tx, kp_max, decay_max);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: tx ratio ≈ 1 across the sweep — the 2–4×\n"
+               "time speedup of Theorem 1 comes at NO extra energy: shorter\n"
+               "windows fire more often per step but the run ends sooner,\n"
+               "and the two effects cancel. Max-per-node loads are likewise\n"
+               "comparable.\n";
+}
+
+}  // namespace
+}  // namespace radiocast
+
+int main() {
+  radiocast::run();
+  return 0;
+}

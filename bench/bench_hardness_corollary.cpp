@@ -1,0 +1,54 @@
+// Experiment E6 (Section 1.2 corollary): complete layered networks are the
+// hardest topology for randomized broadcasting but NOT for deterministic
+// broadcasting.
+//
+// Randomized side: the Kushilevitz–Mansour Ω(D log(n/D)) lower bound was
+// proved on complete layered networks, and our optimal algorithm matches it
+// there — time/(D log(n/D)+log²n) stays Θ(1).
+// Deterministic side: Complete-Layered finishes in O(n + D log n), far
+// below the deterministic lower bound Ω(n log n / log(n/D)) that holds for
+// (other) worst-case topologies — so layered networks are comparatively
+// easy deterministically.
+#include "bench_common.h"
+
+namespace radiocast {
+namespace {
+
+void run() {
+  text_table table("E6: hardness of complete layered networks, by paradigm");
+  table.set_header({"n", "D", "rand time", "rand lower bnd", "rand ratio",
+                    "det time", "det worst-case bnd", "det ratio"});
+  for (const node_id n : {1024, 2048, 4096}) {
+    for (const int d : {16, 64, n / 8}) {
+      graph g = make_complete_layered_uniform(n, d);
+      const auto kp = make_protocol("kp", n - 1, d);
+      const double t_rand = bench::mean_time(g, *kp, 15, 5);
+      const double rand_lb = d * bench::lg(static_cast<double>(n) / d);
+      const auto cl = make_protocol("complete-layered", n - 1);
+      run_options opts;
+      opts.max_steps = 100'000'000;
+      const double t_det = static_cast<double>(
+          run_broadcast(g, *cl, opts).informed_step);
+      const double det_wc =
+          n * bench::lg(n) / bench::lg(static_cast<double>(n) / d);
+      table.add(n, d, t_rand, rand_lb, t_rand / rand_lb, t_det, det_wc,
+                t_det / det_wc);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: 'rand ratio' stays within a small constant\n"
+               "band — layered networks saturate the randomized lower bound.\n"
+               "'det ratio' shrinks as n grows at every fixed D (read down a\n"
+               "D column): deterministic broadcasting on layered networks is\n"
+               "o(worst-case bound), so they are NOT the deterministic worst\n"
+               "case (the paper's corollary). At the largest D the O(D log n)\n"
+               "constant still dominates at these instance sizes.\n";
+}
+
+}  // namespace
+}  // namespace radiocast
+
+int main() {
+  radiocast::run();
+  return 0;
+}

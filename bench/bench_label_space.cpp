@@ -1,0 +1,76 @@
+// Experiment E14 (§1.3): sensitivity to the label-space bound r.
+//
+// The paper stresses that nodes knowing only "labels are in {0,…,r},
+// r = O(n)" is genuinely weaker than knowing n with labels {0,…,n−1}: the
+// deterministic algorithms' label-space scans (round-robin slots, the
+// announcement of Select-and-Send / Complete-Layered, doubling + binary
+// selection) are paid in r, not n — while the randomized algorithm only
+// pays log(r/D) per stage. Sweep r/n at fixed topology and watch who cares.
+#include "bench_common.h"
+
+namespace radiocast {
+namespace {
+
+void run() {
+  const node_id n = 1024;
+  const int d = 16;
+  graph g = make_complete_layered_uniform(n, d);
+  text_table table("E14: sparse label spaces, n = 1024, D = 16 "
+                   "(complete layered; 5 labelings per row)");
+  table.set_header({"r/n", "r", "kp", "round-robin", "sas-traversal",
+                    "complete-layered"});
+  rng gen(12);
+  for (const int factor : {1, 2, 4, 8}) {
+    const node_id r = factor * n - 1;
+    // Average over several uniform random labelings per r (factor 1 = a
+    // random permutation) so rows differ only in label-space sparsity,
+    // not in one labeling's luck.
+    constexpr int kLabelings = 5;
+    std::vector<std::vector<node_id>> labelings;
+    for (int l = 0; l < kLabelings; ++l) {
+      labelings.push_back(sparse_labels(n, r, gen));
+    }
+    auto timed = [&](const std::string& name, int trials_per_labeling,
+                     stop_condition stop) {
+      const auto proto = make_protocol(name, r, d);
+      double total = 0;
+      for (const auto& labels : labelings) {
+        for (int t = 0; t < trials_per_labeling; ++t) {
+          run_options opts;
+          opts.seed = 100 + static_cast<std::uint64_t>(t);
+          opts.max_steps = 200'000'000;
+          opts.labels = labels;
+          opts.stop = stop;
+          const run_result res = run_broadcast_with_r(g, *proto, r, opts);
+          RC_CHECK(res.completed);
+          total += static_cast<double>(stop == stop_condition::all_informed
+                                           ? res.informed_step
+                                           : res.steps);
+        }
+      }
+      return total / (kLabelings * trials_per_labeling);
+    };
+    const auto informed = stop_condition::all_informed;
+    table.add(factor, r, timed("kp", 3, informed),
+              timed("round-robin", 1, informed),
+              // The DFS traversal's per-visit doubling/selection cost is
+              // what scales with r; informing time is stray-dominated.
+              timed("select-and-send", 1, stop_condition::all_halted),
+              timed("complete-layered", 1, informed));
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: round-robin scales ~linearly in r (its\n"
+               "round is r+1 slots); the DFS traversal and Complete-Layered\n"
+               "grow steadily with r (doubling/selection over a wider label\n"
+               "space); the randomized kp pays only log(r/D) per stage and\n"
+               "barely moves — the knowledge model's price lands on the\n"
+               "deterministic side, as §1.3 suggests.\n";
+}
+
+}  // namespace
+}  // namespace radiocast
+
+int main() {
+  radiocast::run();
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Experiment E3 (Theorem 2): the adversarial construction G_A.
+//
+// Paper claim: for every deterministic algorithm A there is an n-node
+// network of radius Θ(D) forcing time Ω(n·log n / log(n/D)). The harness
+// builds G_A against each deterministic protocol, replays the protocol on
+// the real simulator, and reports measured time against both the per-stage
+// forced delay (D/2−1)·s and the asymptotic bound shape.
+#include "adversary/lower_bound_builder.h"
+#include "bench_common.h"
+
+namespace radiocast {
+namespace {
+
+void run() {
+  text_table table("E3: adversarial network G_A per deterministic protocol");
+  table.set_header({"protocol", "n", "D", "k", "s/stage", "forced",
+                    "measured", "bound", "measured/bound"});
+  for (const std::string name :
+       {"round-robin", "select-and-send", "interleaved"}) {
+    for (const auto& [n, d] : std::vector<std::pair<node_id, int>>{
+             {512, 8}, {1024, 8}, {2048, 16}, {4096, 16}}) {
+      const auto proto = make_protocol(name, n - 1);
+      const adversarial_network net =
+          build_adversarial_network(*proto, n, d);
+      run_options opts;
+      opts.max_steps = 200'000'000;
+      const run_result res = run_broadcast(net.g, *proto, opts);
+      const double measured =
+          res.completed ? static_cast<double>(res.informed_step)
+                        : static_cast<double>(opts.max_steps);
+      const double bound = n * bench::lg(n) / bench::lg(
+                               static_cast<double>(n) / d);
+      table.add(name + (net.stuck ? " (stuck)" : ""), n, d, net.k,
+                net.jam_steps_per_stage, net.forced_steps, measured, bound,
+                measured / bound);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: measured ≥ forced for every row (the\n"
+               "construction's guarantee), and measured/bound = Ω(1): no\n"
+               "deterministic algorithm beats the Ω(n log n / log(n/D))\n"
+               "shape on its own adversarial network.\n";
+}
+
+}  // namespace
+}  // namespace radiocast
+
+int main() {
+  radiocast::run();
+  return 0;
+}

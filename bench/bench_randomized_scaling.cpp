@@ -1,0 +1,55 @@
+// Experiment E2 (Theorem 1 optimality): normalized scaling of the optimal
+// randomized algorithm.
+//
+// Paper claim: completion time is Θ(D log(n/D) + log² n) — the ratio
+// time / (D log(n/D) + log²n) must stay bounded across the whole (n, D)
+// sweep, and a least-squares fit of time against the two basis terms
+// D·log(n/D) and log²n should explain the data (high R²). Also reports the
+// doubling wrapper's overhead relative to known-D operation.
+#include "bench_common.h"
+#include "core/kp_randomized.h"
+
+namespace radiocast {
+namespace {
+
+void run() {
+  text_table table(
+      "E2: KP randomized time vs theory bound (complete layered, 15 trials)");
+  table.set_header({"n", "D", "time", "bound", "time/bound", "doubling"});
+  std::vector<std::vector<double>> features;
+  std::vector<double> ys;
+  for (const node_id n : {256, 512, 1024, 2048, 4096}) {
+    for (int d = 4; d <= n / 8; d *= 4) {
+      graph g = make_complete_layered_uniform(n, d);
+      const auto kp = make_protocol("kp", n - 1, d);
+      const double t = bench::mean_time(g, *kp, 15, 3);
+      // The doubling wrapper pays for the unsuccessful smaller-D blocks;
+      // keep its budget small so the bench finishes quickly.
+      kp_options opts;
+      opts.stage_budget = 8;
+      const kp_randomized_protocol doubling(n - 1, opts);
+      const double t_doubling = bench::mean_time(g, doubling, 5, 3);
+      const double bound = bench::kp_bound(n, d);
+      table.add(n, d, t, bound, t / bound, t_doubling);
+      features.push_back({d * bench::lg(static_cast<double>(n) / d),
+                          bench::lg(n) * bench::lg(n)});
+      ys.push_back(t);
+    }
+  }
+  table.print(std::cout);
+  const fit_result f = fit_features(features, ys);
+  std::cout << "  two-term fit time ≈ a·D·log(n/D) + b·log²n: a="
+            << text_table::format_double(f.coefficients[0], 3)
+            << " b=" << text_table::format_double(f.coefficients[1], 3)
+            << " R²=" << text_table::format_double(f.r_squared, 4) << "\n"
+            << "Expected shape: time/bound bounded (no drift with n or D);"
+               " R² close to 1.\n";
+}
+
+}  // namespace
+}  // namespace radiocast
+
+int main() {
+  radiocast::run();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Wall-clock microbenchmarks (google-benchmark) for the simulator itself —
+// not a paper experiment, but the substrate-cost baseline that tells you
+// how far the step-count experiments can be scaled.
+#include <benchmark/benchmark.h>
+
+#include "core/runner.h"
+#include "graph/generators.h"
+#include "sim/simulator.h"
+
+namespace radiocast {
+namespace {
+
+void bm_decay_layered(benchmark::State& state) {
+  const auto n = static_cast<node_id>(state.range(0));
+  graph g = make_complete_layered_uniform(n, 16);
+  const auto proto = make_protocol("decay", n - 1);
+  std::uint64_t seed = 1;
+  std::int64_t steps = 0;
+  for (auto _ : state) {
+    run_options opts;
+    opts.seed = seed++;
+    const run_result r = run_broadcast(g, *proto, opts);
+    benchmark::DoNotOptimize(r.informed_step);
+    steps += r.steps;
+  }
+  state.counters["steps/s"] = benchmark::Counter(
+      static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+BENCHMARK(bm_decay_layered)->Arg(256)->Arg(1024)->Arg(4096);
+
+void bm_kp_layered(benchmark::State& state) {
+  const auto n = static_cast<node_id>(state.range(0));
+  graph g = make_complete_layered_uniform(n, n / 8);
+  const auto proto = make_protocol("kp", n - 1, n / 8);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    run_options opts;
+    opts.seed = seed++;
+    const run_result r = run_broadcast(g, *proto, opts);
+    benchmark::DoNotOptimize(r.informed_step);
+  }
+}
+BENCHMARK(bm_kp_layered)->Arg(256)->Arg(1024)->Arg(4096);
+
+void bm_select_and_send_tree(benchmark::State& state) {
+  const auto n = static_cast<node_id>(state.range(0));
+  rng gen(5);
+  graph g = make_random_tree(n, gen);
+  const auto proto = make_protocol("select-and-send", n - 1);
+  for (auto _ : state) {
+    run_options opts;
+    opts.max_steps = 100'000'000;
+    opts.stop = stop_condition::all_halted;
+    const run_result r = run_broadcast(g, *proto, opts);
+    benchmark::DoNotOptimize(r.steps);
+  }
+}
+BENCHMARK(bm_select_and_send_tree)->Arg(256)->Arg(1024);
+
+void bm_graph_generation(benchmark::State& state) {
+  const auto n = static_cast<node_id>(state.range(0));
+  for (auto _ : state) {
+    graph g = make_complete_layered_uniform(n, 16);
+    benchmark::DoNotOptimize(g.edge_count());
+  }
+}
+BENCHMARK(bm_graph_generation)->Arg(1024)->Arg(4096);
+
+}  // namespace
+}  // namespace radiocast
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+// Emergency alert scenario: which broadcast protocol meets a deadline?
+//
+//   ./emergency_alert [--blocks 12] [--per-block 24] [--deadline 600]
+//                     [--trials 25] [--seed 3]
+//
+// Models a city-district ad hoc network: a chain of `blocks` city blocks,
+// each with `per-block` devices, consecutive blocks connected by sparse
+// random radio links plus occasional long-range links — the multi-hop,
+// unknown-topology setting that motivates the paper. Every device knows
+// only its own id and the fleet-size bound; no routing tables exist.
+//
+// The harness broadcasts an alert from device 0 with each algorithm and
+// reports mean/p95 completion steps and the fraction of trials that meet
+// the deadline — the randomized algorithms' step counts vary per run, the
+// deterministic ones give hard guarantees at higher cost.
+#include <iostream>
+
+#include "core/runner.h"
+#include "graph/analysis.h"
+#include "graph/generators.h"
+#include "sim/simulator.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace radiocast;
+
+namespace {
+
+graph make_district(node_id blocks, node_id per_block, rng& gen) {
+  const node_id n = blocks * per_block;
+  graph g = graph::undirected(n);
+  auto device = [per_block](node_id block, node_id i) {
+    return block * per_block + i;
+  };
+  // Dense links within a block (everyone hears everyone).
+  for (node_id b = 0; b < blocks; ++b) {
+    for (node_id i = 0; i < per_block; ++i) {
+      for (node_id j = i + 1; j < per_block; ++j) {
+        g.add_edge_unchecked(device(b, i), device(b, j));
+      }
+    }
+  }
+  // Sparse links between adjacent blocks (edge-of-range radios).
+  for (node_id b = 0; b + 1 < blocks; ++b) {
+    int links = 0;
+    while (links < 3) {
+      const auto i = static_cast<node_id>(gen.below(
+          static_cast<std::uint64_t>(per_block)));
+      const auto j = static_cast<node_id>(gen.below(
+          static_cast<std::uint64_t>(per_block)));
+      g.add_edge(device(b, i), device(b + 1, j));
+      ++links;
+    }
+  }
+  // A couple of long-range links (rooftop repeaters).
+  for (int k = 0; k < 2 && blocks > 3; ++k) {
+    const auto b1 = static_cast<node_id>(gen.below(
+        static_cast<std::uint64_t>(blocks / 2)));
+    const auto b2 = b1 + blocks / 2;
+    g.add_edge(device(b1, 0), device(b2 % blocks, 0));
+  }
+  return g;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const cli_args args(argc, argv);
+  const auto blocks = static_cast<node_id>(args.get_int("blocks", 12));
+  const auto per_block = static_cast<node_id>(args.get_int("per-block", 24));
+  const std::int64_t deadline = args.get_int("deadline", 600);
+  const int trials = static_cast<int>(args.get_int("trials", 25));
+  rng gen(static_cast<std::uint64_t>(args.get_int("seed", 3)));
+
+  const graph g = make_district(blocks, per_block, gen);
+  const node_id n = g.node_count();
+  const int d = radius_from(g);
+  std::cout << "emergency alert over a district network: " << n
+            << " devices, " << g.edge_count() << " radio links, radius " << d
+            << "\nalert deadline: " << deadline << " steps\n";
+
+  text_table table("protocol comparison (" + std::to_string(trials) +
+                   " trials each)");
+  table.set_header({"protocol", "mean", "p95", "worst", "met deadline"});
+  for (const std::string name :
+       {"kp", "decay", "round-robin", "select-and-send", "interleaved"}) {
+    const auto proto = make_protocol(name, n - 1, d);
+    const int runs = proto->deterministic() ? 1 : trials;
+    std::vector<double> times;
+    int met = 0;
+    for (int trial = 0; trial < runs; ++trial) {
+      run_options opts;
+      opts.seed = 1000 + static_cast<std::uint64_t>(trial);
+      opts.max_steps = 10'000'000;
+      const run_result res = run_broadcast(g, *proto, opts);
+      RC_CHECK(res.completed);
+      times.push_back(static_cast<double>(res.informed_step));
+      met += res.informed_step <= deadline ? 1 : 0;
+    }
+    const summary s = summarize(times);
+    table.add_row({proto->name(), text_table::format_double(s.mean, 1),
+                   text_table::format_double(s.p95, 1),
+                   text_table::format_double(s.max, 1),
+                   std::to_string(met) + "/" + std::to_string(runs)});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading the table: the paper's randomized algorithm (kp)\n"
+               "is built for exactly this regime — unknown topology, no\n"
+               "neighborhood knowledge — and its stage schedule beats plain\n"
+               "Decay; the deterministic token algorithms trade speed for\n"
+               "per-run guarantees.\n";
+  return 0;
+}

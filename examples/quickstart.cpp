@@ -1,0 +1,85 @@
+// Quickstart: simulate the paper's optimal randomized broadcast on a small
+// ad hoc radio network and watch what happens, step by step.
+//
+//   ./quickstart [--n 32] [--d 4] [--seed 7] [--trace]
+//
+// Builds a complete layered network (the hardest family for randomized
+// broadcasting), runs Randomized-Broadcasting(D), and prints per-layer
+// informing times plus run statistics. With --trace, dumps the first
+// transmissions/receptions so you can see collisions resolving.
+#include <iostream>
+
+#include "core/runner.h"
+#include "graph/analysis.h"
+#include "graph/generators.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+using namespace radiocast;
+
+int main(int argc, char** argv) {
+  const cli_args args(argc, argv);
+  const auto n = static_cast<node_id>(args.get_int("n", 32));
+  const int d = static_cast<int>(args.get_int("d", 4));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  const bool want_trace = args.get_bool("trace", false);
+
+  std::cout << "radiocast quickstart — Kowalski–Pelc randomized broadcast\n"
+            << "network: complete layered, n=" << n << ", D=" << d << "\n\n";
+
+  const graph g = make_complete_layered_uniform(n, d);
+  const auto proto = make_protocol("kp", n - 1, d);
+
+  trace t;
+  run_options opts;
+  opts.seed = seed;
+  opts.sink = want_trace ? &t : nullptr;
+  const run_result res = run_broadcast(g, *proto, opts);
+
+  if (!res.completed) {
+    std::cout << "broadcast did not finish within " << opts.max_steps
+              << " steps (try another seed)\n";
+    return 1;
+  }
+
+  std::cout << "all " << n << " nodes informed after " << res.informed_step
+            << " steps\n"
+            << "transmissions: " << res.transmissions
+            << ", successful receptions: " << res.deliveries
+            << ", collisions observed: " << res.collisions << "\n";
+
+  text_table layers_table("informing time per layer");
+  layers_table.set_header({"layer", "nodes", "first informed", "last informed"});
+  const auto layers = bfs_layers(g);
+  for (std::size_t j = 0; j < layers.size(); ++j) {
+    std::int64_t first = res.informed_at[static_cast<std::size_t>(
+        layers[j].front())];
+    std::int64_t last = first;
+    for (node_id v : layers[j]) {
+      first = std::min(first, res.informed_at[static_cast<std::size_t>(v)]);
+      last = std::max(last, res.informed_at[static_cast<std::size_t>(v)]);
+    }
+    layers_table.add(j, layers[j].size(), first, last);
+  }
+  layers_table.print(std::cout);
+
+  if (want_trace) {
+    std::cout << "\nfirst 40 events:\n";
+    int shown = 0;
+    for (const auto& e : t.events()) {
+      if (shown++ >= 40) break;
+      std::cout << "  step " << e.step << ": node " << e.node << ' '
+                << (e.what == trace_event::type::transmit    ? "transmits"
+                    : e.what == trace_event::type::receive   ? "receives"
+                    : e.what == trace_event::type::collision ? "collision"
+                                                             : "informed")
+                << '\n';
+    }
+  }
+
+  std::cout << "\nTry: --n 512 --d 64 --seed 1, or --trace to watch the "
+               "channel.\n";
+  return 0;
+}

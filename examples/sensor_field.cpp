@@ -1,0 +1,91 @@
+// Sensor field: broadcast latency across a unit-disk sensor deployment.
+//
+//   ./sensor_field [--n 400] [--range 0.09] [--protocol kp] [--seed 5]
+//
+// Drops n sensors uniformly in the unit square (radio range `range` — the
+// classical unit-disk ad hoc model), broadcasts from the gateway in the
+// corner, and renders an ASCII heat map of informing times: each cell
+// shows the time decile at which its sensors learned the message. A direct
+// visual of the paper's setting — information rippling through an unknown
+// multi-hop radio topology, collisions and all.
+#include <iostream>
+
+#include "core/runner.h"
+#include "graph/analysis.h"
+#include "graph/generators.h"
+#include "sim/simulator.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+using namespace radiocast;
+
+int main(int argc, char** argv) {
+  const cli_args args(argc, argv);
+  const auto n = static_cast<node_id>(args.get_int("n", 400));
+  const double range = args.get_double("range", 0.09);
+  const std::string proto_name = args.get_string("protocol", "kp");
+  rng gen(static_cast<std::uint64_t>(args.get_int("seed", 5)));
+
+  std::vector<std::pair<double, double>> pos;
+  const graph g = make_random_geometric(n, range, gen, pos);
+  const int d = radius_from(g);
+  std::cout << "sensor field: " << n << " sensors, radio range " << range
+            << ", " << g.edge_count() << " links, hop radius " << d << "\n";
+
+  const auto proto = make_protocol(proto_name, n - 1, std::max(1, d));
+  run_options opts;
+  opts.seed = 42;
+  opts.max_steps = 50'000'000;
+  const run_result res = run_broadcast(g, *proto, opts);
+  if (!res.completed) {
+    std::cout << "broadcast did not complete within the step cap\n";
+    return 1;
+  }
+  std::cout << proto->name() << ": all sensors informed after "
+            << res.informed_step << " steps (" << res.collisions
+            << " collisions along the way)\n\n";
+
+  // Heat map: 24×48 grid of cells, each labeled with the informing-time
+  // decile (0 = earliest tenth, 9 = last tenth) of its average sensor.
+  constexpr int kRows = 24;
+  constexpr int kCols = 48;
+  std::vector<std::vector<double>> cell_sum(kRows,
+                                            std::vector<double>(kCols, 0));
+  std::vector<std::vector<int>> cell_count(kRows,
+                                           std::vector<int>(kCols, 0));
+  for (node_id v = 0; v < n; ++v) {
+    const int row = std::min(kRows - 1,
+                             static_cast<int>(pos[static_cast<std::size_t>(
+                                                      v)].second * kRows));
+    const int col = std::min(kCols - 1,
+                             static_cast<int>(pos[static_cast<std::size_t>(
+                                                      v)].first * kCols));
+    cell_sum[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] +=
+        static_cast<double>(res.informed_at[static_cast<std::size_t>(v)]);
+    ++cell_count[static_cast<std::size_t>(row)][static_cast<std::size_t>(
+        col)];
+  }
+  const double max_time =
+      static_cast<double>(std::max<std::int64_t>(1, res.informed_step));
+  std::cout << "informing-time map (0 = immediately, 9 = last; '.' = no "
+               "sensor; gateway at top-left):\n";
+  for (int row = 0; row < kRows; ++row) {
+    for (int col = 0; col < kCols; ++col) {
+      const auto r = static_cast<std::size_t>(row);
+      const auto c = static_cast<std::size_t>(col);
+      if (cell_count[r][c] == 0) {
+        std::cout << '.';
+        continue;
+      }
+      const double mean = cell_sum[r][c] / cell_count[r][c];
+      const int decile =
+          std::min(9, static_cast<int>(10.0 * mean / max_time));
+      std::cout << decile;
+    }
+    std::cout << '\n';
+  }
+
+  std::cout << "\nTry: --protocol decay (watch the map get patchier), or\n"
+               "--range 0.2 (denser network, fewer hops, faster spread).\n";
+  return 0;
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Rebuilds radiocast, runs the full test suite, and regenerates every
+# experiment table (E1–E13) into test_output.txt / bench_output.txt at the
+# repository root. This is the one-command reproduction entry point.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    if [ -f "$b" ] && [ -x "$b" ]; then
+      echo "===== $(basename "$b") ====="
+      "$b"
+      echo
+    fi
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "done: see test_output.txt and bench_output.txt"

@@ -1,0 +1,78 @@
+// Function (i+1)-Jamming (paper, Section 3.1).
+//
+// The combinatorial heart of the Theorem 2 lower bound. The adversary keeps
+// the candidate pool R partitioned into k/2 blocks B(p). At each step it is
+// given Y = the set of candidates that would transmit, and answers what the
+// listening spine node hears — silence, a unique transmitter, or a
+// collision — while shrinking blocks so that EVERY choice of the eventual
+// layer X with |X ∩ B(p)| = 2 per block stays consistent with all answers
+// given so far (invariant INV of the paper):
+//
+//   A. Some large block has |B ∩ Y| > (2/k)·|B|  ⇒ answer ⊥ (collision),
+//      B := B ∩ Y (truncated to 2 survivors if it fell below k).
+//   B. Otherwise every large block loses its transmitters (B := B \ Y,
+//      truncated to 2 if below k), and the answer is decided by the small
+//      blocks: Y ∩ (∪ small blocks) of size 0 ⇒ silence, {v} ⇒ v, ≥2 ⇒ ⊥.
+//
+// Because a block only ever shrinks to B∩Y or B\Y, all survivors of a
+// LARGE block share one transmit-trace — which is exactly why (1) any two
+// survivors of the largest block form a non-selectivity witness X* (the
+// paper's point 3 of INV), and (2) the spine node above hears 0 or ≥2 of
+// them, never exactly one, during the jammed window.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace radiocast {
+
+class jamming {
+ public:
+  /// What the listening spine node hears from the layer under construction.
+  struct outcome {
+    enum class kind { silence, unique, collision };
+    kind what = kind::silence;
+    node_id unique = -1;  ///< valid when what == unique
+  };
+
+  /// Partitions `pool` into k/2 near-equal blocks. Requires even k ≥ 4 and
+  /// |pool| ≥ k²/2 (every block must start large, i.e. ≥ k).
+  jamming(std::vector<node_id> pool, int k);
+
+  /// Processes one step with transmitter set `y` (must be ⊆ pool; sorted
+  /// not required). Updates blocks and returns the jammed answer.
+  outcome step(const std::vector<node_id>& y);
+
+  int k() const noexcept { return k_; }
+  int steps_processed() const noexcept { return steps_; }
+  const std::vector<std::vector<node_id>>& blocks() const { return blocks_; }
+
+  /// Index of a largest block (the paper's p*).
+  std::size_t largest_block() const;
+
+  /// The constructed layer: X' = two survivors from every block except p*
+  /// (for small blocks: both), X* = up to k survivors of block p*.
+  /// L_{2i+1} = X' ∪ X*, L*_{2i+1} = X*.
+  struct layer_choice {
+    std::vector<node_id> layer;  ///< X' ∪ X*
+    std::vector<node_id> star;   ///< X*
+  };
+  layer_choice pick_layer() const;
+
+  /// Paper invariant INV.0: every block has ≥ 2 elements, and blocks are
+  /// pairwise disjoint subsets of the original pool. Used by tests.
+  bool invariant_holds() const;
+
+ private:
+  bool is_large(const std::vector<node_id>& block) const {
+    return static_cast<int>(block.size()) >= k_;
+  }
+
+  int k_;
+  int steps_ = 0;
+  std::vector<std::vector<node_id>> blocks_;
+  std::vector<node_id> pool_;  // original pool, for invariant checking
+};
+
+}  // namespace radiocast

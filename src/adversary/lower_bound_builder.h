@@ -1,0 +1,65 @@
+// Stage-by-stage construction of the Theorem 2 lower-bound network G_A.
+//
+// Given any DETERMINISTIC broadcasting algorithm A, the adversary builds an
+// n-node network of radius D on which A is slow:
+//
+//   * even layers L_{2i} = {spine node i}, i = 0 … D/2−1 (we reserve labels
+//     0 … D/2−1 for the spine — a legal adversarial choice of labeling);
+//   * each odd layer L_{2i+1} (size ≤ 2k−2+|X*| with k = ⌊n/4D⌋) is carved
+//     out of the remaining candidate pool by running A abstractly for
+//     s = ⌊k·log(n/4) / (8·log k)⌋ steps against the Jamming function: every
+//     candidate is treated as a potential neighbor of spine i, the jamming
+//     answers decide what spine i hears, and the blocks shrink so that the
+//     final choice X' ∪ X* is consistent with every answer;
+//   * only nodes of L* ⊆ L_{2i+1} are also attached to spine i+1; because
+//     all of X* share one transmit-trace during the jammed window, spine
+//     i+1 never hears exactly one of them there, so each stage provably
+//     stalls the "information front" for s steps;
+//   * after the jammed window the construction keeps simulating (now with
+//     real radio semantics on the built part) until spine i+1 transmits for
+//     the first time, which opens the next stage;
+//   * all remaining candidates become the final layer L_D, attached to
+//     every node of L*_{D−1}.
+//
+// The returned network is a genuine graph; replaying A on it with the real
+// simulator must reproduce the abstract run (the paper's Lemma 9) — the
+// tests verify this by checking that A's completion time on G_A is at least
+// the forced (D/2−1)·s steps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/protocol.h"
+
+namespace radiocast {
+
+struct adversary_options {
+  /// Cap on the steps spent waiting for a spine node's first transmission
+  /// in any one stage (a correct algorithm transmits eventually; a stuck
+  /// wait marks the result instead of looping forever).
+  std::int64_t stage_wait_cap = 4'000'000;
+};
+
+struct adversarial_network {
+  graph g = graph::undirected(1);
+  int d = 0;  ///< radius parameter (the graph's radius is exactly d)
+  int k = 0;  ///< layer-size parameter ⌊n/4D⌋
+  std::int64_t jam_steps_per_stage = 0;  ///< s = ⌊k·log(n/4)/(8·log k)⌋
+  std::int64_t forced_steps = 0;         ///< (D/2−1)·s — the proven delay
+  std::vector<std::vector<node_id>> odd_layers;   ///< [i] = L_{2i+1}
+  std::vector<std::vector<node_id>> star_layers;  ///< [i] = L*_{2i+1}
+  std::vector<node_id> last_layer;                ///< L_D
+  std::vector<std::int64_t> spine_first_tx;  ///< t_i observed per spine i
+  bool stuck = false;  ///< a stage wait hit the cap (remaining layers were
+                       ///< filled arbitrarily; forced_steps not guaranteed)
+};
+
+/// Runs the construction. Requires: proto.deterministic(), even D ≥ 4,
+/// n ≥ 16·D (so k ≥ 4), and a pool large enough for the jamming blocks.
+adversarial_network build_adversarial_network(
+    const protocol& proto, node_id n, int d,
+    const adversary_options& options = {});
+
+}  // namespace radiocast

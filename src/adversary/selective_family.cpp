@@ -1,0 +1,166 @@
+#include "adversary/selective_family.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "util/assert.h"
+#include "util/math.h"
+
+namespace radiocast {
+
+bool selects(const std::vector<int>& set, const std::vector<int>& x) {
+  // Sorted-merge intersection count with early exit at 2.
+  std::size_t i = 0;
+  std::size_t j = 0;
+  int count = 0;
+  while (i < set.size() && j < x.size()) {
+    if (set[i] < x[j]) {
+      ++i;
+    } else if (set[i] > x[j]) {
+      ++j;
+    } else {
+      if (++count >= 2) return false;
+      ++i;
+      ++j;
+    }
+  }
+  return count == 1;
+}
+
+namespace {
+
+/// Enumerates nonempty subsets X ⊆ {0..m−1}, |X| ≤ k, invoking f(X);
+/// stops early if f returns true (found). Returns the first X accepted.
+std::optional<std::vector<int>> enumerate_targets(
+    int m, int k, const std::function<bool(const std::vector<int>&)>& f) {
+  RC_REQUIRE(m >= 1 && k >= 1);
+  // Work cap: sum of C(m, 1..k) must stay laptop-instant.
+  double work = 0.0;
+  double c = 1.0;
+  for (int size = 1; size <= std::min(k, m); ++size) {
+    c = c * (m - size + 1) / size;
+    work += c;
+  }
+  RC_REQUIRE_MSG(work <= 2e7, "selective-family enumeration too large");
+
+  std::vector<int> x;
+  // Iterative combination enumeration per size.
+  for (int size = 1; size <= std::min(k, m); ++size) {
+    std::vector<int> idx(static_cast<std::size_t>(size));
+    for (int i = 0; i < size; ++i) idx[static_cast<std::size_t>(i)] = i;
+    for (;;) {
+      if (f(idx)) return idx;
+      // next combination
+      int i = size - 1;
+      while (i >= 0 && idx[static_cast<std::size_t>(i)] == m - size + i) --i;
+      if (i < 0) break;
+      ++idx[static_cast<std::size_t>(i)];
+      for (int j = i + 1; j < size; ++j) {
+        idx[static_cast<std::size_t>(j)] =
+            idx[static_cast<std::size_t>(j - 1)] + 1;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::vector<int>> find_unselected(const set_family& family,
+                                                int m, int k) {
+  return enumerate_targets(m, k, [&](const std::vector<int>& x) {
+    for (const auto& set : family) {
+      if (selects(set, x)) return false;
+    }
+    return true;  // no set selects x — witness found
+  });
+}
+
+bool is_selective(const set_family& family, int m, int k) {
+  return !find_unselected(family, m, k).has_value();
+}
+
+set_family greedy_selective_family(int m, int k, rng& gen) {
+  RC_REQUIRE(m >= 1 && k >= 1);
+
+  // Collect all targets.
+  std::vector<std::vector<int>> targets;
+  enumerate_targets(m, k, [&](const std::vector<int>& x) {
+    targets.push_back(x);
+    return false;
+  });
+
+  // Candidate pool: singletons + random density-1/j sets.
+  set_family pool;
+  for (int v = 0; v < m; ++v) pool.push_back({v});
+  const int random_candidates = 8 * k * std::max(1, ilog2_ceil(
+                                        static_cast<std::uint64_t>(m)));
+  for (int j = 1; j <= k; ++j) {
+    for (int c = 0; c < random_candidates; ++c) {
+      std::vector<int> set;
+      for (int v = 0; v < m; ++v) {
+        if (gen.bernoulli(1.0 / j)) set.push_back(v);
+      }
+      if (!set.empty()) pool.push_back(std::move(set));
+    }
+  }
+
+  std::vector<bool> covered(targets.size(), false);
+  std::size_t remaining = targets.size();
+  set_family family;
+  while (remaining > 0) {
+    std::size_t best_idx = 0;
+    int best_gain = -1;
+    for (std::size_t p = 0; p < pool.size(); ++p) {
+      int gain = 0;
+      for (std::size_t t = 0; t < targets.size(); ++t) {
+        if (!covered[t] && selects(pool[p], targets[t])) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_idx = p;
+      }
+    }
+    RC_CHECK_MSG(best_gain > 0,
+                 "greedy stalled — singleton pool guarantees progress");
+    for (std::size_t t = 0; t < targets.size(); ++t) {
+      if (!covered[t] && selects(pool[best_idx], targets[t])) {
+        covered[t] = true;
+        --remaining;
+      }
+    }
+    family.push_back(pool[best_idx]);
+  }
+  return family;
+}
+
+set_family modular_selective_family(int m, int k, int prime_count) {
+  RC_REQUIRE(m >= 1 && k >= 1 && prime_count >= 1);
+  set_family family;
+  int found = 0;
+  for (int q = std::max(2, k); found < prime_count; ++q) {
+    bool prime = q >= 2;
+    for (int d = 2; d * d <= q; ++d) {
+      if (q % d == 0) {
+        prime = false;
+        break;
+      }
+    }
+    if (!prime) continue;
+    ++found;
+    for (int a = 0; a < q && a < m; ++a) {
+      std::vector<int> set;
+      for (int x = a; x < m; x += q) set.push_back(x);
+      if (!set.empty()) family.push_back(std::move(set));
+    }
+  }
+  return family;
+}
+
+double cms_size_lower_bound(int m, int k) {
+  RC_REQUIRE(m >= 2 && k >= 2);
+  return (static_cast<double>(k) / 8.0) * std::log2(m) / std::log2(k);
+}
+
+}  // namespace radiocast

@@ -1,0 +1,53 @@
+// (m, k)-selective families (paper, Section 3; Clementi–Monti–Silvestri).
+//
+// A family F of subsets of {0,…,m−1} is (m,k)-selective if for every
+// nonempty X ⊆ {0,…,m−1} with |X| ≤ k some F ∈ F satisfies |F ∩ X| = 1
+// ("F selects X" — in radio terms: if X is the set of transmitters, the
+// step scheduled by F delivers a message).
+//
+// Theorem 2's jamming argument leans on the CMS size lower bound: any
+// (m,k)-selective family has Ω(k · log m / log k) sets — this is where the
+// per-stage step count ⌊k·log(n/4)/(8·log k)⌋ comes from. This module
+// provides verifiers, constructions, and the bound, both to test the
+// lower-bound machinery and for experiment E10.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace radiocast {
+
+/// A family of subsets of {0,…,m−1}; each set is sorted and duplicate-free.
+using set_family = std::vector<std::vector<int>>;
+
+/// |set ∩ x| == 1? Both inputs sorted ascending.
+bool selects(const std::vector<int>& set, const std::vector<int>& x);
+
+/// Exhaustive verification — enumerates every nonempty X with |X| ≤ k.
+/// Feasible for small m (≈ m ≤ 32 with k ≤ 3); guarded by a work cap.
+bool is_selective(const set_family& family, int m, int k);
+
+/// A witness X (|X| ≤ k) that `family` fails to select, if one exists
+/// within the same enumeration bounds.
+std::optional<std::vector<int>> find_unselected(const set_family& family,
+                                                int m, int k);
+
+/// Greedy construction: repeatedly add the candidate set that selects the
+/// most still-unselected targets. Candidate pool: all singletons plus
+/// random sets of density ≈ 1/j for j = 1…k. Always terminates with a valid
+/// family (singletons alone are selective). Small m, k only.
+set_family greedy_selective_family(int m, int k, rng& gen);
+
+/// Residue-class construction: sets {x ≡ a (mod q)} over consecutive primes
+/// q ≥ k (a classic superimposed-code flavored family). Selective for small
+/// k when enough primes are used; callers verify with is_selective.
+set_family modular_selective_family(int m, int k, int prime_count);
+
+/// The CMS-style lower bound the paper's Theorem 2 instantiates:
+/// (k/8) · log₂(m) / log₂(k), for k ≥ 2.
+double cms_size_lower_bound(int m, int k);
+
+}  // namespace radiocast

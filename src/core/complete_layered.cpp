@@ -1,0 +1,145 @@
+#include "core/complete_layered.h"
+
+#include <optional>
+
+#include "core/echo.h"
+
+namespace radiocast {
+
+namespace {
+
+constexpr message_kind kAnnounce = 1;    // source's step-0 announcement
+constexpr message_kind kPresence = 2;    // L₁ member i replies in step 2i
+constexpr message_kind kStopSelect = 3;  // a = v₁'s label
+constexpr message_kind kOrder = 4;       // echo order (a=lo, b=hi, c=helper)
+constexpr message_kind kReply = 5;       // echo reply
+constexpr message_kind kSelect = 6;      // a = next chain head's label
+constexpr message_kind kStopLayer = 7;   // b = layer ordered to stop
+constexpr message_kind kStopAll = 8;     // terminal stop (k = D reached)
+
+constexpr selection_kinds kKinds{kOrder, kReply};
+
+class cl_node final : public protocol_node {
+ public:
+  cl_node(node_id label, const protocol_params& params)
+      : label_(label), r_(params.r) {
+    if (label_ == 0) {
+      informed_ = true;
+      layer_ = 0;
+    }
+  }
+
+  std::optional<message> on_step(const node_context& ctx) override {
+    std::optional<message> out;
+    if (label_ == 0 && ctx.step == 0) {
+      awaiting_presence_ = true;
+      out = message{kAnnounce, 0, 0, 0, 0, 0};
+    } else if (auto due = pending_.take(ctx.step)) {
+      out = due;
+    } else if (head_ && ctx.step >= drive_start_) {
+      out = drive(ctx.step);
+    }
+    if (out) out->d = layer_;  // every message carries the sender's layer
+    return out;
+  }
+
+  void on_receive(const node_context& ctx, const message& msg) override {
+    if (!informed_) {
+      informed_ = true;
+      layer_ = static_cast<int>(msg.d) + 1;  // first contact fixes the layer
+    }
+    switch (msg.kind) {
+      case kAnnounce:
+        pending_.schedule(ctx.step + 2 * static_cast<std::int64_t>(label_),
+                          message{kPresence, label_, 0, 0, 0, 0});
+        break;
+      case kPresence:
+        if (label_ == 0 && awaiting_presence_) {
+          awaiting_presence_ = false;
+          pending_.schedule(ctx.step + 1,
+                            message{kStopSelect, 0, msg.from, 0, 0, 0});
+        }
+        break;
+      case kStopSelect:
+        pending_.clear();  // cancel outstanding presence reservations
+        if (static_cast<node_id>(msg.a) == label_) {
+          become_head(msg.from, ctx.step + 1);
+        }
+        break;
+      case kSelect:
+        if (static_cast<node_id>(msg.a) == label_) {
+          // Start after the selector's stop-layer step.
+          become_head(msg.from, ctx.step + 2);
+        }
+        break;
+      case kOrder:
+        if (head_) break;  // a head never answers another head's order
+        schedule_echo_replies(
+            pending_, kKinds, msg, ctx.step, label_,
+            /*is_member=*/layer_ == static_cast<int>(msg.d) + 1);
+        break;
+      case kReply:
+        if (head_ && driver_) driver_->on_receive(msg);
+        break;
+      case kStopLayer:
+        if (layer_ == static_cast<int>(msg.b)) halted_ = true;
+        break;
+      case kStopAll:
+        halted_ = true;
+        break;
+      default:
+        break;
+    }
+  }
+
+  bool informed() const override { return informed_; }
+  bool halted() const override { return halted_; }
+
+ private:
+  void become_head(node_id previous_head, std::int64_t start) {
+    head_ = true;
+    helper_ = previous_head;
+    drive_start_ = start;
+    pending_.clear();
+    driver_.emplace(kKinds, helper_, r_);
+  }
+
+  std::optional<message> drive(std::int64_t step) {
+    std::optional<message> out = driver_->on_step(step);
+    if (!driver_->finished()) return out;
+    head_ = false;
+    if (driver_->result() == selection_driver::status::selected) {
+      const node_id next = driver_->selected();
+      driver_.reset();
+      // Select now; order L_{k−1} to stop one step later.
+      pending_.schedule(step + 1,
+                        message{kStopLayer, label_, 0, layer_ - 1, 0, 0});
+      return message{kSelect, label_, next, 0, 0, 0};
+    }
+    // No next layer: k = D. Stop the neighbors and ourselves.
+    driver_.reset();
+    halted_ = true;
+    return message{kStopAll, label_, 0, 0, 0, 0};
+  }
+
+  node_id label_;
+  node_id r_;
+  bool informed_ = false;
+  bool halted_ = false;
+  bool head_ = false;
+  bool awaiting_presence_ = false;
+  int layer_ = -1;
+  node_id helper_ = -1;
+  std::int64_t drive_start_ = 0;
+  pending_tx pending_;
+  std::optional<selection_driver> driver_;
+};
+
+}  // namespace
+
+std::unique_ptr<protocol_node> complete_layered_protocol::make_node(
+    node_id label, const protocol_params& params) const {
+  return std::make_unique<cl_node>(label, params);
+}
+
+}  // namespace radiocast

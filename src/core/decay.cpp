@@ -1,0 +1,63 @@
+#include "core/decay.h"
+
+#include "util/math.h"
+
+namespace radiocast {
+
+namespace {
+
+constexpr message_kind kDecayPayload = 1;
+
+class decay_node final : public protocol_node {
+ public:
+  decay_node(node_id label, const protocol_params& params)
+      : label_(label),
+        phase_len_(2 * std::max(1, ilog2_ceil(
+                           static_cast<std::uint64_t>(params.r) + 1))),
+        informed_(label == 0) {}
+
+  std::optional<message> on_step(const node_context& ctx) override {
+    if (!informed_) return std::nullopt;
+    const std::int64_t phase = ctx.step / phase_len_;
+    const std::int64_t offset = ctx.step % phase_len_;
+    if (informed_step_ >= phase * phase_len_) {
+      return std::nullopt;  // informed mid-phase; joins the next phase
+    }
+    if (phase != drawn_phase_) {
+      // Draw this phase's geometric cutoff: transmit in steps 0..cutoff−1.
+      drawn_phase_ = phase;
+      cutoff_ = 1;
+      while (cutoff_ < phase_len_ && ctx.gen->flip()) ++cutoff_;
+    }
+    if (offset < cutoff_) {
+      return message{kDecayPayload, label_, 0, 0, 0};
+    }
+    return std::nullopt;
+  }
+
+  void on_receive(const node_context& ctx, const message&) override {
+    if (!informed_) {
+      informed_ = true;
+      informed_step_ = ctx.step;
+    }
+  }
+
+  bool informed() const override { return informed_; }
+
+ private:
+  node_id label_;
+  std::int64_t phase_len_;
+  bool informed_;
+  std::int64_t informed_step_ = -1;  // source: before step 0
+  std::int64_t drawn_phase_ = -1;
+  std::int64_t cutoff_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<protocol_node> decay_protocol::make_node(
+    node_id label, const protocol_params& params) const {
+  return std::make_unique<decay_node>(label, params);
+}
+
+}  // namespace radiocast

@@ -1,0 +1,119 @@
+#include "core/dfs_known.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace radiocast {
+
+namespace {
+
+constexpr message_kind kAnnounce = 1;  // "I have just been visited"
+constexpr message_kind kToken = 2;     // a = receiving node's label
+
+class dfs_known_node final : public protocol_node {
+ public:
+  dfs_known_node(node_id label, std::vector<node_id> neighbors)
+      : label_(label), neighbors_(std::move(neighbors)),
+        informed_(label == 0) {
+    std::sort(neighbors_.begin(), neighbors_.end());
+    unvisited_.assign(neighbors_.size(), true);
+    if (label_ == 0) visited_ = true;
+  }
+
+  std::optional<message> on_step(const node_context& ctx) override {
+    if (label_ == 0 && ctx.step == 0) {
+      // The source opens with its announcement and becomes the holder.
+      holder_ = true;
+      act_at_ = 1;
+      return message{kAnnounce, 0, 0, 0, 0, 0};
+    }
+    if (pending_announce_ == ctx.step) {
+      pending_announce_ = -1;
+      holder_ = true;
+      act_at_ = ctx.step + 1;
+      return message{kAnnounce, label_, 0, 0, 0, 0};
+    }
+    if (holder_ && act_at_ == ctx.step) {
+      holder_ = false;
+      const node_id next = lowest_unvisited();
+      if (next >= 0) {
+        return message{kToken, label_, next, 0, 0, 0};
+      }
+      halted_ = true;
+      if (label_ == 0) return std::nullopt;  // traversal complete
+      return message{kToken, label_, parent_, 0, 0, 0};
+    }
+    return std::nullopt;
+  }
+
+  void on_receive(const node_context& ctx, const message& msg) override {
+    informed_ = true;
+    switch (msg.kind) {
+      case kAnnounce:
+        mark_visited(msg.from);
+        break;
+      case kToken:
+        mark_visited(msg.from);  // the sender necessarily was visited
+        if (static_cast<node_id>(msg.a) != label_) break;
+        if (!visited_) {
+          visited_ = true;
+          parent_ = msg.from;
+          pending_announce_ = ctx.step + 1;  // announce, then act
+        } else {
+          holder_ = true;  // a child returned the token
+          act_at_ = ctx.step + 1;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  bool informed() const override { return informed_; }
+  bool halted() const override { return halted_; }
+
+ private:
+  void mark_visited(node_id who) {
+    const auto it =
+        std::lower_bound(neighbors_.begin(), neighbors_.end(), who);
+    if (it != neighbors_.end() && *it == who) {
+      unvisited_[static_cast<std::size_t>(it - neighbors_.begin())] = false;
+    }
+  }
+
+  node_id lowest_unvisited() const {
+    for (std::size_t i = 0; i < neighbors_.size(); ++i) {
+      if (unvisited_[i]) return neighbors_[i];
+    }
+    return -1;
+  }
+
+  node_id label_;
+  std::vector<node_id> neighbors_;
+  std::vector<bool> unvisited_;
+  bool informed_;
+  bool visited_ = false;
+  bool holder_ = false;
+  bool halted_ = false;
+  node_id parent_ = -1;
+  std::int64_t pending_announce_ = -1;
+  std::int64_t act_at_ = -1;
+};
+
+}  // namespace
+
+dfs_known_protocol::dfs_known_protocol(const graph& g) : g_(g) {
+  RC_REQUIRE_MSG(!g.is_directed(),
+                 "the DFS baseline runs on undirected networks");
+}
+
+std::unique_ptr<protocol_node> dfs_known_protocol::make_node(
+    node_id label, const protocol_params&) const {
+  const auto nbrs = g_.out_neighbors(label);
+  return std::make_unique<dfs_known_node>(
+      label, std::vector<node_id>(nbrs.begin(), nbrs.end()));
+}
+
+}  // namespace radiocast

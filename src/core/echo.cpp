@@ -1,0 +1,164 @@
+#include "core/echo.h"
+
+#include "util/math.h"
+
+namespace radiocast {
+
+void schedule_echo_replies(pending_tx& out, const selection_kinds& kinds,
+                           const message& order, std::int64_t step,
+                           node_id self, bool is_member) {
+  RC_REQUIRE(order.kind == kinds.order);
+  const auto lo = static_cast<node_id>(order.a);
+  const auto hi = static_cast<node_id>(order.b);
+  const auto helper = static_cast<node_id>(order.c);
+  const message reply{kinds.reply, self, 0, 0, 0};
+  if (is_member && self >= lo && self <= hi) {
+    out.schedule(step + 1, reply);
+    out.schedule(step + 2, reply);
+  } else if (self == helper) {
+    out.schedule(step + 2, reply);
+  }
+}
+
+selection_driver::selection_driver(selection_kinds kinds, node_id helper,
+                                   node_id label_bound)
+    : kinds_(kinds), helper_(helper), bound_(label_bound) {
+  RC_REQUIRE(label_bound >= 1);
+  // Full probe: the whole label space (labels of S members are in [1, r];
+  // 0 is the source, which is never an unselected responder).
+  lo_ = 0;
+  hi_ = bound_;
+}
+
+std::optional<message> selection_driver::on_step(std::int64_t) {
+  RC_REQUIRE(status_ == status::running);
+  switch (sub_) {
+    case substep::send_order: {
+      heard1_.reset();
+      heard2_.reset();
+      sub_ = substep::listen1;
+      ++segments_;
+      return message{kinds_.order, -1, lo_, hi_, helper_};
+    }
+    case substep::listen1:
+      sub_ = substep::listen2;
+      return std::nullopt;
+    case substep::listen2:
+      sub_ = substep::evaluate;
+      return std::nullopt;
+    case substep::evaluate: {
+      echo_outcome outcome;
+      if (heard1_ && !heard2_) {
+        outcome = echo_outcome::unique;
+      } else if (!heard1_ && heard2_) {
+        RC_CHECK_MSG(*heard2_ == helper_,
+                     "echo step 2 must come from the helper");
+        outcome = echo_outcome::empty;
+      } else if (!heard1_ && !heard2_) {
+        outcome = echo_outcome::multi;
+      } else {
+        RC_CHECK_MSG(false, "echo heard replies in both steps");
+        return std::nullopt;  // unreachable
+      }
+      advance(outcome);
+      if (status_ != status::running) return std::nullopt;
+      // Immediately issue the next order in this same step.
+      heard1_.reset();
+      heard2_.reset();
+      sub_ = substep::listen1;
+      ++segments_;
+      return message{kinds_.order, -1, lo_, hi_, helper_};
+    }
+  }
+  RC_CHECK(false);
+  return std::nullopt;
+}
+
+void selection_driver::on_receive(const message& msg) {
+  if (msg.kind != kinds_.reply) return;  // not part of this subprotocol
+  if (sub_ == substep::listen2) {
+    // We are listening for echo step 1 (the transition to listen2 happens
+    // when on_step(listen1) runs, i.e. during the first echo step).
+    heard1_ = msg.from;
+  } else if (sub_ == substep::evaluate) {
+    heard2_ = msg.from;
+  }
+}
+
+void selection_driver::advance(echo_outcome outcome) {
+  switch (phase_) {
+    case phase::full_probe:
+      switch (outcome) {
+        case echo_outcome::empty:
+          status_ = status::empty_set;
+          return;
+        case echo_outcome::unique:
+          status_ = status::selected;
+          selected_ = *heard1_;
+          return;
+        case echo_outcome::multi:
+          phase_ = phase::doubling;
+          doubling_k_ = 1;
+          lo_ = 1;
+          hi_ = 2;
+          return;
+      }
+      break;
+    case phase::doubling:
+      switch (outcome) {
+        case echo_outcome::empty: {
+          ++doubling_k_;
+          RC_CHECK_MSG(
+              (std::int64_t{1} << (doubling_k_ - 1)) <= bound_,
+              "doubling ran past the label bound with a nonempty S");
+          lo_ = 1;
+          hi_ = static_cast<node_id>(
+              std::min<std::int64_t>(std::int64_t{1} << doubling_k_,
+                                     static_cast<std::int64_t>(bound_)));
+          return;
+        }
+        case echo_outcome::unique:
+          status_ = status::selected;
+          selected_ = *heard1_;
+          return;
+        case echo_outcome::multi: {
+          // Binary-Selection over [1, m], m = 2ᵏ: first range {1, …, m/2}.
+          const std::int64_t m = std::int64_t{1} << doubling_k_;
+          phase_ = phase::binary;
+          lo_ = 1;
+          hi_ = static_cast<node_id>(std::max<std::int64_t>(1, m / 2));
+          return;
+        }
+      }
+      break;
+    case phase::binary:
+      switch (outcome) {
+        case echo_outcome::unique:
+          status_ = status::selected;
+          selected_ = *heard1_;
+          return;
+        case echo_outcome::empty: {
+          // R = {x,…,y} empty of S: next segment {y+1, …, y+⌈size/2⌉…};
+          // the paper halves the segment size each move (floor at 1).
+          const node_id size = hi_ - lo_ + 1;
+          const node_id next = std::max<node_id>(1, size / 2);
+          lo_ = hi_ + 1;
+          hi_ = hi_ + next;
+          RC_CHECK_MSG(lo_ <= bound_ + 1,
+                       "binary selection walked past the label bound");
+          return;
+        }
+        case echo_outcome::multi: {
+          // ≥ 2 elements in R: descend into the left half.
+          const node_id size = hi_ - lo_ + 1;
+          RC_CHECK_MSG(size >= 2, "≥2 responders in a single-label range");
+          hi_ = lo_ + size / 2 - 1;
+          return;
+        }
+      }
+      break;
+  }
+  RC_CHECK(false);
+}
+
+}  // namespace radiocast

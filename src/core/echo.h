@@ -1,0 +1,134 @@
+// Procedure Echo and Algorithm Binary-Selection (paper, Section 4.1).
+//
+// Echo(w, A) lets a node v that knows one neighbor w ∉ A distinguish
+// |A| ∈ {0, 1, ≥2} in two steps — simulating collision detection, which the
+// radio model does not provide:
+//   step 1: every node in A transmits its label;
+//   step 2: every node in A ∪ {w} transmits its label.
+// v hears step 1 only ⇒ |A| = 1 (and learns the unique label);
+// v hears step 2 only ⇒ |A| = 0; v hears neither ⇒ |A| ≥ 2.
+//
+// Binary-Selection finds one element of a nonempty set S of neighbors in
+// O(log m) three-step segments (order, echo-1, echo-2), descending ranges:
+// on |R ∩ S| = 0 move to the next half-size segment, on ≥ 2 take the left
+// half, on = 1 select.
+//
+// `selection_driver` implements the initiator side of the full pipeline the
+// deterministic algorithms use: a whole-set probe, then doubling probes over
+// [1, 2ᵏ], then Binary-Selection. The responder side (scheduling the two
+// echo replies upon receiving an order) is shared via `pending_tx` and
+// `schedule_echo_replies`.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sim/message.h"
+#include "util/assert.h"
+
+namespace radiocast {
+
+/// Message kinds the selection subprotocol uses, chosen by the owning
+/// protocol so kind spaces never collide.
+/// Order message layout: a = range lo, b = range hi, c = helper label.
+/// Reply message layout: the transmitter's label rides in `from`.
+struct selection_kinds {
+  message_kind order = 0;
+  message_kind reply = 0;
+};
+
+/// A tiny future-transmission queue (horizon ≤ 2 steps for echoes; the
+/// source-announcement schedule uses longer horizons).
+class pending_tx {
+ public:
+  void schedule(std::int64_t step, message msg) {
+    entries_.push_back({step, msg});
+  }
+
+  /// The message scheduled for `step`, removing it; nullopt if none.
+  std::optional<message> take(std::int64_t step) {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].step == step) {
+        message msg = entries_[i].msg;
+        entries_[i] = entries_.back();
+        entries_.pop_back();
+        return msg;
+      }
+    }
+    return std::nullopt;
+  }
+
+  void clear() { entries_.clear(); }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  struct entry {
+    std::int64_t step;
+    message msg;
+  };
+  std::vector<entry> entries_;
+};
+
+/// Responder-side helper: given an order received at `step` by a node with
+/// label `self`, schedules the Echo replies it owes.
+/// * A member of the probed set A (the caller decides membership) replies in
+///   both echo steps (A transmits in step 1, A ∪ {w} in step 2).
+/// * The helper w replies in the second echo step only.
+void schedule_echo_replies(pending_tx& out, const selection_kinds& kinds,
+                           const message& order, std::int64_t step,
+                           node_id self, bool is_member);
+
+/// Initiator-side state machine: probes the responder set S (whose members
+/// are this node's neighbors) and either selects exactly one of them or
+/// reports S = ∅. Deterministic, O(log label_bound) echo segments.
+class selection_driver {
+ public:
+  enum class status { running, empty_set, selected };
+
+  /// helper = the known neighbor w used in every Echo call;
+  /// label_bound = the r the node knows (responder labels are ≤ r).
+  selection_driver(selection_kinds kinds, node_id helper,
+                   node_id label_bound);
+
+  /// Advances one step. Returns the order to transmit, or nullopt when
+  /// listening (or when just finished — check result()).
+  std::optional<message> on_step(std::int64_t step);
+
+  /// Feed every message the owning node receives while the driver runs.
+  void on_receive(const message& msg);
+
+  status result() const { return status_; }
+  bool finished() const { return status_ != status::running; }
+
+  /// The selected responder label; only valid when status == selected.
+  node_id selected() const {
+    RC_REQUIRE(status_ == status::selected);
+    return selected_;
+  }
+
+  /// Number of three-step echo segments issued so far (for complexity
+  /// tests: O(log label_bound) per selection).
+  int segments_issued() const { return segments_; }
+
+ private:
+  enum class phase { full_probe, doubling, binary };
+  enum class substep { send_order, listen1, listen2, evaluate };
+  enum class echo_outcome { empty, unique, multi };
+
+  void advance(echo_outcome outcome);
+
+  selection_kinds kinds_;
+  node_id helper_;
+  node_id bound_;
+
+  status status_ = status::running;
+  phase phase_ = phase::full_probe;
+  substep sub_ = substep::send_order;
+  int doubling_k_ = 0;
+  node_id lo_ = 0, hi_ = 0;  // current probe range
+  std::optional<node_id> heard1_, heard2_;
+  node_id selected_ = -1;
+  int segments_ = 0;
+};
+
+}  // namespace radiocast

@@ -1,0 +1,59 @@
+#include "core/interleaved.h"
+
+#include "core/select_and_send.h"
+
+namespace radiocast {
+
+namespace {
+
+constexpr message_kind kRoundRobinPayload = 100;
+
+class interleaved_node final : public protocol_node {
+ public:
+  interleaved_node(node_id label, const protocol_params& params)
+      : label_(label),
+        modulus_(params.r + 1),
+        sas_(select_and_send_protocol().make_node(label, params)),
+        informed_(label == 0) {}
+
+  std::optional<message> on_step(const node_context& ctx) override {
+    if (ctx.step % 2 == 0) {
+      // Round-robin stream on virtual step ctx.step / 2.
+      const std::int64_t vstep = ctx.step / 2;
+      if (informed() && vstep % modulus_ == label_) {
+        return message{kRoundRobinPayload, label_, 0, 0, 0, 0};
+      }
+      return std::nullopt;
+    }
+    const node_context sub{(ctx.step - 1) / 2, ctx.gen};
+    return sas_->on_step(sub);
+  }
+
+  void on_receive(const node_context& ctx, const message& msg) override {
+    informed_ = true;
+    if (ctx.step % 2 == 1) {
+      const node_context sub{(ctx.step - 1) / 2, ctx.gen};
+      sas_->on_receive(sub, msg);
+    }
+    // Even-step (round-robin) receptions carry no protocol state beyond
+    // the source word itself.
+  }
+
+  bool informed() const override { return informed_ || sas_->informed(); }
+  bool halted() const override { return sas_->halted(); }
+
+ private:
+  node_id label_;
+  std::int64_t modulus_;
+  std::unique_ptr<protocol_node> sas_;
+  bool informed_;
+};
+
+}  // namespace
+
+std::unique_ptr<protocol_node> interleaved_protocol::make_node(
+    node_id label, const protocol_params& params) const {
+  return std::make_unique<interleaved_node>(label, params);
+}
+
+}  // namespace radiocast

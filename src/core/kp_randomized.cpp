@@ -1,0 +1,175 @@
+#include "core/kp_randomized.h"
+
+#include <cmath>
+#include <vector>
+
+#include "core/decay.h"
+#include "util/assert.h"
+#include "util/math.h"
+
+namespace radiocast {
+
+namespace {
+constexpr message_kind kKpPayload = 1;
+}  // namespace
+
+/// One Randomized-Broadcasting(D) block of the (possibly doubling) schedule.
+struct kp_block {
+  int log_d = 0;
+  std::int64_t start = 0;     ///< global offset of the block
+  std::int64_t length = 0;    ///< 1 (source step) + stages·stage_len
+  int stage_len = 0;          ///< log(r/D)+1 geometric steps (+1 unless
+                              ///< ablated)
+  int geometric_steps = 0;    ///< log(r/D)+1
+  universal_sequence seq;
+};
+
+struct kp_randomized_protocol::schedule {
+  int log_r = 0;
+  std::int64_t total_length = 0;
+  std::vector<kp_block> blocks;
+
+  /// Locates the block containing schedule offset `pos` (0 ≤ pos < total).
+  const kp_block& block_at(std::int64_t pos) const {
+    RC_CHECK(pos >= 0 && pos < total_length);
+    // Few blocks (≤ log r); linear scan.
+    for (const kp_block& b : blocks) {
+      if (pos < b.start + b.length) return b;
+    }
+    RC_CHECK(false);
+    return blocks.back();  // unreachable
+  }
+};
+
+namespace {
+
+kp_block make_block(int log_r, int log_d, std::int64_t stage_budget,
+                    bool ablate, std::int64_t start) {
+  RC_CHECK(log_d >= 0 && log_d <= log_r);
+  kp_block b{log_d, start, 0, 0, 0, universal_sequence(log_r, log_d)};
+  b.geometric_steps = (log_r - log_d) + 1;
+  b.stage_len = b.geometric_steps + (ablate ? 0 : 1);
+  const std::int64_t stages = stage_budget << log_d;  // budget · D
+  b.length = 1 + stages * b.stage_len;
+  return b;
+}
+
+class kp_node final : public protocol_node {
+ public:
+  kp_node(node_id label,
+          std::shared_ptr<const kp_randomized_protocol::schedule> sched)
+      : label_(label), sched_(std::move(sched)), informed_(label == 0) {}
+
+  std::optional<message> on_step(const node_context& ctx) override {
+    if (!informed_) return std::nullopt;
+    const std::int64_t pos = ctx.step % sched_->total_length;
+    const kp_block& block = sched_->block_at(pos);
+    const std::int64_t in_block = pos - block.start;
+    if (in_block == 0) {
+      // "the source transmits" — the first step of each block.
+      if (label_ == 0) return payload();
+      return std::nullopt;
+    }
+    const std::int64_t stage_index = (in_block - 1) / block.stage_len;
+    const std::int64_t within = (in_block - 1) % block.stage_len;
+    // A node performs Stage(D, i) iff it received the source message before
+    // the stage began (paper: a node informed during stage i first
+    // transmits in stage i+1).
+    const std::int64_t stage_start_step = ctx.step - within;
+    if (informed_step_ >= stage_start_step) return std::nullopt;
+    double p = 0.0;
+    if (within < block.geometric_steps) {
+      p = std::ldexp(1.0, -static_cast<int>(within));  // 1/2ˡ
+    } else {
+      p = block.seq.probability_at(stage_index + 1);  // p_i, 1-based
+    }
+    if (ctx.gen->bernoulli(p)) return payload();
+    return std::nullopt;
+  }
+
+  void on_receive(const node_context& ctx, const message&) override {
+    if (!informed_) {
+      informed_ = true;
+      informed_step_ = ctx.step;
+    }
+  }
+
+  bool informed() const override { return informed_; }
+
+ private:
+  message payload() const { return message{kKpPayload, label_, 0, 0, 0}; }
+
+  node_id label_;
+  std::shared_ptr<const kp_randomized_protocol::schedule> sched_;
+  bool informed_;
+  std::int64_t informed_step_ = -1;  // the source knows it from the start
+};
+
+}  // namespace
+
+kp_randomized_protocol::kp_randomized_protocol(node_id r, kp_options options)
+    : r_(r), options_(options) {
+  RC_REQUIRE(r >= 1);
+  RC_REQUIRE(options.stage_budget >= 1);
+  const int log_r = ilog2_ceil(static_cast<std::uint64_t>(r));
+  RC_REQUIRE(log_r >= 1);
+
+  if (options_.known_d > 0 && options_.paper_bgi_threshold) {
+    const double threshold =
+        32.0 * std::pow(static_cast<double>(r), 2.0 / 3.0);
+    if (static_cast<double>(options_.known_d) <= threshold) {
+      use_bgi_fallback_ = true;
+      return;
+    }
+  }
+
+  auto sched = std::make_shared<schedule>();
+  sched->log_r = log_r;
+  if (options_.known_d > 0) {
+    const int log_d =
+        std::min(log_r, ilog2_ceil(static_cast<std::uint64_t>(
+                            options_.known_d)));
+    sched->blocks.push_back(make_block(log_r, log_d, options_.stage_budget,
+                                       options_.ablate_universal_step, 0));
+  } else {
+    std::int64_t start = 0;
+    for (int i = 1; i <= log_r; ++i) {
+      sched->blocks.push_back(make_block(log_r, i, options_.stage_budget,
+                                         options_.ablate_universal_step,
+                                         start));
+      start += sched->blocks.back().length;
+    }
+  }
+  sched->total_length =
+      sched->blocks.back().start + sched->blocks.back().length;
+  schedule_ = std::move(sched);
+}
+
+kp_randomized_protocol::~kp_randomized_protocol() = default;
+
+std::string kp_randomized_protocol::name() const {
+  if (use_bgi_fallback_) return "kp-optimal(bgi-fallback)";
+  std::string n = options_.known_d > 0 ? "kp-randomized(D=" +
+                                             std::to_string(options_.known_d) +
+                                             ")"
+                                       : "kp-optimal(doubling)";
+  if (options_.ablate_universal_step) n += "[ablated]";
+  return n;
+}
+
+std::int64_t kp_randomized_protocol::schedule_period() const {
+  if (use_bgi_fallback_) return 0;
+  return schedule_->total_length;
+}
+
+std::unique_ptr<protocol_node> kp_randomized_protocol::make_node(
+    node_id label, const protocol_params& params) const {
+  RC_REQUIRE_MSG(params.r <= r_,
+                 "kp_randomized_protocol was built for a smaller label bound");
+  if (use_bgi_fallback_) {
+    return decay_protocol().make_node(label, params);
+  }
+  return std::make_unique<kp_node>(label, schedule_);
+}
+
+}  // namespace radiocast

@@ -1,0 +1,41 @@
+#include "core/round_robin.h"
+
+namespace radiocast {
+
+namespace {
+
+constexpr message_kind kRoundRobinPayload = 1;
+
+class round_robin_node final : public protocol_node {
+ public:
+  round_robin_node(node_id label, const protocol_params& params)
+      : label_(label), modulus_(params.r + 1), informed_(label == 0) {}
+
+  std::optional<message> on_step(const node_context& ctx) override {
+    if (!informed_) return std::nullopt;
+    if (ctx.step % modulus_ == label_) {
+      return message{kRoundRobinPayload, label_, 0, 0, 0};
+    }
+    return std::nullopt;
+  }
+
+  void on_receive(const node_context&, const message&) override {
+    informed_ = true;
+  }
+
+  bool informed() const override { return informed_; }
+
+ private:
+  node_id label_;
+  std::int64_t modulus_;
+  bool informed_;
+};
+
+}  // namespace
+
+std::unique_ptr<protocol_node> round_robin_protocol::make_node(
+    node_id label, const protocol_params& params) const {
+  return std::make_unique<round_robin_node>(label, params);
+}
+
+}  // namespace radiocast

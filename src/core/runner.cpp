@@ -1,0 +1,68 @@
+#include "core/runner.h"
+
+#include "core/complete_layered.h"
+#include "core/decay.h"
+#include "core/interleaved.h"
+#include "core/kp_randomized.h"
+#include "core/round_robin.h"
+#include "core/select_and_send.h"
+#include "core/selective_broadcast.h"
+#include "util/assert.h"
+
+namespace radiocast {
+
+std::unique_ptr<protocol> make_protocol(const std::string& name, node_id r,
+                                        int known_d) {
+  if (name == "decay") return std::make_unique<decay_protocol>();
+  if (name == "kp") {
+    RC_REQUIRE_MSG(known_d > 0, "protocol 'kp' needs known_d > 0");
+    kp_options opts;
+    opts.known_d = known_d;
+    return std::make_unique<kp_randomized_protocol>(r, opts);
+  }
+  if (name == "kp-doubling") {
+    return std::make_unique<kp_randomized_protocol>(r, kp_options{});
+  }
+  if (name == "kp-ablated") {
+    RC_REQUIRE_MSG(known_d > 0, "protocol 'kp-ablated' needs known_d > 0");
+    kp_options opts;
+    opts.known_d = known_d;
+    opts.ablate_universal_step = true;
+    return std::make_unique<kp_randomized_protocol>(r, opts);
+  }
+  if (name == "round-robin") return std::make_unique<round_robin_protocol>();
+  if (name == "select-and-send") {
+    return std::make_unique<select_and_send_protocol>();
+  }
+  if (name == "complete-layered") {
+    return std::make_unique<complete_layered_protocol>();
+  }
+  if (name == "interleaved") return std::make_unique<interleaved_protocol>();
+  if (name == "selective") {
+    RC_REQUIRE_MSG(known_d > 0,
+                   "protocol 'selective' needs known_d = a bound exceeding "
+                   "the maximum in-degree");
+    return std::make_unique<selective_broadcast_protocol>(r, known_d);
+  }
+  RC_REQUIRE_MSG(false, "unknown protocol name '" + name + "'");
+  return nullptr;  // unreachable
+}
+
+std::vector<std::string> protocol_names() {
+  return {"decay",       "kp",
+          "kp-doubling", "kp-ablated",
+          "round-robin", "select-and-send",
+          "complete-layered", "interleaved",
+          "selective"};
+}
+
+measurement measure(const graph& g, const protocol& proto, int trials,
+                    std::uint64_t base_seed, std::int64_t max_steps,
+                    bool collapse_deterministic) {
+  if (proto.deterministic() && collapse_deterministic) trials = 1;
+  const std::vector<double> times =
+      completion_times(g, proto, trials, base_seed, max_steps);
+  return measurement{proto.name(), summarize(times)};
+}
+
+}  // namespace radiocast

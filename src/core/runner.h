@@ -1,0 +1,53 @@
+// Convenience layer tying protocols, graphs and measurements together.
+//
+// The examples and benchmarks construct protocols by name and measure
+// completion-time statistics over seeded trial batches through this header.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/protocol.h"
+#include "sim/simulator.h"
+#include "util/stats.h"
+
+namespace radiocast {
+
+/// Builds a protocol by name. Supported names:
+///   "decay"            — BGI randomized baseline
+///   "kp"               — Randomized-Broadcasting(D); requires known_d > 0
+///   "kp-doubling"      — Optimal-Randomized-Broadcasting (doubling over D)
+///   "kp-ablated"       — "kp" without the universal-sequence step
+///   "round-robin"      — deterministic O(nD)
+///   "select-and-send"  — deterministic O(n log n)
+///   "complete-layered" — deterministic O(n + D log n) (layered nets only)
+///   "interleaved"      — deterministic O(n·min(D, log n))
+///   "selective"        — selective-family broadcast; known_d is reused as
+///                        the degree bound k (must exceed the max in-degree)
+/// `r` is the label bound (usually n−1); `known_d` feeds D-parameterized
+/// procedures and is ignored by the rest. The known-neighborhood DFS
+/// baseline (core/dfs_known.h) is constructed directly from a graph and is
+/// therefore not in this registry.
+std::unique_ptr<protocol> make_protocol(const std::string& name, node_id r,
+                                        int known_d = -1);
+
+/// All names make_protocol accepts.
+std::vector<std::string> protocol_names();
+
+/// Measurement of one (graph, protocol) pair over seeded trials.
+struct measurement {
+  std::string protocol_name;
+  summary time;  ///< completion (all-informed) steps across trials
+};
+
+/// Runs `trials` seeded broadcasts and summarizes completion times.
+/// Deterministic protocols are still run `trials` times only if
+/// `collapse_deterministic` is false (their time cannot vary).
+measurement measure(const graph& g, const protocol& proto, int trials,
+                    std::uint64_t base_seed = 1,
+                    std::int64_t max_steps = 1'000'000,
+                    bool collapse_deterministic = true);
+
+}  // namespace radiocast

@@ -1,0 +1,134 @@
+#include "core/select_and_send.h"
+
+#include <optional>
+
+#include "core/echo.h"
+
+namespace radiocast {
+
+namespace {
+
+// Message kinds (see core/echo.h for the order/reply payload layout).
+constexpr message_kind kAnnounce = 1;   // source's step-0 announcement
+constexpr message_kind kPresence = 2;   // neighbor i replies in step 2i
+constexpr message_kind kStopToken = 3;  // a = label receiving the token
+constexpr message_kind kOrder = 4;      // echo order
+constexpr message_kind kReply = 5;      // echo reply
+constexpr message_kind kToken = 6;      // a = label receiving the token
+
+constexpr selection_kinds kKinds{kOrder, kReply};
+
+class sas_node final : public protocol_node {
+ public:
+  sas_node(node_id label, const protocol_params& params)
+      : label_(label), r_(params.r) {
+    if (label_ == 0) {
+      informed_ = true;
+      visited_ = true;
+    }
+  }
+
+  std::optional<message> on_step(const node_context& ctx) override {
+    // The source opens the algorithm.
+    if (label_ == 0 && ctx.step == 0) {
+      awaiting_presence_ = true;
+      return message{kAnnounce, 0, 0, 0, 0};
+    }
+    // Scheduled duties (presence replies, echo replies — including helper
+    // replies owed after this node stopped).
+    if (auto due = pending_.take(ctx.step)) return due;
+    if (driving_) return drive(ctx.step);
+    return std::nullopt;
+  }
+
+  void on_receive(const node_context& ctx, const message& msg) override {
+    informed_ = true;  // every message functionally carries the source word
+    switch (msg.kind) {
+      case kAnnounce:
+        // Reserve slot 2·label for our presence reply.
+        pending_.schedule(ctx.step + 2 * static_cast<std::int64_t>(label_),
+                          message{kPresence, label_, 0, 0, 0});
+        break;
+      case kPresence:
+        if (label_ == 0 && awaiting_presence_) {
+          awaiting_presence_ = false;
+          helper_ = msg.from;  // j: the source's known neighbor
+          pending_.schedule(ctx.step + 1,
+                            message{kStopToken, 0, msg.from, 0, 0});
+        }
+        break;
+      case kStopToken:
+        pending_.clear();  // cancels any outstanding presence reservation
+        if (static_cast<node_id>(msg.a) == label_) take_token(msg.from);
+        break;
+      case kToken:
+        if (static_cast<node_id>(msg.a) == label_) take_token(msg.from);
+        break;
+      case kOrder:
+        if (driving_) break;  // impossible in a clean run; ignore defensively
+        schedule_echo_replies(pending_, kKinds, msg, ctx.step, label_,
+                              /*is_member=*/!visited_);
+        break;
+      case kReply:
+        if (driving_ && driver_) driver_->on_receive(msg);
+        break;
+      default:
+        break;
+    }
+  }
+
+  bool informed() const override { return informed_; }
+  bool halted() const override { return halted_; }
+
+ private:
+  void take_token(node_id from) {
+    if (!visited_) {
+      visited_ = true;
+      parent_ = from;
+      helper_ = from;
+    }
+    // (visited_ && token addressed to us) ⇒ a child returned the token:
+    // resume the DFS with a fresh probe either way.
+    driving_ = true;
+    pending_.clear();
+    driver_.emplace(kKinds, helper_, r_);
+  }
+
+  std::optional<message> drive(std::int64_t step) {
+    std::optional<message> out = driver_->on_step(step);
+    if (!driver_->finished()) return out;
+    driving_ = false;
+    if (driver_->result() == selection_driver::status::selected) {
+      // Pass the token forward; we resume when it comes back.
+      const node_id next = driver_->selected();
+      driver_.reset();
+      return message{kToken, label_, next, 0, 0};
+    }
+    // S = ∅: the subtree below us is complete.
+    driver_.reset();
+    halted_ = true;
+    if (label_ == 0) return std::nullopt;  // the traversal is over
+    return message{kToken, label_, parent_, 0, 0};
+  }
+
+  node_id label_;
+  node_id r_;
+  bool informed_ = false;
+  bool visited_ = false;
+  bool halted_ = false;
+  bool driving_ = false;
+  bool awaiting_presence_ = false;
+  node_id parent_ = -1;
+  node_id helper_ = -1;
+  pending_tx pending_;
+  std::optional<selection_driver> driver_;
+};
+
+}  // namespace
+
+std::unique_ptr<protocol_node> select_and_send_protocol::make_node(
+    node_id label, const protocol_params& params) const {
+  return std::make_unique<sas_node>(label, params);
+}
+
+}  // namespace radiocast

@@ -1,0 +1,83 @@
+#include "core/selective_broadcast.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+#include "util/math.h"
+
+namespace radiocast {
+
+namespace {
+
+constexpr message_kind kSelectivePayload = 1;
+
+class selective_node final : public protocol_node {
+ public:
+  selective_node(node_id label, std::shared_ptr<const set_family> family)
+      : label_(label), family_(std::move(family)), informed_(label == 0) {
+    // Precompute this node's transmission slots within one pass.
+    for (std::size_t i = 0; i < family_->size(); ++i) {
+      const auto& set = (*family_)[i];
+      if (std::binary_search(set.begin(), set.end(),
+                             static_cast<int>(label_))) {
+        slots_.push_back(i);
+      }
+    }
+  }
+
+  std::optional<message> on_step(const node_context& ctx) override {
+    if (!informed_) return std::nullopt;
+    const auto pos = static_cast<std::size_t>(
+        ctx.step % static_cast<std::int64_t>(family_->size()));
+    if (std::binary_search(slots_.begin(), slots_.end(), pos)) {
+      return message{kSelectivePayload, label_, 0, 0, 0, 0};
+    }
+    return std::nullopt;
+  }
+
+  void on_receive(const node_context&, const message&) override {
+    informed_ = true;
+  }
+
+  bool informed() const override { return informed_; }
+
+ private:
+  node_id label_;
+  std::shared_ptr<const set_family> family_;
+  bool informed_;
+  std::vector<std::size_t> slots_;
+};
+
+}  // namespace
+
+selective_broadcast_protocol::selective_broadcast_protocol(node_id r, int k)
+    : r_(r), k_(k) {
+  RC_REQUIRE(r >= 1);
+  RC_REQUIRE(k >= 1);
+  // Pair-separation: two labels ≤ r collide modulo at most log₂(r)/log₂(q)
+  // primes q; with k·⌈log₂(r+1)⌉ + 1 primes ≥ k, every |X| ≤ k has a prime
+  // separating one element from the rest.
+  const int primes = k * std::max(1, ilog2_ceil(
+                             static_cast<std::uint64_t>(r) + 1)) + 1;
+  auto family = std::make_shared<set_family>(
+      modular_selective_family(static_cast<int>(r) + 1, k, primes));
+  for (auto& set : *family) std::sort(set.begin(), set.end());
+  family_ = std::move(family);
+}
+
+std::string selective_broadcast_protocol::name() const {
+  return "selective-family(k=" + std::to_string(k_) + ")";
+}
+
+std::int64_t selective_broadcast_protocol::family_size() const {
+  return static_cast<std::int64_t>(family_->size());
+}
+
+std::unique_ptr<protocol_node> selective_broadcast_protocol::make_node(
+    node_id label, const protocol_params& params) const {
+  RC_REQUIRE_MSG(params.r <= r_,
+                 "protocol built for a smaller label bound than the run's");
+  return std::make_unique<selective_node>(label, family_);
+}
+
+}  // namespace radiocast

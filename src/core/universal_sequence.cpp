@@ -1,0 +1,139 @@
+#include "core/universal_sequence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.h"
+#include "util/math.h"
+
+namespace radiocast {
+
+universal_sequence::universal_sequence(int log_r, int log_d)
+    : log_r_(log_r), log_d_(log_d) {
+  RC_REQUIRE(log_r >= 1);
+  RC_REQUIRE(log_d >= 0 && log_d <= log_r);
+
+  log_log_r_ = ilog2_ceil(static_cast<std::uint64_t>(log_r));
+
+  const std::int64_t r = std::int64_t{1} << log_r;
+
+  // J = ⌊log(r / (4 log r))⌋; empty U1 tail when r ≤ 4 log r (tiny r).
+  const std::int64_t four_log_r = 4 * static_cast<std::int64_t>(log_r);
+  const int j_split =
+      r > four_log_r
+          ? ilog2_floor(static_cast<std::uint64_t>(r / four_log_r))
+          : log_r;
+
+  u1_lo_ = (log_r - log_d) + 1;   // log(r/D) + 1
+  u1_hi_ = std::min(j_split, log_r);
+  u2_lo_ = std::max(j_split + 1, u1_lo_);
+  u2_hi_ = log_r;
+
+  // --- Lemma 1 construction over a complete binary tree of depth log D ---
+  const std::int64_t leaves = std::int64_t{1} << log_d;
+
+  // reals_at_level[ℓ] = exponents j attached to EVERY node of level ℓ.
+  std::vector<std::vector<int>> reals_at_level(
+      static_cast<std::size_t>(log_d) + 1);
+  auto attach = [&](int j, int level) {
+    level = std::clamp(level, 0, log_d);  // clamp outside the valid regime
+    reals_at_level[static_cast<std::size_t>(level)].push_back(j);
+  };
+  for (int j = u1_lo_; j <= u1_hi_; ++j) {
+    attach(j, log_r + 1 - j);  // level log(2r / 2ʲ)
+  }
+  for (int j = u2_lo_; j <= u2_hi_; ++j) {
+    attach(j, log_r + log_log_r_ + 2 - j);  // level log(2r·2^(L+1) / 2ʲ)
+  }
+
+  // Leaf sequences; reals attached directly at leaf level stay in place.
+  std::vector<std::vector<int>> leaf_seq(static_cast<std::size_t>(leaves));
+  for (int j : reals_at_level[static_cast<std::size_t>(log_d)]) {
+    for (std::int64_t leaf = 0; leaf < leaves; ++leaf) {
+      leaf_seq[static_cast<std::size_t>(leaf)].push_back(j);
+    }
+  }
+
+  // Push reals from internal levels down to leaves, bottom-up; each real
+  // goes to the leftmost least-loaded leaf of its node's subtree ("the
+  // leftmost leaf which has fewer reals than leaves to the left of it").
+  // Within a node, move smaller reals (larger exponents) first.
+  for (int level = log_d - 1; level >= 0; --level) {
+    auto values = reals_at_level[static_cast<std::size_t>(level)];
+    // smaller real 1/2ʲ ⇔ larger j
+    std::sort(values.begin(), values.end(), std::greater<>());
+    const std::int64_t node_count = std::int64_t{1} << level;
+    const std::int64_t subtree = leaves >> level;  // leaves per node
+    for (std::int64_t node = 0; node < node_count; ++node) {
+      const std::int64_t lo = node * subtree;
+      for (int j : values) {
+        std::int64_t target = lo;
+        std::size_t best =
+            leaf_seq[static_cast<std::size_t>(lo)].size();
+        for (std::int64_t leaf = lo + 1; leaf < lo + subtree; ++leaf) {
+          const std::size_t load =
+              leaf_seq[static_cast<std::size_t>(leaf)].size();
+          if (load < best) {
+            best = load;
+            target = leaf;
+          }
+        }
+        leaf_seq[static_cast<std::size_t>(target)].push_back(j);
+      }
+    }
+  }
+
+  for (std::int64_t leaf = 0; leaf < leaves; ++leaf) {
+    const auto& seq = leaf_seq[static_cast<std::size_t>(leaf)];
+    exponents_.insert(exponents_.end(), seq.begin(), seq.end());
+  }
+  if (exponents_.empty()) {
+    // Degenerate parameters (e.g. D = 1): fall back to the smallest
+    // probability; Stage's geometric steps already cover this regime.
+    exponents_.push_back(log_r);
+  }
+}
+
+int universal_sequence::exponent_at(std::int64_t i) const {
+  RC_REQUIRE(i >= 1);
+  const auto idx = static_cast<std::size_t>((i - 1) % period());
+  return exponents_[idx];
+}
+
+double universal_sequence::probability_at(std::int64_t i) const {
+  return std::ldexp(1.0, -exponent_at(i));
+}
+
+std::int64_t universal_sequence::u1_gap_bound(int j) const {
+  RC_REQUIRE(j >= 0 && j <= 62);
+  // 3·D·2ʲ / r = 3·2^(log_d + j − log_r); ≥ 1 in the U1 range.
+  const int shift = log_d_ + j - log_r_;
+  RC_REQUIRE(shift >= 0);
+  return 3 * (std::int64_t{1} << shift);
+}
+
+std::int64_t universal_sequence::u2_gap_bound(int j) const {
+  RC_REQUIRE(j >= 0 && j <= 62);
+  const int shift = log_d_ + j - log_r_ - (log_log_r_ + 1);
+  if (shift < 0) return 1;
+  return std::max<std::int64_t>(1, 3 * (std::int64_t{1} << shift));
+}
+
+std::int64_t universal_sequence::max_cyclic_gap(int j) const {
+  std::vector<std::int64_t> positions;
+  for (std::int64_t i = 0; i < period(); ++i) {
+    if (exponents_[static_cast<std::size_t>(i)] == j) positions.push_back(i);
+  }
+  if (positions.empty()) return period() + 1;
+  std::int64_t max_gap = 0;
+  for (std::size_t k = 0; k + 1 < positions.size(); ++k) {
+    max_gap = std::max(max_gap, positions[k + 1] - positions[k]);
+  }
+  // wrap-around gap
+  max_gap = std::max(max_gap,
+                     positions.front() + period() - positions.back());
+  return max_gap;
+}
+
+}  // namespace radiocast

@@ -1,0 +1,85 @@
+// Universal probability sequences (paper, Section 2, Lemma 1).
+//
+// An infinite sequence (p_i) of probabilities is *universal* for parameters
+// r, D (powers of two) if:
+//
+//   U1. for every j = log(r/D)+1, …, J:  every window of
+//       3·D·2ʲ/r consecutive positions contains the value 1/2ʲ;
+//   U2. for every j = J+1, …, log r:  every window of
+//       3·D·2ʲ/(r·2^{⌈log log r⌉+1}) consecutive positions contains 1/2ʲ,
+//
+// where J = ⌊log(r / (4 log r))⌋. (The conference/journal typesetting of the
+// bound "⌊log r/4 log r⌋" collapses the fraction r/(4 log r); the counting
+// argument in the proof of Lemma 1 — 2r/2^J ≈ 8 log r — pins this reading.)
+//
+// The constructed sequence is periodic with period < 3·D in the paper's
+// regime (D > 32·r^(2/3)); it is built exactly as in the proof of Lemma 1:
+// value 1/2ʲ is attached to every tree node at a prescribed level of a
+// complete binary tree of depth log D, the values are pushed down to leaves
+// in a balanced left-to-right fashion, and the leaf sequences are
+// concatenated and repeated.
+//
+// Outside the paper's asymptotic regime (small r or D) some prescribed
+// levels exceed the tree depth; we clamp them to the leaf level. This keeps
+// the construction total; the U1/U2 window properties are only guaranteed —
+// and only asserted by the tests — in the valid regime.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace radiocast {
+
+class universal_sequence {
+ public:
+  /// Builds the sequence for r = 2^log_r, D = 2^log_d; requires
+  /// 0 ≤ log_d ≤ log_r and log_r ≥ 1.
+  universal_sequence(int log_r, int log_d);
+
+  int log_r() const noexcept { return log_r_; }
+  int log_d() const noexcept { return log_d_; }
+
+  /// Length of the repeating block.
+  std::int64_t period() const noexcept {
+    return static_cast<std::int64_t>(exponents_.size());
+  }
+
+  /// Exponent j of p_i = 2^(−j), for 1-based position i (as in the paper).
+  int exponent_at(std::int64_t i) const;
+
+  /// p_i itself.
+  double probability_at(std::int64_t i) const;
+
+  /// Inclusive exponent range covered by condition U1 (lo > hi ⇒ empty).
+  int u1_lo() const noexcept { return u1_lo_; }
+  int u1_hi() const noexcept { return u1_hi_; }
+
+  /// Inclusive exponent range covered by condition U2 (lo > hi ⇒ empty).
+  int u2_lo() const noexcept { return u2_lo_; }
+  int u2_hi() const noexcept { return u2_hi_; }
+
+  /// The U1 window bound 3·D·2ʲ/r for exponent j (exact integer).
+  std::int64_t u1_gap_bound(int j) const;
+
+  /// The U2 window bound 3·D·2ʲ/(r·2^(⌈log log r⌉+1)) for exponent j.
+  /// May round to ≥ 1.
+  std::int64_t u2_gap_bound(int j) const;
+
+  /// Largest cyclic gap between consecutive occurrences of exponent j in
+  /// the periodic sequence; period()+1 if j never occurs.
+  std::int64_t max_cyclic_gap(int j) const;
+
+  /// ⌈log log r⌉ as used by U2.
+  int log_log_r() const noexcept { return log_log_r_; }
+
+ private:
+  int log_r_;
+  int log_d_;
+  int log_log_r_;
+  int u1_lo_, u1_hi_, u2_lo_, u2_hi_;
+  std::vector<int> exponents_;  // one period, exponents j of 1/2ʲ
+};
+
+}  // namespace radiocast

@@ -1,0 +1,100 @@
+#include "graph/analysis.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace radiocast {
+
+std::vector<int> bfs_distances(const graph& g, node_id source) {
+  RC_REQUIRE(source >= 0 && source < g.node_count());
+  std::vector<int> dist(static_cast<std::size_t>(g.node_count()), -1);
+  std::queue<node_id> frontier;
+  dist[static_cast<std::size_t>(source)] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const node_id u = frontier.front();
+    frontier.pop();
+    for (node_id v : g.out_neighbors(u)) {
+      auto& d = dist[static_cast<std::size_t>(v)];
+      if (d == -1) {
+        d = dist[static_cast<std::size_t>(u)] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+int radius_from(const graph& g, node_id source) {
+  const auto dist = bfs_distances(g, source);
+  int radius = 0;
+  for (std::size_t v = 0; v < dist.size(); ++v) {
+    RC_REQUIRE_MSG(dist[v] >= 0, "node " + std::to_string(v) +
+                                     " unreachable from source");
+    radius = std::max(radius, dist[v]);
+  }
+  return radius;
+}
+
+std::vector<std::vector<node_id>> bfs_layers(const graph& g, node_id source) {
+  const auto dist = bfs_distances(g, source);
+  int radius = 0;
+  for (std::size_t v = 0; v < dist.size(); ++v) {
+    RC_REQUIRE_MSG(dist[v] >= 0, "node " + std::to_string(v) +
+                                     " unreachable from source");
+    radius = std::max(radius, dist[v]);
+  }
+  std::vector<std::vector<node_id>> layers(
+      static_cast<std::size_t>(radius) + 1);
+  for (std::size_t v = 0; v < dist.size(); ++v) {
+    layers[static_cast<std::size_t>(dist[v])].push_back(
+        static_cast<node_id>(v));
+  }
+  return layers;
+}
+
+bool all_reachable(const graph& g, node_id source) {
+  const auto dist = bfs_distances(g, source);
+  return std::all_of(dist.begin(), dist.end(), [](int d) { return d >= 0; });
+}
+
+bool is_connected(const graph& g) {
+  RC_REQUIRE_MSG(!g.is_directed(), "is_connected expects an undirected graph");
+  return all_reachable(g, 0);
+}
+
+node_id max_degree(const graph& g) {
+  node_id best = 0;
+  for (node_id v = 0; v < g.node_count(); ++v) {
+    best = std::max(best, g.out_degree(v));
+  }
+  return best;
+}
+
+bool is_complete_layered(const graph& g) {
+  RC_REQUIRE(!g.is_directed());
+  if (!is_connected(g)) return false;
+  const auto dist = bfs_distances(g, 0);
+  std::vector<std::size_t> layer_size;
+  for (int d : dist) {
+    const auto ud = static_cast<std::size_t>(d);
+    if (ud >= layer_size.size()) layer_size.resize(ud + 1, 0);
+    ++layer_size[ud];
+  }
+  // Every node's degree must equal |previous layer| + |next layer|, and all
+  // edges must join consecutive layers.
+  for (node_id u = 0; u < g.node_count(); ++u) {
+    const auto du = static_cast<std::size_t>(dist[static_cast<std::size_t>(u)]);
+    std::size_t expected = (du > 0 ? layer_size[du - 1] : 0) +
+                           (du + 1 < layer_size.size() ? layer_size[du + 1]
+                                                       : 0);
+    if (static_cast<std::size_t>(g.out_degree(u)) != expected) return false;
+    for (node_id v : g.out_neighbors(u)) {
+      const int dv = dist[static_cast<std::size_t>(v)];
+      if (std::abs(dv - static_cast<int>(du)) != 1) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace radiocast

@@ -1,0 +1,41 @@
+// Structural analysis of radio networks: BFS layering, radius, connectivity.
+//
+// The paper's time bounds are stated in terms of n (node count) and D — the
+// *radius*, i.e. the largest distance from the source (node 0) to any node.
+// The "jth layer" is the set of nodes at distance j from the source.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace radiocast {
+
+/// Distance (#hops) from `source` to every node; unreachable ⇒ −1.
+/// Follows out-edges, which matches reachability in directed radio networks.
+std::vector<int> bfs_distances(const graph& g, node_id source);
+
+/// Radius as the paper defines it: max distance from `source` over all
+/// nodes. Throws precondition_error if some node is unreachable.
+int radius_from(const graph& g, node_id source = 0);
+
+/// Nodes grouped by distance from `source`: result[j] = jth layer.
+/// Throws if some node is unreachable.
+std::vector<std::vector<node_id>> bfs_layers(const graph& g,
+                                             node_id source = 0);
+
+/// True iff every node is reachable from `source` along out-edges.
+bool all_reachable(const graph& g, node_id source = 0);
+
+/// True iff an undirected graph is connected. Requires an undirected graph.
+bool is_connected(const graph& g);
+
+/// Max out-degree over all nodes.
+node_id max_degree(const graph& g);
+
+/// True iff `g` is a complete layered network w.r.t. BFS layers from node 0:
+/// adjacent pairs are exactly those in consecutive layers (the paper's
+/// extremal family, Section 4.3). Requires an undirected connected graph.
+bool is_complete_layered(const graph& g);
+
+}  // namespace radiocast

@@ -1,0 +1,110 @@
+// Topology generators for the experiment and test suites.
+//
+// The paper's claims are parameterized by (n, D); the generators here cover
+// the topology families the paper reasons about — most importantly complete
+// layered networks C_{n,D} (Section 4.3), the extremal family for randomized
+// broadcasting — plus standard families used to exercise the algorithms.
+//
+// All generators produce connected graphs with node 0 as the source.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace radiocast {
+
+/// Simple path 0 − 1 − … − (n−1); radius n−1.
+graph make_path(node_id n);
+
+/// Cycle on n ≥ 3 nodes; radius ⌊n/2⌋.
+graph make_cycle(node_id n);
+
+/// Star with center 0 and n−1 leaves; radius 1.
+graph make_star(node_id n);
+
+/// Complete graph K_n; radius 1.
+graph make_complete(node_id n);
+
+/// rows×cols grid, node 0 in a corner; radius rows+cols−2.
+graph make_grid(node_id rows, node_id cols);
+
+/// Uniform random recursive tree: node i attaches to a uniform node < i.
+graph make_random_tree(node_id n, rng& gen);
+
+/// Random tree in which every node's degree stays ≤ max_degree ≥ 2.
+graph make_bounded_degree_tree(node_id n, node_id max_degree, rng& gen);
+
+/// G(n, p) conditioned on connectivity: samples edges independently, then
+/// joins any remaining components with uniformly random bridging edges.
+graph make_gnp_connected(node_id n, double p, rng& gen);
+
+/// Caterpillar: a spine path of `spine` nodes, each carrying `legs` leaves.
+/// n = spine·(1+legs); radius = spine−1+min(1,legs). Useful for the
+/// interleaving experiment (large D, small degree).
+graph make_caterpillar(node_id spine, node_id legs);
+
+/// Complete layered network with the given layer sizes (layer 0 must have
+/// size 1 — the source). Adjacent pairs are exactly those in consecutive
+/// layers; radius = #layers − 1. Nodes are numbered layer by layer.
+graph make_complete_layered(const std::vector<node_id>& layer_sizes);
+
+/// Complete layered network on n nodes and radius D: layer 0 = {0}, the
+/// remaining n−1 nodes split as evenly as possible across layers 1…D.
+graph make_complete_layered_uniform(node_id n, int d);
+
+/// Complete layered network where one designated layer absorbs all slack
+/// ("fat layer"): every other layer has size `thin`, layer `fat_index` gets
+/// the rest. Exercises nodes with very many informed in-neighbors — the
+/// case the paper's universal-sequence step exists for.
+graph make_complete_layered_fat(node_id n, int d, int fat_index,
+                                node_id thin = 1);
+
+/// Random layered network: same layer structure as complete layered, but
+/// each node keeps one mandatory random parent in the previous layer and
+/// every other consecutive-layer pair appears independently with
+/// probability p.
+graph make_random_layered(const std::vector<node_id>& layer_sizes, double p,
+                          rng& gen);
+
+/// Directed layered network: arcs point only from layer i to layer i+1;
+/// each node of layer i+1 gets one mandatory random in-arc plus extras with
+/// probability p. Directed radius = #layers − 1; there is NO path back, so
+/// this exercises the genuinely directed setting of the paper's Section 2
+/// (unlike as_directed(), which symmetrizes an undirected graph).
+graph make_directed_layered(const std::vector<node_id>& layer_sizes, double p,
+                            rng& gen);
+
+/// Random geometric ("unit disk") graph — the canonical ad hoc radio
+/// topology: n points uniform in the unit square, an edge between every
+/// pair within Euclidean distance `radio_range`. Components left over
+/// after sampling are bridged by their closest cross pairs so the result
+/// is connected without reshaping the local structure. Node 0 is the point
+/// nearest the square's corner (a "gateway" source).
+graph make_random_geometric(node_id n, double radio_range, rng& gen);
+
+/// As above, additionally returning each node's sampled (x, y) position in
+/// the unit square (index = node id) for visualization.
+graph make_random_geometric(node_id n, double radio_range, rng& gen,
+                            std::vector<std::pair<double, double>>& positions);
+
+/// Relabels nodes by a uniform random permutation that fixes the source
+/// (node 0). Broadcast algorithms must not depend on friendly labelings.
+graph permute_labels(const graph& g, rng& gen);
+
+/// Relabels nodes by an explicit permutation `perm` (perm[old] = new);
+/// perm[0] must be 0.
+graph permute_labels(const graph& g, const std::vector<node_id>& perm);
+
+/// Layer sizes splitting `total` nodes as evenly as possible into `parts`
+/// layers (earlier layers get the remainder). Exposed for tests.
+std::vector<node_id> even_split(node_id total, int parts);
+
+/// Distinct uniformly random labels from {0,…,r} with labels[0] = 0, for
+/// run_options::labels — the paper's model fixes only r = O(n), so label
+/// spaces sparser than {0,…,n−1} are legal and exercised by experiment E14.
+std::vector<node_id> sparse_labels(node_id n, node_id r, rng& gen);
+
+}  // namespace radiocast

@@ -1,0 +1,92 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace radiocast {
+
+graph::graph(node_id n, bool directed)
+    : directed_(directed),
+      out_(static_cast<std::size_t>(n)),
+      in_(static_cast<std::size_t>(n)) {
+  RC_REQUIRE(n >= 1);
+}
+
+graph graph::undirected(node_id n) { return graph(n, /*directed=*/false); }
+
+graph graph::directed(node_id n) { return graph(n, /*directed=*/true); }
+
+void graph::add_edge(node_id u, node_id v) {
+  RC_REQUIRE(valid(u) && valid(v));
+  if (has_edge(u, v)) return;
+  add_edge_unchecked(u, v);
+}
+
+void graph::add_edge_unchecked(node_id u, node_id v) {
+  RC_REQUIRE(valid(u) && valid(v));
+  RC_REQUIRE_MSG(u != v, "self-loops are not allowed");
+  out_[static_cast<std::size_t>(u)].push_back(v);
+  in_[static_cast<std::size_t>(v)].push_back(u);
+  if (!directed_) {
+    out_[static_cast<std::size_t>(v)].push_back(u);
+    in_[static_cast<std::size_t>(u)].push_back(v);
+  }
+  ++edge_count_;
+}
+
+bool graph::has_edge(node_id u, node_id v) const {
+  RC_REQUIRE(valid(u) && valid(v));
+  const auto& adj = out_[static_cast<std::size_t>(u)];
+  return std::find(adj.begin(), adj.end(), v) != adj.end();
+}
+
+void graph::sort_adjacency() {
+  for (auto& adj : out_) std::sort(adj.begin(), adj.end());
+  for (auto& adj : in_) std::sort(adj.begin(), adj.end());
+}
+
+graph graph::as_directed() const {
+  if (directed_) return *this;
+  graph g = graph::directed(node_count());
+  for (node_id u = 0; u < node_count(); ++u) {
+    for (node_id v : out_neighbors(u)) g.add_edge(u, v);
+  }
+  return g;
+}
+
+std::string graph::to_dot(const std::string& name) const {
+  std::ostringstream os;
+  os << (directed_ ? "digraph " : "graph ") << name << " {\n";
+  const char* arrow = directed_ ? " -> " : " -- ";
+  for (node_id u = 0; u < node_count(); ++u) {
+    for (node_id v : out_neighbors(u)) {
+      if (!directed_ && v < u) continue;  // emit each undirected edge once
+      os << "  " << u << arrow << v << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string graph::to_edge_list() const {
+  std::ostringstream os;
+  for (node_id u = 0; u < node_count(); ++u) {
+    for (node_id v : out_neighbors(u)) {
+      if (!directed_ && v < u) continue;
+      os << u << ' ' << v << '\n';
+    }
+  }
+  return os.str();
+}
+
+graph graph::from_edge_list(node_id n, const std::string& text,
+                            bool directed_edges) {
+  graph g = directed_edges ? graph::directed(n) : graph::undirected(n);
+  std::istringstream is(text);
+  node_id u = 0;
+  node_id v = 0;
+  while (is >> u >> v) g.add_edge(u, v);
+  return g;
+}
+
+}  // namespace radiocast

@@ -1,0 +1,105 @@
+// Graph substrate for radio network simulation.
+//
+// Networks are modeled exactly as in the paper: nodes carry distinct labels
+// from {0, …, r} with r linear in n, node 0 is the broadcast source, and the
+// topology is a connected graph (undirected in general; Section 2 of the
+// paper additionally analyzes directed graphs, which we support as well).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace radiocast {
+
+/// Node identifier; doubles as the node's label in the paper's model.
+using node_id = std::int32_t;
+
+/// A simple graph (no self-loops, no parallel edges) stored as adjacency
+/// lists, with both out- and in-neighborhoods materialized so the radio
+/// simulator can resolve receptions in O(in-degree).
+///
+/// For undirected graphs the two neighborhoods coincide.
+class graph {
+ public:
+  /// Creates an undirected graph on nodes {0, …, n−1}.
+  static graph undirected(node_id n);
+
+  /// Creates a directed graph on nodes {0, …, n−1}.
+  static graph directed(node_id n);
+
+  node_id node_count() const noexcept {
+    return static_cast<node_id>(out_.size());
+  }
+
+  /// Number of edges (each undirected edge counted once).
+  std::size_t edge_count() const noexcept { return edge_count_; }
+
+  bool is_directed() const noexcept { return directed_; }
+
+  /// Adds edge u→v (and v→u when undirected). Ignores duplicates;
+  /// rejects self-loops and out-of-range endpoints.
+  void add_edge(node_id u, node_id v);
+
+  /// Adds edge u→v without the O(degree) duplicate scan. For generators
+  /// that can prove each edge is added once (e.g. complete layered
+  /// networks); adding a duplicate through this entry is a caller bug.
+  void add_edge_unchecked(node_id u, node_id v);
+
+  /// True iff u→v is an edge (O(out-degree of u)).
+  bool has_edge(node_id u, node_id v) const;
+
+  std::span<const node_id> out_neighbors(node_id v) const {
+    RC_REQUIRE(valid(v));
+    return out_[static_cast<std::size_t>(v)];
+  }
+
+  std::span<const node_id> in_neighbors(node_id v) const {
+    RC_REQUIRE(valid(v));
+    return in_[static_cast<std::size_t>(v)];
+  }
+
+  node_id out_degree(node_id v) const {
+    return static_cast<node_id>(out_neighbors(v).size());
+  }
+
+  node_id in_degree(node_id v) const {
+    return static_cast<node_id>(in_neighbors(v).size());
+  }
+
+  /// Sorts all adjacency lists ascending (useful for deterministic output
+  /// and binary-searchable membership). Idempotent.
+  void sort_adjacency();
+
+  /// Returns the directed view of this graph: undirected graphs are
+  /// reinterpreted with each edge replaced by two opposite arcs (this is
+  /// exactly the reduction used at the start of the paper's Section 2).
+  graph as_directed() const;
+
+  /// Renders the graph in Graphviz DOT format (for the examples).
+  std::string to_dot(const std::string& name = "radio") const;
+
+  /// Serializes as "u v" edge lines, one per edge.
+  std::string to_edge_list() const;
+
+  /// Parses the edge-list format produced by to_edge_list().
+  static graph from_edge_list(node_id n, const std::string& text,
+                              bool directed_edges = false);
+
+ private:
+  explicit graph(node_id n, bool directed);
+
+  bool valid(node_id v) const noexcept {
+    return v >= 0 && v < node_count();
+  }
+
+  bool directed_ = false;
+  std::size_t edge_count_ = 0;
+  std::vector<std::vector<node_id>> out_;
+  std::vector<std::vector<node_id>> in_;
+};
+
+}  // namespace radiocast

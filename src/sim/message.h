@@ -1,0 +1,33 @@
+// Radio message representation.
+//
+// In the paper's formal model a message carries the transmitter's label and
+// its entire history. Functionally, every protocol in this library needs
+// only a handful of integer fields (the source payload is implicit — a node
+// is "informed" once it has received any message derived from the source).
+// A small POD keeps the simulator's hot path allocation-free.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace radiocast {
+
+/// Protocol-defined message tag. Each protocol defines its own kinds in its
+/// own header; kinds never cross protocol boundaries.
+using message_kind = std::int32_t;
+
+/// A transmitted frame. `from` is stamped by the simulator on delivery with
+/// the transmitter's label (the paper's messages always carry it).
+struct message {
+  message_kind kind = 0;
+  node_id from = -1;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  std::int64_t c = 0;
+  std::int64_t d = 0;  ///< extra slot (e.g. the sender's layer number)
+
+  friend bool operator==(const message&, const message&) = default;
+};
+
+}  // namespace radiocast

@@ -1,0 +1,83 @@
+// Protocol interface: how broadcasting algorithms plug into the radio model.
+//
+// The paper models an algorithm as an action function π(v, H_{k−1}(v)) — the
+// decision of node v at step k depends only on v's label and the messages it
+// has received so far. We mirror that: each node is an object whose
+// `on_step` returns its transmit decision for the current step and whose
+// `on_receive` extends its history.
+//
+// Knowledge model (paper §1.3): a node knows a priori only its own label and
+// the bound r on labels. Procedures explicitly parameterized by D (such as
+// Randomized-Broadcasting(D)) receive it through `protocol_params::d_hint`;
+// the top-level algorithms leave it at −1.
+//
+// CONTRACT (no spontaneous transmissions): a node other than the source that
+// has never received a message MUST return std::nullopt from on_step,
+// regardless of how many steps have elapsed. The simulator enforces this,
+// and the lower-bound adversary relies on it to keep dormant candidate nodes
+// fresh. Equivalently: an uninformed node's behavior is independent of time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "sim/message.h"
+#include "util/rng.h"
+
+namespace radiocast {
+
+/// Static parameters handed to every node at creation.
+struct protocol_params {
+  node_id r = 0;    ///< labels are drawn from {0, …, r}; r = O(n)
+  int d_hint = -1;  ///< radius for D-parameterized procedures; −1 = unknown
+};
+
+/// Per-step information available to a node.
+struct node_context {
+  std::int64_t step = 0;  ///< global synchronous step number (0-based)
+  rng* gen = nullptr;     ///< per-node generator (unused by deterministic
+                          ///< protocols; never null inside the simulator)
+};
+
+/// One node's running protocol instance.
+class protocol_node {
+ public:
+  virtual ~protocol_node() = default;
+
+  /// The node's action at this step: a message to transmit, or std::nullopt
+  /// to act as a receiver. Called exactly once per step, in step order.
+  virtual std::optional<message> on_step(const node_context& ctx) = 0;
+
+  /// Delivery: called after on_step in the same step, iff this node acted
+  /// as a receiver and exactly one of its in-neighbors transmitted.
+  virtual void on_receive(const node_context& ctx, const message& msg) = 0;
+
+  /// True once this node holds the source message.
+  virtual bool informed() const = 0;
+
+  /// True once this node has permanently stopped (it will never transmit
+  /// again). Used to detect full protocol termination for token algorithms.
+  virtual bool halted() const { return false; }
+};
+
+/// Factory for protocol nodes; one per algorithm.
+class protocol {
+ public:
+  virtual ~protocol() = default;
+
+  /// Human-readable algorithm name for tables and traces.
+  virtual std::string name() const = 0;
+
+  /// True for deterministic algorithms (required by the lower-bound
+  /// adversary, which replays node decisions).
+  virtual bool deterministic() const = 0;
+
+  /// Creates the protocol instance for the node with the given label.
+  /// Label 0 is the source and starts informed.
+  virtual std::unique_ptr<protocol_node> make_node(
+      node_id label, const protocol_params& params) const = 0;
+};
+
+}  // namespace radiocast

@@ -1,0 +1,202 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace radiocast {
+
+namespace {
+
+/// Per-run state for one node.
+struct node_slot {
+  std::unique_ptr<protocol_node> node;
+  rng gen{0};
+  bool received_any = false;  // for the no-spontaneous-transmission check
+};
+
+}  // namespace
+
+run_result run_broadcast_with_r(const graph& g, const protocol& proto,
+                                node_id r, const run_options& opts) {
+  const node_id n = g.node_count();
+  RC_REQUIRE(r >= n - 1);
+  RC_REQUIRE(opts.max_steps >= 1);
+
+  protocol_params params;
+  params.r = r;
+  // d_hint is a per-protocol construction choice, not a per-run one: the
+  // protocol object bakes it into the nodes it makes (see kp_randomized).
+  params.d_hint = -1;
+
+  // Resolve the (possibly sparse) labeling.
+  std::vector<node_id> labels = opts.labels;
+  if (labels.empty()) {
+    labels.resize(static_cast<std::size_t>(n));
+    for (node_id v = 0; v < n; ++v) labels[static_cast<std::size_t>(v)] = v;
+  }
+  RC_REQUIRE_MSG(labels.size() == static_cast<std::size_t>(n),
+                 "labels must cover every node");
+  RC_REQUIRE_MSG(labels[0] == 0, "the source must carry label 0");
+  {
+    std::vector<bool> seen(static_cast<std::size_t>(r) + 1, false);
+    for (node_id label : labels) {
+      RC_REQUIRE_MSG(label >= 0 && label <= r, "label out of range");
+      RC_REQUIRE_MSG(!seen[static_cast<std::size_t>(label)],
+                     "labels must be distinct");
+      seen[static_cast<std::size_t>(label)] = true;
+    }
+  }
+
+  rng root(opts.seed);
+  std::vector<node_slot> slots(static_cast<std::size_t>(n));
+  for (node_id v = 0; v < n; ++v) {
+    auto& slot = slots[static_cast<std::size_t>(v)];
+    slot.gen = root.split();
+    slot.node = proto.make_node(labels[static_cast<std::size_t>(v)], params);
+    RC_CHECK(slot.node != nullptr);
+  }
+  RC_CHECK_MSG(slots[0].node->informed(), "the source must start informed");
+
+  run_result result;
+  result.informed_at.assign(static_cast<std::size_t>(n), -1);
+  result.transmissions_per_node.assign(static_cast<std::size_t>(n), 0);
+  result.informed_at[0] = 0;
+  std::int64_t informed_count = 1;
+
+  // Scratch used to resolve receptions by iterating transmitters only:
+  // per listener, a step-stamped counter and the last transmitter seen.
+  std::vector<std::int64_t> stamp(static_cast<std::size_t>(n), -1);
+  std::vector<int> arrivals(static_cast<std::size_t>(n), 0);
+  std::vector<node_id> last_sender(static_cast<std::size_t>(n), -1);
+  std::vector<node_id> touched;
+  std::vector<node_id> transmitters;
+  std::vector<message> tx_msg(static_cast<std::size_t>(n));
+  std::vector<std::int64_t> tx_stamp(static_cast<std::size_t>(n), -1);
+
+  auto all_halted = [&] {
+    return std::all_of(slots.begin(), slots.end(), [](const node_slot& s) {
+      return s.node->halted();
+    });
+  };
+
+  for (std::int64_t step = 0; step < opts.max_steps; ++step) {
+    // Phase 1: collect transmit decisions.
+    transmitters.clear();
+    for (node_id v = 0; v < n; ++v) {
+      auto& slot = slots[static_cast<std::size_t>(v)];
+      node_context ctx{step, &slot.gen};
+      std::optional<message> decision = slot.node->on_step(ctx);
+      if (!decision) continue;
+      RC_CHECK_MSG(v == 0 || slot.received_any,
+                   "protocol bug: node " + std::to_string(v) +
+                       " transmitted spontaneously at step " +
+                       std::to_string(step));
+      decision->from = labels[static_cast<std::size_t>(v)];
+      transmitters.push_back(v);
+      ++result.transmissions_per_node[static_cast<std::size_t>(v)];
+      tx_msg[static_cast<std::size_t>(v)] = *decision;
+      tx_stamp[static_cast<std::size_t>(v)] = step;
+      if (opts.sink != nullptr) {
+        opts.sink->record({step, trace_event::type::transmit, v, *decision});
+      }
+    }
+    result.transmissions += static_cast<std::int64_t>(transmitters.size());
+
+    // Phase 2: resolve receptions — touch only transmitters' out-neighbors.
+    touched.clear();
+    for (const node_id t : transmitters) {
+      for (node_id v : g.out_neighbors(t)) {
+        auto& s = stamp[static_cast<std::size_t>(v)];
+        if (s != step) {
+          s = step;
+          arrivals[static_cast<std::size_t>(v)] = 0;
+          touched.push_back(v);
+        }
+        ++arrivals[static_cast<std::size_t>(v)];
+        last_sender[static_cast<std::size_t>(v)] = t;
+      }
+    }
+
+    // A transmitting node cannot simultaneously receive; mark them.
+    for (const node_id t : transmitters) {
+      if (stamp[static_cast<std::size_t>(t)] == step) {
+        arrivals[static_cast<std::size_t>(t)] = -1;  // busy transmitting
+      }
+    }
+
+    for (node_id v : touched) {
+      const int count = arrivals[static_cast<std::size_t>(v)];
+      if (count == -1) continue;  // v transmitted this step
+      auto& slot = slots[static_cast<std::size_t>(v)];
+      if (count >= 2) {
+        ++result.collisions;
+        if (opts.sink != nullptr) {
+          opts.sink->record({step, trace_event::type::collision, v, {}});
+        }
+        continue;
+      }
+      RC_CHECK(count == 1);
+      const node_id sender = last_sender[static_cast<std::size_t>(v)];
+      RC_CHECK(tx_stamp[static_cast<std::size_t>(sender)] == step);
+      const message* delivered = &tx_msg[static_cast<std::size_t>(sender)];
+      const bool was_informed = slot.node->informed();
+      node_context ctx{step, &slot.gen};
+      slot.node->on_receive(ctx, *delivered);
+      slot.received_any = true;
+      ++result.deliveries;
+      if (opts.sink != nullptr) {
+        opts.sink->record({step, trace_event::type::receive, v, *delivered});
+      }
+      if (!was_informed && slot.node->informed()) {
+        result.informed_at[static_cast<std::size_t>(v)] = step;
+        ++informed_count;
+        if (opts.sink != nullptr) {
+          opts.sink->record({step, trace_event::type::informed, v, {}});
+        }
+      }
+    }
+
+    result.steps = step + 1;
+    if (informed_count == n && result.informed_step == -1) {
+      result.informed_step = step + 1;
+    }
+    if (opts.stop == stop_condition::all_informed) {
+      if (informed_count == n) {
+        result.completed = true;
+        break;
+      }
+    } else {
+      if (informed_count == n && all_halted()) {
+        result.completed = true;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+run_result run_broadcast(const graph& g, const protocol& proto,
+                         const run_options& opts) {
+  return run_broadcast_with_r(g, proto, g.node_count() - 1, opts);
+}
+
+std::vector<double> completion_times(const graph& g, const protocol& proto,
+                                     int trials, std::uint64_t base_seed,
+                                     std::int64_t max_steps) {
+  RC_REQUIRE(trials >= 1);
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(trials));
+  for (int t = 0; t < trials; ++t) {
+    run_options opts;
+    opts.seed = base_seed + static_cast<std::uint64_t>(t);
+    opts.max_steps = max_steps;
+    const run_result r = run_broadcast(g, proto, opts);
+    RC_CHECK_MSG(r.completed, "broadcast did not complete within the step "
+                              "cap for protocol " + proto.name());
+    times.push_back(static_cast<double>(r.informed_step));
+  }
+  return times;
+}
+
+}  // namespace radiocast

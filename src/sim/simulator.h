@@ -1,0 +1,75 @@
+// Synchronous radio network simulator.
+//
+// Implements the paper's communication model exactly (§1):
+//   * time proceeds in synchronous steps;
+//   * in every step each node acts either as a transmitter or as a receiver;
+//   * a receiver gets a message iff EXACTLY ONE of its in-neighbors
+//     transmits in that step; with ≥ 2 transmitting neighbors a collision
+//     occurs and is indistinguishable from silence (no collision detection);
+//   * only nodes that already hold the source message may transmit — no
+//     spontaneous transmissions (enforced; a violation throws).
+//
+// Supports undirected and directed graphs (Section 2 of the paper analyzes
+// the randomized algorithm on directed graphs).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/protocol.h"
+#include "sim/trace.h"
+
+namespace radiocast {
+
+/// When the run loop stops.
+enum class stop_condition {
+  all_informed,  ///< stop once every node holds the source message
+  all_halted,    ///< stop once every node reports halted() (token protocols)
+};
+
+struct run_options {
+  std::int64_t max_steps = 1'000'000;  ///< hard cap; hitting it ⇒ incomplete
+  stop_condition stop = stop_condition::all_informed;
+  std::uint64_t seed = 1;      ///< root seed; split per node
+  trace* sink = nullptr;       ///< optional event recording
+  /// Optional sparse labeling: labels[v] is the label of graph node v
+  /// (distinct, within {0,…,r}, labels[0] == 0 — the source's label).
+  /// Empty ⇒ identity (label = node id). The paper's model only fixes
+  /// r = O(n); protocols whose schedules scan the label space (round-robin
+  /// slots, presence announcements, binary selection) genuinely slow down
+  /// under sparse labels — see experiment E14.
+  std::vector<node_id> labels;
+};
+
+struct run_result {
+  bool completed = false;         ///< stop condition reached within the cap
+  std::int64_t steps = 0;         ///< steps executed
+  std::int64_t informed_step = -1;  ///< first step after which all informed
+  std::int64_t transmissions = 0;   ///< total transmit actions
+  std::int64_t collisions = 0;      ///< listener-steps with ≥2 transmitters
+  std::int64_t deliveries = 0;      ///< successful receptions
+  std::vector<std::int64_t> informed_at;  ///< per node; −1 = never
+  /// Per-node transmission counts — the energy metric of the radio
+  /// literature (transmitting dominates a node's power budget).
+  std::vector<std::int64_t> transmissions_per_node;
+};
+
+/// Runs `proto` on `g` with node 0 as source until the stop condition or the
+/// step cap. Node labels are the graph's node ids; r = n − 1.
+run_result run_broadcast(const graph& g, const protocol& proto,
+                         const run_options& opts = {});
+
+/// As run_broadcast, but with an explicit label bound r ≥ n − 1 (the paper
+/// only assumes labels come from {0,…,r} with r linear in n).
+run_result run_broadcast_with_r(const graph& g, const protocol& proto,
+                                node_id r, const run_options& opts = {});
+
+/// Convenience for experiments: mean completion time over `trials` seeded
+/// runs (each seed = base_seed + trial index). Throws if any trial fails to
+/// complete within the cap.
+std::vector<double> completion_times(const graph& g, const protocol& proto,
+                                     int trials, std::uint64_t base_seed,
+                                     std::int64_t max_steps = 1'000'000);
+
+}  // namespace radiocast

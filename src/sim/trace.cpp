@@ -1,0 +1,39 @@
+#include "sim/trace.h"
+
+#include <sstream>
+
+namespace radiocast {
+
+std::vector<trace_event> trace::filter(trace_event::type t) const {
+  std::vector<trace_event> out;
+  for (const auto& e : events_) {
+    if (e.what == t) out.push_back(e);
+  }
+  return out;
+}
+
+std::string trace::to_string() const {
+  std::ostringstream os;
+  for (const auto& e : events_) {
+    os << "step " << e.step << ": node " << e.node << ' ';
+    switch (e.what) {
+      case trace_event::type::transmit:
+        os << "transmits kind=" << e.msg.kind << " a=" << e.msg.a
+           << " b=" << e.msg.b << " c=" << e.msg.c;
+        break;
+      case trace_event::type::receive:
+        os << "receives kind=" << e.msg.kind << " from=" << e.msg.from;
+        break;
+      case trace_event::type::collision:
+        os << "observes a collision (silence)";
+        break;
+      case trace_event::type::informed:
+        os << "becomes informed";
+        break;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace radiocast

@@ -1,0 +1,40 @@
+// Optional step-by-step event recording for debugging and the examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/message.h"
+
+namespace radiocast {
+
+/// One observable event in a simulation.
+struct trace_event {
+  enum class type { transmit, receive, collision, informed };
+
+  std::int64_t step = 0;
+  type what = type::transmit;
+  node_id node = -1;
+  message msg;  ///< for transmit/receive; default-initialized otherwise
+};
+
+/// Append-only event log.
+class trace {
+ public:
+  void record(trace_event event) { events_.push_back(event); }
+  const std::vector<trace_event>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+
+  /// Events of one type, in order.
+  std::vector<trace_event> filter(trace_event::type t) const;
+
+  /// Human-readable rendering, one line per event.
+  std::string to_string() const;
+
+ private:
+  std::vector<trace_event> events_;
+};
+
+}  // namespace radiocast

@@ -1,0 +1,73 @@
+// Checked assertions for radiocast.
+//
+// RC_CHECK   — internal invariant; always on (also in Release builds).
+//              Violations indicate a bug in this library.
+// RC_REQUIRE — precondition on caller-supplied arguments; always on.
+//
+// Both throw rather than abort so that tests can assert on failures and so
+// that example programs fail with a readable diagnostic.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace radiocast {
+
+/// Thrown when an internal invariant is violated (a bug in radiocast).
+class invariant_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a caller violates a documented precondition.
+class precondition_error : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* kind, const char* expr,
+                                             const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (kind[0] == 'R' && kind[3] == 'R') {  // RC_REQUIRE
+    throw precondition_error(os.str());
+  }
+  throw invariant_error(os.str());
+}
+
+}  // namespace detail
+
+#define RC_CHECK(expr)                                                      \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::radiocast::detail::throw_check_failure("RC_CHECK", #expr, __FILE__, \
+                                               __LINE__, "");               \
+  } while (0)
+
+#define RC_CHECK_MSG(expr, msg)                                             \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::radiocast::detail::throw_check_failure("RC_CHECK", #expr, __FILE__, \
+                                               __LINE__, (msg));            \
+  } while (0)
+
+#define RC_REQUIRE(expr)                                                      \
+  do {                                                                        \
+    if (!(expr))                                                              \
+      ::radiocast::detail::throw_check_failure("RC_REQUIRE", #expr, __FILE__, \
+                                               __LINE__, "");                 \
+  } while (0)
+
+#define RC_REQUIRE_MSG(expr, msg)                                             \
+  do {                                                                        \
+    if (!(expr))                                                              \
+      ::radiocast::detail::throw_check_failure("RC_REQUIRE", #expr, __FILE__, \
+                                               __LINE__, (msg));              \
+  } while (0)
+
+}  // namespace radiocast

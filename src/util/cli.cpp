@@ -1,0 +1,75 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+
+#include "util/assert.h"
+
+namespace radiocast {
+
+cli_args::cli_args(int argc, const char* const* argv) {
+  RC_REQUIRE(argc >= 1);
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    RC_REQUIRE_MSG(!arg.empty(), "bare '--' is not a valid flag");
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "true";  // boolean flag
+    }
+  }
+}
+
+bool cli_args::has(const std::string& name) const {
+  return flags_.count(name) != 0;
+}
+
+std::string cli_args::get_string(const std::string& name,
+                                 const std::string& fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+std::int64_t cli_args::get_int(const std::string& name,
+                               std::int64_t fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  const std::int64_t value = std::strtoll(it->second.c_str(), &end, 10);
+  RC_REQUIRE_MSG(end != nullptr && *end == '\0' && !it->second.empty(),
+                 "flag --" + name + " expects an integer, got '" +
+                     it->second + "'");
+  return value;
+}
+
+double cli_args::get_double(const std::string& name, double fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  RC_REQUIRE_MSG(end != nullptr && *end == '\0' && !it->second.empty(),
+                 "flag --" + name + " expects a number, got '" + it->second +
+                     "'");
+  return value;
+}
+
+bool cli_args::get_bool(const std::string& name, bool fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  RC_REQUIRE_MSG(false, "flag --" + name + " expects a boolean, got '" + v +
+                            "'");
+  return fallback;  // unreachable
+}
+
+}  // namespace radiocast

@@ -1,0 +1,38 @@
+// Minimal command-line flag parsing for the example programs.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace radiocast {
+
+/// Parsed command line: named flags plus positional arguments.
+class cli_args {
+ public:
+  /// Parses argv. Throws precondition_error on malformed flags.
+  cli_args(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  /// Typed getters; fall back to `fallback` when the flag is absent and
+  /// throw precondition_error when a present value fails to parse.
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program_name() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace radiocast

@@ -1,0 +1,108 @@
+#include "util/fit.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace radiocast {
+
+namespace {
+
+/// Solves A·x = b in place (A is k×k row-major) by Gaussian elimination with
+/// partial pivoting. Returns the solution vector.
+std::vector<double> solve(std::vector<std::vector<double>> a,
+                          std::vector<double> b) {
+  const std::size_t k = b.size();
+  for (std::size_t col = 0; col < k; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < k; ++row) {
+      if (std::fabs(a[row][col]) > std::fabs(a[pivot][col])) pivot = row;
+    }
+    RC_CHECK_MSG(std::fabs(a[pivot][col]) > 1e-12,
+                 "singular normal equations in least-squares fit");
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t row = col + 1; row < k; ++row) {
+      const double factor = a[row][col] / a[col][col];
+      for (std::size_t j = col; j < k; ++j) a[row][j] -= factor * a[col][j];
+      b[row] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(k, 0.0);
+  for (std::size_t i = k; i-- > 0;) {
+    double sum = b[i];
+    for (std::size_t j = i + 1; j < k; ++j) sum -= a[i][j] * x[j];
+    x[i] = sum / a[i][i];
+  }
+  return x;
+}
+
+}  // namespace
+
+fit_result fit_features(const std::vector<std::vector<double>>& features,
+                        const std::vector<double>& ys) {
+  RC_REQUIRE(!features.empty());
+  RC_REQUIRE(features.size() == ys.size());
+  const std::size_t k = features.front().size();
+  RC_REQUIRE(k >= 1);
+  RC_REQUIRE(features.size() >= k);
+  for (const auto& row : features) RC_REQUIRE(row.size() == k);
+
+  // Normal equations: (FᵀF) c = Fᵀ y.
+  std::vector<std::vector<double>> ftf(k, std::vector<double>(k, 0.0));
+  std::vector<double> fty(k, 0.0);
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      fty[p] += features[i][p] * ys[i];
+      for (std::size_t q = 0; q < k; ++q) {
+        ftf[p][q] += features[i][p] * features[i][q];
+      }
+    }
+  }
+
+  fit_result result;
+  result.coefficients = solve(std::move(ftf), std::move(fty));
+
+  double y_mean = 0.0;
+  for (double y : ys) y_mean += y;
+  y_mean /= static_cast<double>(ys.size());
+
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    double predicted = 0.0;
+    for (std::size_t p = 0; p < k; ++p) {
+      predicted += result.coefficients[p] * features[i][p];
+    }
+    const double residual = ys[i] - predicted;
+    ss_res += residual * residual;
+    ss_tot += (ys[i] - y_mean) * (ys[i] - y_mean);
+    const double rel =
+        std::fabs(residual) / std::max(std::fabs(ys[i]), 1.0);
+    result.max_relative_error = std::max(result.max_relative_error, rel);
+  }
+  result.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot
+                                  : (ss_res == 0.0 ? 1.0 : 0.0);
+  return result;
+}
+
+fit_result fit_linear(
+    const std::vector<double>& xs, const std::vector<double>& ys,
+    const std::vector<std::function<double(double)>>& basis) {
+  RC_REQUIRE(xs.size() == ys.size());
+  RC_REQUIRE(!basis.empty());
+  std::vector<std::vector<double>> features(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    features[i].reserve(basis.size());
+    for (const auto& f : basis) features[i].push_back(f(xs[i]));
+  }
+  return fit_features(features, ys);
+}
+
+fit_result fit_scaled(const std::vector<double>& xs,
+                      const std::vector<double>& ys,
+                      const std::function<double(double)>& f) {
+  return fit_linear(xs, ys, {f});
+}
+
+}  // namespace radiocast

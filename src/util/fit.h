@@ -1,0 +1,39 @@
+// Least-squares fitting of measured broadcast times against complexity
+// models (e.g. T ≈ c · n log n, or T ≈ a·D log(n/D) + b·log²n).
+//
+// The experiment harnesses use these fits to report "shape" agreement with
+// the paper's bounds: a good single-coefficient fit (high R²) of T against
+// the claimed bound is the reproduction criterion for a theory paper.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace radiocast {
+
+/// Result of a least-squares fit.
+struct fit_result {
+  std::vector<double> coefficients;  ///< one per basis function
+  double r_squared = 0.0;            ///< 1 − SS_res / SS_tot
+  double max_relative_error = 0.0;   ///< max |ŷ−y|/max(|y|,1)
+};
+
+/// Fits y ≈ Σ_j c_j · basis[j](x) by ordinary least squares over the given
+/// (x, y) samples. Requires ≥ 1 basis function and ≥ #basis samples; solves
+/// the normal equations by Gaussian elimination with partial pivoting.
+fit_result fit_linear(const std::vector<double>& xs,
+                      const std::vector<double>& ys,
+                      const std::vector<std::function<double(double)>>& basis);
+
+/// Convenience: single-coefficient fit y ≈ c · f(x).
+fit_result fit_scaled(const std::vector<double>& xs,
+                      const std::vector<double>& ys,
+                      const std::function<double(double)>& f);
+
+/// Fits y ≈ Σ_j c_j · features[i][j] where features[i] is the design-matrix
+/// row of sample i. This is the general entry point used when the model
+/// depends on several parameters (e.g. both n and D).
+fit_result fit_features(const std::vector<std::vector<double>>& features,
+                        const std::vector<double>& ys);
+
+}  // namespace radiocast

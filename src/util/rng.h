@@ -1,0 +1,60 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// All randomness in radiocast flows from a single seeded `rng` (xoshiro256**
+// seeded via splitmix64). Simulations split one child generator per node so
+// that results are reproducible bit-for-bit regardless of iteration order,
+// and so that adding instrumentation does not perturb protocol coin flips.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/assert.h"
+
+namespace radiocast {
+
+/// xoshiro256** generator with splitmix64 seeding.
+///
+/// Satisfies std::uniform_random_bit_generator, so it can also drive
+/// <random> distributions where convenient.
+class rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds deterministically from a 64-bit seed via splitmix64.
+  explicit rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  /// Next raw 64-bit value.
+  std::uint64_t operator()() noexcept { return next(); }
+  std::uint64_t next() noexcept;
+
+  /// Derives an independent child generator. Deterministic: the same parent
+  /// state yields the same sequence of children.
+  rng split() noexcept;
+
+  /// Uniform integer in [0, bound) for bound ≥ 1 (unbiased, via rejection).
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] (inclusive), lo ≤ hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double uniform01() noexcept;
+
+  /// Bernoulli trial: true with probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Coin flip: true with probability 1/2.
+  bool flip() noexcept { return (next() >> 63) != 0; }
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// splitmix64 step — exposed because tests and seed-mixing use it directly.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+}  // namespace radiocast

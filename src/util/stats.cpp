@@ -1,0 +1,57 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace radiocast {
+
+double percentile(const std::vector<double>& sorted, double pct) {
+  RC_REQUIRE(!sorted.empty());
+  RC_REQUIRE(pct >= 0.0 && pct <= 100.0);
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = pct / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+summary summarize(std::vector<double> samples) {
+  RC_REQUIRE(!samples.empty());
+  std::sort(samples.begin(), samples.end());
+  summary s;
+  s.count = samples.size();
+  s.min = samples.front();
+  s.max = samples.back();
+  s.median = percentile(samples, 50.0);
+  s.p95 = percentile(samples, 95.0);
+  accumulator acc;
+  for (double x : samples) acc.add(x);
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  return s;
+}
+
+void accumulator::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double accumulator::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace radiocast

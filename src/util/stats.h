@@ -1,0 +1,47 @@
+// Summary statistics over samples of broadcast times.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace radiocast {
+
+/// Order statistics + moments of a sample.
+struct summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p95 = 0.0;  ///< 95th percentile (nearest-rank interpolation)
+};
+
+/// Computes a summary of `samples`. Requires a nonempty sample.
+summary summarize(std::vector<double> samples);
+
+/// Percentile in [0, 100] by linear interpolation between closest ranks.
+/// `sorted` must be nonempty and ascending.
+double percentile(const std::vector<double>& sorted, double pct);
+
+/// Streaming accumulator (Welford) for when samples need not be retained.
+class accumulator {
+ public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  /// Sample variance; 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace radiocast

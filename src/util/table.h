@@ -1,0 +1,61 @@
+// Plain-text table rendering for benchmark and example output.
+//
+// Every bench binary prints one table per reproduced "figure"/"table"; a
+// shared renderer keeps the output uniform and diffable across runs.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace radiocast {
+
+/// Column-aligned text table with a title, a header row, and data rows.
+class text_table {
+ public:
+  explicit text_table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row. Must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; its width must match the header's.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats arbitrary streamable cells.
+  template <typename... Cells>
+  void add(const Cells&... cells) {
+    add_row({format_cell(cells)...});
+  }
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders to `os` with padded, right-aligned numeric-looking columns.
+  void print(std::ostream& os) const;
+
+  /// Renders as RFC-4180-style CSV (header row first; cells containing
+  /// commas or quotes are quoted) — for feeding experiment sweeps into
+  /// plotting tools.
+  void print_csv(std::ostream& os) const;
+
+  /// Formats a double with sensible precision for table cells.
+  static std::string format_double(double value, int precision = 2);
+
+ private:
+  template <typename T>
+  static std::string format_cell(const T& value) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(value);
+    } else if constexpr (std::is_floating_point_v<T>) {
+      return format_double(static_cast<double>(value));
+    } else {
+      return std::to_string(value);
+    }
+  }
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace radiocast

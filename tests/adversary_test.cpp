@@ -1,0 +1,380 @@
+// Tests for the lower-bound machinery: (m,k)-selective families, the
+// Jamming function's invariants, and the full Theorem 2 construction —
+// including the crucial consistency check that replaying the algorithm on
+// the constructed network really is slow (the empirical Lemma 9).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "adversary/jamming.h"
+#include "adversary/lower_bound_builder.h"
+#include "adversary/selective_family.h"
+#include "core/interleaved.h"
+#include "core/round_robin.h"
+#include "core/select_and_send.h"
+#include "graph/analysis.h"
+#include "graph/generators.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace radiocast {
+namespace {
+
+// ---------- selective families ----------
+
+TEST(SelectiveFamilyTest, SelectsCountsIntersections) {
+  EXPECT_TRUE(selects({1, 3, 5}, {3}));
+  EXPECT_TRUE(selects({1, 3, 5}, {2, 3, 4}));
+  EXPECT_FALSE(selects({1, 3, 5}, {1, 3}));
+  EXPECT_FALSE(selects({1, 3, 5}, {0, 2}));
+  EXPECT_FALSE(selects({}, {1}));
+}
+
+TEST(SelectiveFamilyTest, SingletonsAreSelective) {
+  set_family singles;
+  for (int v = 0; v < 8; ++v) singles.push_back({v});
+  EXPECT_TRUE(is_selective(singles, 8, 4));
+}
+
+TEST(SelectiveFamilyTest, EmptyFamilyIsNotSelective) {
+  EXPECT_FALSE(is_selective({}, 4, 2));
+  const auto witness = find_unselected({}, 4, 2);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_FALSE(witness->empty());
+}
+
+TEST(SelectiveFamilyTest, WitnessIsGenuine) {
+  // A family that misses pairs {0,1} ∩ handled sets evenly.
+  set_family family{{0, 1}, {2, 3}};
+  const auto witness = find_unselected(family, 4, 2);
+  ASSERT_TRUE(witness.has_value());
+  for (const auto& set : family) {
+    EXPECT_FALSE(selects(set, *witness));
+  }
+}
+
+TEST(SelectiveFamilyTest, BitPositionFamilySelectsPairsOnly) {
+  // Sets {x : bit b of x set} select every X of size ≤ 2 that is nonempty…
+  // except X = {0} (all-zero label intersects nothing) — the classic reason
+  // these families need the complements too.
+  set_family bits;
+  for (int b = 0; b < 3; ++b) {
+    std::vector<int> s;
+    for (int x = 0; x < 8; ++x) {
+      if (x & (1 << b)) s.push_back(x);
+    }
+    bits.push_back(s);
+  }
+  EXPECT_FALSE(is_selective(bits, 8, 2));
+  for (int b = 0; b < 3; ++b) {
+    std::vector<int> s;
+    for (int x = 0; x < 8; ++x) {
+      if (!(x & (1 << b))) s.push_back(x);
+    }
+    bits.push_back(s);
+  }
+  EXPECT_TRUE(is_selective(bits, 8, 2));
+}
+
+class GreedyFamily : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(GreedyFamily, ProducesValidFamily) {
+  const auto [m, k] = GetParam();
+  rng gen(static_cast<std::uint64_t>(m * 100 + k));
+  const set_family family = greedy_selective_family(m, k, gen);
+  EXPECT_TRUE(is_selective(family, m, k)) << "m=" << m << " k=" << k;
+  EXPECT_LE(family.size(), static_cast<std::size_t>(m));  // ≤ singletons
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GreedyFamily,
+                         ::testing::Values(std::pair<int, int>{6, 2},
+                                           std::pair<int, int>{10, 2},
+                                           std::pair<int, int>{12, 3},
+                                           std::pair<int, int>{16, 2},
+                                           std::pair<int, int>{16, 3},
+                                           std::pair<int, int>{20, 2}));
+
+TEST(SelectiveFamilyTest, GreedyBeatsSingletonsForSmallK) {
+  rng gen(9);
+  const set_family family = greedy_selective_family(24, 2, gen);
+  EXPECT_LT(family.size(), 24u);  // strictly better than the trivial family
+}
+
+TEST(SelectiveFamilyTest, ModularFamilySelectiveWithEnoughPrimes) {
+  const set_family family = modular_selective_family(16, 2, 4);
+  EXPECT_TRUE(is_selective(family, 16, 2));
+}
+
+TEST(SelectiveFamilyTest, CmsLowerBoundIsRespectedByGreedy) {
+  // The bound is asymptotic with constant 1/8 — any valid family here
+  // must be at least that large.
+  rng gen(5);
+  for (const auto& [m, k] : std::vector<std::pair<int, int>>{
+           {8, 2}, {16, 2}, {16, 4}, {20, 3}}) {
+    const set_family family = greedy_selective_family(m, k, gen);
+    EXPECT_GE(static_cast<double>(family.size()),
+              cms_size_lower_bound(m, k))
+        << "m=" << m << " k=" << k;
+  }
+}
+
+// ---------- jamming ----------
+
+std::vector<node_id> iota_pool(node_id from, node_id count) {
+  std::vector<node_id> pool;
+  for (node_id v = 0; v < count; ++v) pool.push_back(from + v);
+  return pool;
+}
+
+TEST(JammingTest, ConstructionPartitionsPool) {
+  jamming jam(iota_pool(10, 40), 8);
+  EXPECT_EQ(jam.blocks().size(), 4u);  // k/2
+  std::size_t total = 0;
+  for (const auto& b : jam.blocks()) total += b.size();
+  EXPECT_EQ(total, 40u);
+  EXPECT_TRUE(jam.invariant_holds());
+}
+
+TEST(JammingTest, RejectsBadParameters) {
+  EXPECT_THROW(jamming(iota_pool(0, 40), 3), precondition_error);   // odd k
+  EXPECT_THROW(jamming(iota_pool(0, 40), 2), precondition_error);   // k < 4
+  EXPECT_THROW(jamming(iota_pool(0, 5), 4), precondition_error);    // small
+}
+
+TEST(JammingTest, EmptyYIsSilence) {
+  jamming jam(iota_pool(0, 32), 4);
+  const auto out = jam.step({});
+  EXPECT_EQ(out.what, jamming::outcome::kind::silence);
+  EXPECT_TRUE(jam.invariant_holds());
+}
+
+TEST(JammingTest, MassiveYIsCollisionAndShrinksOneBlock) {
+  jamming jam(iota_pool(0, 32), 4);
+  // All of block 0 transmits: |B∩Y| = |B| > (2/k)|B|.
+  std::vector<node_id> y;
+  for (node_id v = 0; v < 16; ++v) y.push_back(v);
+  const auto out = jam.step(y);
+  EXPECT_EQ(out.what, jamming::outcome::kind::collision);
+  EXPECT_TRUE(jam.invariant_holds());
+}
+
+TEST(JammingTest, SingletonFromLargeBlockIsRemovedSilently) {
+  jamming jam(iota_pool(0, 32), 4);
+  const auto out = jam.step({0});
+  // 1 ≤ (2/4)·8: case B — the transmitter is deleted, answer is silence
+  // (no small blocks yet).
+  EXPECT_EQ(out.what, jamming::outcome::kind::silence);
+  bool still_there = false;
+  for (const auto& b : jam.blocks()) {
+    for (node_id v : b) still_there |= (v == 0);
+  }
+  EXPECT_FALSE(still_there);
+  EXPECT_TRUE(jam.invariant_holds());
+}
+
+TEST(JammingTest, LargeBlockSurvivorsShareTransmitTrace) {
+  // Drive random Y's; at the end, members of every still-large block must
+  // have identical membership histories — the property underlying the
+  // non-selectivity witness X*.
+  rng gen(31);
+  const auto pool = iota_pool(0, 64);
+  jamming jam(pool, 8);
+  std::map<node_id, std::vector<bool>> trace;
+  for (node_id v : pool) trace[v] = {};
+  for (int step = 0; step < 12; ++step) {
+    std::vector<node_id> y;
+    for (node_id v : pool) {
+      if (gen.bernoulli(0.2)) y.push_back(v);
+    }
+    jam.step(y);
+    std::set<node_id> in_y(y.begin(), y.end());
+    for (node_id v : pool) trace[v].push_back(in_y.count(v) != 0);
+    ASSERT_TRUE(jam.invariant_holds());
+  }
+  for (const auto& block : jam.blocks()) {
+    if (static_cast<int>(block.size()) < jam.k()) continue;  // small block
+    for (std::size_t i = 1; i < block.size(); ++i) {
+      EXPECT_EQ(trace[block[0]], trace[block[i]])
+          << "large-block survivors diverged";
+    }
+  }
+}
+
+TEST(JammingTest, PickLayerShape) {
+  jamming jam(iota_pool(0, 64), 8);
+  const auto choice = jam.pick_layer();
+  // X' has 2 per non-p* block (3 blocks) plus X* of size ≤ k.
+  EXPECT_EQ(choice.layer.size(), 2u * 3 + choice.star.size());
+  EXPECT_GE(choice.star.size(), 2u);
+  EXPECT_LE(choice.star.size(), 8u);
+  // star ⊆ layer, all distinct.
+  std::set<node_id> layer_set(choice.layer.begin(), choice.layer.end());
+  EXPECT_EQ(layer_set.size(), choice.layer.size());
+  for (node_id v : choice.star) EXPECT_TRUE(layer_set.count(v));
+}
+
+// ---------- the full construction ----------
+
+void check_network_shape(const adversarial_network& net, node_id n, int d) {
+  EXPECT_EQ(net.g.node_count(), n);
+  EXPECT_TRUE(is_connected(net.g));
+  EXPECT_EQ(radius_from(net.g), d);
+  // Layer structure: spine i at distance 2i, odd layers between, L_D last.
+  const auto dist = bfs_distances(net.g, 0);
+  for (int i = 0; i < d / 2; ++i) {
+    EXPECT_EQ(dist[static_cast<std::size_t>(i)], 2 * i) << "spine " << i;
+    for (node_id w : net.odd_layers[static_cast<std::size_t>(i)]) {
+      EXPECT_EQ(dist[static_cast<std::size_t>(w)], 2 * i + 1);
+    }
+  }
+  for (node_id u : net.last_layer) {
+    EXPECT_EQ(dist[static_cast<std::size_t>(u)], d);
+  }
+  EXPECT_FALSE(net.last_layer.empty());
+}
+
+TEST(LowerBoundTest, BuildsWellFormedNetworkAgainstRoundRobin) {
+  const round_robin_protocol proto;
+  const node_id n = 512;
+  const int d = 8;
+  const adversarial_network net = build_adversarial_network(proto, n, d);
+  EXPECT_FALSE(net.stuck);
+  check_network_shape(net, n, d);
+  EXPECT_GE(net.k, 4);
+  EXPECT_GE(net.jam_steps_per_stage, 1);
+}
+
+TEST(LowerBoundTest, BuildsWellFormedNetworkAgainstSelectAndSend) {
+  const select_and_send_protocol proto;
+  const node_id n = 512;
+  const int d = 8;
+  const adversarial_network net = build_adversarial_network(proto, n, d);
+  EXPECT_FALSE(net.stuck);
+  check_network_shape(net, n, d);
+}
+
+TEST(LowerBoundTest, ReplayIsAtLeastForcedSteps) {
+  // The empirical Lemma 9: running the algorithm on G_A with the real
+  // simulator takes at least the forced (D/2−1)·s steps, for every
+  // deterministic protocol we constructed against.
+  const node_id n = 512;
+  const int d = 8;
+  const round_robin_protocol rr;
+  const select_and_send_protocol sas;
+  const interleaved_protocol inter;
+  const std::vector<const protocol*> protos{&rr, &sas, &inter};
+  for (const protocol* proto : protos) {
+    const adversarial_network net = build_adversarial_network(*proto, n, d);
+    ASSERT_FALSE(net.stuck) << proto->name();
+    run_options opts;
+    opts.max_steps = 20'000'000;
+    const run_result res = run_broadcast(net.g, *proto, opts);
+    ASSERT_TRUE(res.completed) << proto->name();
+    EXPECT_GE(res.informed_step, net.forced_steps) << proto->name();
+  }
+}
+
+TEST(LowerBoundTest, AdversarialGraphSlowerThanFriendlyGraph) {
+  // Against round-robin, G_A must be much slower than a benign layered
+  // network of the same (n, D): the adversary picks high labels for the
+  // layers, forcing nearly full label rounds per hop.
+  const node_id n = 512;
+  const int d = 8;
+  const round_robin_protocol rr;
+  const adversarial_network net = build_adversarial_network(rr, n, d);
+  run_options opts;
+  opts.max_steps = 20'000'000;
+  const auto t_adv = run_broadcast(net.g, rr, opts).informed_step;
+  graph friendly = make_complete_layered_uniform(n, d);
+  const auto t_friendly = run_broadcast(friendly, rr, opts).informed_step;
+  EXPECT_GT(t_adv, t_friendly);
+}
+
+TEST(LowerBoundTest, SpineTransmissionsMatchConstructionTimes) {
+  // Consistency between the abstract construction and the real replay:
+  // spine node i's first transmission in the real run happens exactly at
+  // the step the construction recorded (the heart of Lemma 9).
+  const node_id n = 512;
+  const int d = 8;
+  const round_robin_protocol rr;
+  const adversarial_network net = build_adversarial_network(rr, n, d);
+  ASSERT_FALSE(net.stuck);
+  trace t;
+  run_options opts;
+  opts.max_steps = 20'000'000;
+  opts.sink = &t;
+  const run_result res = run_broadcast(net.g, rr, opts);
+  ASSERT_TRUE(res.completed);
+  std::vector<std::int64_t> first_tx(static_cast<std::size_t>(n), -1);
+  for (const auto& e : t.filter(trace_event::type::transmit)) {
+    if (first_tx[static_cast<std::size_t>(e.node)] < 0) {
+      first_tx[static_cast<std::size_t>(e.node)] = e.step;
+    }
+  }
+  for (int i = 0; i < d / 2; ++i) {
+    const std::int64_t constructed =
+        net.spine_first_tx[static_cast<std::size_t>(i)];
+    if (constructed < 0) continue;  // last spine: not tracked by builder
+    EXPECT_EQ(first_tx[static_cast<std::size_t>(i)], constructed)
+        << "spine " << i;
+  }
+}
+
+TEST(LowerBoundTest, SpineConsistencyForSelectAndSend) {
+  // The same Lemma 9 replay check for the most intricate protocol: the
+  // abstract construction and the real run must agree on every spine
+  // node's first transmission step.
+  const node_id n = 512;
+  const int d = 8;
+  const select_and_send_protocol sas;
+  const adversarial_network net = build_adversarial_network(sas, n, d);
+  ASSERT_FALSE(net.stuck);
+  trace t;
+  run_options opts;
+  opts.max_steps = 20'000'000;
+  opts.sink = &t;
+  const run_result res = run_broadcast(net.g, sas, opts);
+  ASSERT_TRUE(res.completed);
+  std::vector<std::int64_t> first_tx(static_cast<std::size_t>(n), -1);
+  for (const auto& e : t.filter(trace_event::type::transmit)) {
+    if (first_tx[static_cast<std::size_t>(e.node)] < 0) {
+      first_tx[static_cast<std::size_t>(e.node)] = e.step;
+    }
+  }
+  for (int i = 0; i < d / 2; ++i) {
+    const std::int64_t constructed =
+        net.spine_first_tx[static_cast<std::size_t>(i)];
+    if (constructed < 0) continue;
+    EXPECT_EQ(first_tx[static_cast<std::size_t>(i)], constructed)
+        << "spine " << i;
+  }
+}
+
+TEST(LowerBoundTest, ForcedDelayGrowsWithParameters) {
+  const round_robin_protocol rr;
+  const adversarial_network small = build_adversarial_network(rr, 512, 8);
+  const adversarial_network big = build_adversarial_network(rr, 4096, 16);
+  EXPECT_GT(big.forced_steps, small.forced_steps);
+  EXPECT_GT(big.jam_steps_per_stage, small.jam_steps_per_stage);
+}
+
+TEST(LowerBoundTest, RejectsBadParameters) {
+  const round_robin_protocol rr;
+  EXPECT_THROW(build_adversarial_network(rr, 512, 7), precondition_error);
+  EXPECT_THROW(build_adversarial_network(rr, 512, 2), precondition_error);
+  EXPECT_THROW(build_adversarial_network(rr, 40, 8), precondition_error);
+}
+
+TEST(LowerBoundTest, VariousShapes) {
+  const round_robin_protocol rr;
+  for (const auto& [n, d] : std::vector<std::pair<node_id, int>>{
+           {256, 4}, {384, 6}, {1024, 8}}) {
+    const adversarial_network net = build_adversarial_network(rr, n, d);
+    EXPECT_FALSE(net.stuck) << "n=" << n << " d=" << d;
+    check_network_shape(net, n, d);
+  }
+}
+
+}  // namespace
+}  // namespace radiocast

@@ -1,0 +1,365 @@
+// Unit and property tests for the graph substrate: construction, analysis,
+// and every generator's invariants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/analysis.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace radiocast {
+namespace {
+
+// ---------- graph basics ----------
+
+TEST(GraphTest, UndirectedEdgesAreSymmetric) {
+  graph g = graph::undirected(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.out_degree(1), 2);
+  EXPECT_EQ(g.in_degree(1), 2);
+}
+
+TEST(GraphTest, DirectedEdgesAreOneWay) {
+  graph g = graph::directed(3);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_EQ(g.out_degree(0), 1);
+  EXPECT_EQ(g.in_degree(1), 1);
+  EXPECT_EQ(g.in_degree(0), 0);
+}
+
+TEST(GraphTest, DuplicateEdgesIgnored) {
+  graph g = graph::undirected(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.out_degree(0), 1);
+}
+
+TEST(GraphTest, SelfLoopsRejected) {
+  graph g = graph::undirected(3);
+  EXPECT_THROW(g.add_edge(1, 1), precondition_error);
+}
+
+TEST(GraphTest, OutOfRangeRejected) {
+  graph g = graph::undirected(3);
+  EXPECT_THROW(g.add_edge(0, 3), precondition_error);
+  EXPECT_THROW(g.add_edge(-1, 0), precondition_error);
+  EXPECT_THROW(g.out_neighbors(5), precondition_error);
+}
+
+TEST(GraphTest, AsDirectedDoublesArcs) {
+  graph g = make_path(4);
+  graph d = g.as_directed();
+  EXPECT_TRUE(d.is_directed());
+  EXPECT_TRUE(d.has_edge(0, 1));
+  EXPECT_TRUE(d.has_edge(1, 0));
+  EXPECT_EQ(d.edge_count(), 2 * g.edge_count());
+}
+
+TEST(GraphTest, SortAdjacency) {
+  graph g = graph::undirected(4);
+  g.add_edge(0, 3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.sort_adjacency();
+  const auto nbrs = g.out_neighbors(0);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(GraphTest, EdgeListRoundTrip) {
+  graph g = make_cycle(5);
+  const std::string text = g.to_edge_list();
+  graph h = graph::from_edge_list(5, text);
+  EXPECT_EQ(h.edge_count(), g.edge_count());
+  for (node_id u = 0; u < 5; ++u) {
+    for (node_id v : g.out_neighbors(u)) EXPECT_TRUE(h.has_edge(u, v));
+  }
+}
+
+TEST(GraphTest, DotOutputMentionsEdges) {
+  graph g = make_path(3);
+  const std::string dot = g.to_dot("p");
+  EXPECT_NE(dot.find("graph p"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(dot.find("1 -- 2"), std::string::npos);
+}
+
+// ---------- analysis ----------
+
+TEST(AnalysisTest, BfsDistancesOnPath) {
+  graph g = make_path(5);
+  const auto dist = bfs_distances(g, 0);
+  for (int v = 0; v < 5; ++v) EXPECT_EQ(dist[static_cast<std::size_t>(v)], v);
+}
+
+TEST(AnalysisTest, RadiusOfFamilies) {
+  EXPECT_EQ(radius_from(make_path(10)), 9);
+  EXPECT_EQ(radius_from(make_star(10)), 1);
+  EXPECT_EQ(radius_from(make_complete(6)), 1);
+  EXPECT_EQ(radius_from(make_cycle(8)), 4);
+  EXPECT_EQ(radius_from(make_cycle(9)), 4);
+  EXPECT_EQ(radius_from(make_grid(3, 4)), 3 + 4 - 2);
+}
+
+TEST(AnalysisTest, UnreachableNodeThrows) {
+  graph g = graph::undirected(3);
+  g.add_edge(0, 1);  // node 2 isolated
+  EXPECT_THROW(radius_from(g), precondition_error);
+  EXPECT_FALSE(all_reachable(g));
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(AnalysisTest, LayersPartitionNodes) {
+  graph g = make_grid(4, 4);
+  const auto layers = bfs_layers(g);
+  std::size_t total = 0;
+  for (const auto& layer : layers) total += layer.size();
+  EXPECT_EQ(total, 16u);
+  // Layer j of the grid corner BFS has min(j+1, ...) nodes; check layer 0/1.
+  EXPECT_EQ(layers[0].size(), 1u);
+  EXPECT_EQ(layers[1].size(), 2u);
+}
+
+TEST(AnalysisTest, DirectedReachabilityFollowsArcs) {
+  graph g = graph::directed(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_TRUE(all_reachable(g, 0));
+  EXPECT_FALSE(all_reachable(g, 2));
+}
+
+TEST(AnalysisTest, MaxDegree) {
+  EXPECT_EQ(max_degree(make_star(7)), 6);
+  EXPECT_EQ(max_degree(make_path(5)), 2);
+}
+
+TEST(AnalysisTest, CompleteLayeredRecognizer) {
+  EXPECT_TRUE(is_complete_layered(make_complete_layered({1, 3, 2, 4})));
+  EXPECT_TRUE(is_complete_layered(make_path(6)));   // all layers size 1
+  EXPECT_TRUE(is_complete_layered(make_star(5)));   // {1, n−1}
+  EXPECT_FALSE(is_complete_layered(make_cycle(6)));
+  rng gen(3);
+  EXPECT_FALSE(is_complete_layered(
+      make_random_layered({1, 4, 4, 4}, 0.3, gen)));
+}
+
+// ---------- generators ----------
+
+class GeneratorSizes : public ::testing::TestWithParam<node_id> {};
+
+TEST_P(GeneratorSizes, PathInvariants) {
+  const node_id n = GetParam();
+  graph g = make_path(n);
+  EXPECT_EQ(g.node_count(), n);
+  EXPECT_EQ(g.edge_count(), static_cast<std::size_t>(n - 1));
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(radius_from(g), n - 1);
+}
+
+TEST_P(GeneratorSizes, StarInvariants) {
+  const node_id n = GetParam();
+  graph g = make_star(n);
+  EXPECT_EQ(g.edge_count(), static_cast<std::size_t>(n - 1));
+  EXPECT_EQ(radius_from(g), 1);
+}
+
+TEST_P(GeneratorSizes, CompleteInvariants) {
+  const node_id n = GetParam();
+  graph g = make_complete(n);
+  EXPECT_EQ(g.edge_count(),
+            static_cast<std::size_t>(n) * (n - 1) / 2);
+  EXPECT_EQ(radius_from(g), 1);
+}
+
+TEST_P(GeneratorSizes, RandomTreeInvariants) {
+  const node_id n = GetParam();
+  rng gen(99 + static_cast<std::uint64_t>(n));
+  graph g = make_random_tree(n, gen);
+  EXPECT_EQ(g.edge_count(), static_cast<std::size_t>(n - 1));
+  EXPECT_TRUE(is_connected(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GeneratorSizes,
+                         ::testing::Values(2, 3, 5, 16, 64, 257));
+
+TEST(GeneratorTest, BoundedDegreeTreeRespectsCap) {
+  for (node_id cap : {2, 3, 5}) {
+    rng gen(7);
+    graph g = make_bounded_degree_tree(200, cap, gen);
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_EQ(g.edge_count(), 199u);
+    EXPECT_LE(max_degree(g), cap);
+  }
+}
+
+TEST(GeneratorTest, GnpConnectedAlwaysConnected) {
+  for (double p : {0.0, 0.01, 0.1, 0.5}) {
+    rng gen(static_cast<std::uint64_t>(p * 1000) + 1);
+    graph g = make_gnp_connected(100, p, gen);
+    EXPECT_TRUE(is_connected(g)) << "p=" << p;
+    EXPECT_EQ(g.node_count(), 100);
+  }
+}
+
+TEST(GeneratorTest, GnpDensityMatchesP) {
+  rng gen(4242);
+  const node_id n = 200;
+  graph g = make_gnp_connected(n, 0.2, gen);
+  const double max_edges = static_cast<double>(n) * (n - 1) / 2.0;
+  const double density = static_cast<double>(g.edge_count()) / max_edges;
+  EXPECT_NEAR(density, 0.2, 0.03);
+}
+
+TEST(GeneratorTest, GridInvariants) {
+  graph g = make_grid(5, 7);
+  EXPECT_EQ(g.node_count(), 35);
+  EXPECT_EQ(g.edge_count(), static_cast<std::size_t>(5 * 6 + 4 * 7));
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(GeneratorTest, CaterpillarInvariants) {
+  graph g = make_caterpillar(10, 3);
+  EXPECT_EQ(g.node_count(), 40);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(radius_from(g), 10);  // spine end + leg
+}
+
+TEST(GeneratorTest, CompleteLayeredLayersAndRadius) {
+  const std::vector<node_id> sizes{1, 3, 5, 2};
+  graph g = make_complete_layered(sizes);
+  EXPECT_EQ(g.node_count(), 11);
+  EXPECT_EQ(radius_from(g), 3);
+  const auto layers = bfs_layers(g);
+  ASSERT_EQ(layers.size(), 4u);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    EXPECT_EQ(layers[i].size(), static_cast<std::size_t>(sizes[i]));
+  }
+  EXPECT_TRUE(is_complete_layered(g));
+  // Edge count: sum of consecutive products.
+  EXPECT_EQ(g.edge_count(), static_cast<std::size_t>(1 * 3 + 3 * 5 + 5 * 2));
+}
+
+TEST(GeneratorTest, CompleteLayeredRejectsBadLayerZero) {
+  EXPECT_THROW(make_complete_layered({2, 3}), precondition_error);
+  EXPECT_THROW(make_complete_layered({1}), precondition_error);
+  EXPECT_THROW(make_complete_layered({1, 0}), precondition_error);
+}
+
+class CompleteLayeredUniform
+    : public ::testing::TestWithParam<std::pair<node_id, int>> {};
+
+TEST_P(CompleteLayeredUniform, RadiusAndCount) {
+  const auto [n, d] = GetParam();
+  graph g = make_complete_layered_uniform(n, d);
+  EXPECT_EQ(g.node_count(), n);
+  EXPECT_EQ(radius_from(g), d);
+  EXPECT_TRUE(is_complete_layered(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CompleteLayeredUniform,
+    ::testing::Values(std::pair<node_id, int>{10, 3},
+                      std::pair<node_id, int>{64, 8},
+                      std::pair<node_id, int>{100, 1},
+                      std::pair<node_id, int>{65, 64},
+                      std::pair<node_id, int>{512, 16}));
+
+TEST(GeneratorTest, CompleteLayeredFat) {
+  graph g = make_complete_layered_fat(100, 5, 3);
+  EXPECT_EQ(g.node_count(), 100);
+  EXPECT_EQ(radius_from(g), 5);
+  const auto layers = bfs_layers(g);
+  EXPECT_EQ(layers[3].size(), 100u - 1 - 4);  // all slack in layer 3
+  EXPECT_EQ(layers[1].size(), 1u);
+}
+
+TEST(GeneratorTest, EvenSplit) {
+  EXPECT_EQ(even_split(10, 3), (std::vector<node_id>{4, 3, 3}));
+  EXPECT_EQ(even_split(9, 3), (std::vector<node_id>{3, 3, 3}));
+  EXPECT_EQ(even_split(5, 5), (std::vector<node_id>{1, 1, 1, 1, 1}));
+  EXPECT_THROW(even_split(2, 3), precondition_error);
+}
+
+TEST(GeneratorTest, RandomLayeredKeepsLayerStructure) {
+  rng gen(17);
+  const std::vector<node_id> sizes{1, 5, 5, 5, 4};
+  graph g = make_random_layered(sizes, 0.3, gen);
+  EXPECT_EQ(g.node_count(), 20);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(radius_from(g), 4);
+  const auto layers = bfs_layers(g);
+  ASSERT_EQ(layers.size(), 5u);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    EXPECT_EQ(layers[i].size(), static_cast<std::size_t>(sizes[i]));
+  }
+}
+
+TEST(GeneratorTest, DirectedLayeredHasForwardArcsOnly) {
+  rng gen(11);
+  const std::vector<node_id> sizes{1, 4, 4, 3};
+  graph g = make_directed_layered(sizes, 0.4, gen);
+  ASSERT_TRUE(g.is_directed());
+  EXPECT_EQ(g.node_count(), 12);
+  EXPECT_TRUE(all_reachable(g, 0));
+  const auto dist = bfs_distances(g, 0);
+  // Every arc goes from layer i exactly to layer i+1.
+  for (node_id u = 0; u < g.node_count(); ++u) {
+    for (node_id v : g.out_neighbors(u)) {
+      EXPECT_EQ(dist[static_cast<std::size_t>(v)],
+                dist[static_cast<std::size_t>(u)] + 1);
+    }
+    // No way back: nothing reaches the source.
+    EXPECT_EQ(g.in_degree(0), 0);
+  }
+  // Directed radius equals the number of layers − 1.
+  int radius = 0;
+  for (int x : dist) radius = std::max(radius, x);
+  EXPECT_EQ(radius, 3);
+}
+
+TEST(GeneratorTest, DirectedLayeredDensityP1IsComplete) {
+  rng gen(2);
+  graph g = make_directed_layered({1, 3, 3}, 1.0, gen);
+  // With p = 1 every consecutive pair is connected.
+  EXPECT_EQ(g.edge_count(), static_cast<std::size_t>(1 * 3 + 3 * 3));
+}
+
+TEST(GeneratorTest, PermuteLabelsPreservesStructure) {
+  rng gen(23);
+  graph g = make_complete_layered_uniform(40, 4);
+  graph h = permute_labels(g, gen);
+  EXPECT_EQ(h.node_count(), g.node_count());
+  EXPECT_EQ(h.edge_count(), g.edge_count());
+  EXPECT_TRUE(is_connected(h));
+  EXPECT_EQ(radius_from(h), 4);  // source stays node 0
+}
+
+TEST(GeneratorTest, PermuteLabelsExplicit) {
+  graph g = make_path(4);  // 0-1-2-3
+  graph h = permute_labels(g, std::vector<node_id>{0, 3, 2, 1});
+  EXPECT_TRUE(h.has_edge(0, 3));
+  EXPECT_TRUE(h.has_edge(3, 2));
+  EXPECT_TRUE(h.has_edge(2, 1));
+  EXPECT_FALSE(h.has_edge(0, 1));
+}
+
+TEST(GeneratorTest, PermuteLabelsRejectsMovedSource) {
+  graph g = make_path(3);
+  EXPECT_THROW(permute_labels(g, std::vector<node_id>{1, 0, 2}),
+               precondition_error);
+  EXPECT_THROW(permute_labels(g, std::vector<node_id>{0, 2, 2}),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace radiocast

@@ -1,0 +1,185 @@
+// Cross-protocol model-invariant property suite: for every protocol ×
+// topology × seed, the run's accounting must satisfy the radio model's
+// conservation laws, and traces must be internally consistent and
+// seed-deterministic event for event.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/dfs_known.h"
+#include "core/runner.h"
+#include "graph/analysis.h"
+#include "graph/generators.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace radiocast {
+namespace {
+
+struct scenario {
+  std::string proto;
+  std::string topo;
+};
+
+std::string scenario_name(const ::testing::TestParamInfo<scenario>& info) {
+  std::string s = info.param.proto + "_" + info.param.topo;
+  for (char& c : s) {
+    if (c == '-') c = '_';
+  }
+  return s;
+}
+
+graph build(const std::string& topo) {
+  rng gen(99);
+  if (topo == "path") return make_path(48);
+  if (topo == "layered") return make_complete_layered_uniform(64, 8);
+  if (topo == "gnp") return make_gnp_connected(48, 0.12, gen);
+  if (topo == "geometric") return make_random_geometric(48, 0.25, gen);
+  return make_random_tree(48, gen);
+}
+
+class ModelInvariants : public ::testing::TestWithParam<scenario> {};
+
+TEST_P(ModelInvariants, ConservationLaws) {
+  const auto& [proto_name, topo] = GetParam();
+  const graph g = build(topo);
+  const int d = radius_from(g);
+  // "selective" reuses the hint as its degree bound k.
+  const int hint = proto_name == "selective" ? max_degree(g) + 1
+                                             : std::max(1, d);
+  const auto proto = make_protocol(proto_name, g.node_count() - 1, hint);
+  trace t;
+  run_options opts;
+  opts.max_steps = 5'000'000;
+  opts.seed = 31;
+  opts.sink = &t;
+  const run_result res = run_broadcast(g, *proto, opts);
+  ASSERT_TRUE(res.completed);
+
+  // 1. Everyone informed; the source from the start.
+  EXPECT_EQ(res.informed_at[0], 0);
+  std::int64_t last_informed = 0;
+  for (std::size_t v = 1; v < res.informed_at.size(); ++v) {
+    ASSERT_GE(res.informed_at[v], 0);
+    last_informed = std::max(last_informed, res.informed_at[v]);
+  }
+  // 2. Completion step is exactly one past the last informing reception.
+  EXPECT_EQ(res.informed_step, last_informed + 1);
+  // 3. Every informed node other than the source received ≥ 1 message.
+  EXPECT_GE(res.deliveries,
+            static_cast<std::int64_t>(res.informed_at.size()) - 1);
+  // 4. A delivery needs a transmission; a collision needs ≥ 2.
+  EXPECT_GE(res.transmissions, 1);
+  EXPECT_LE(res.deliveries + 2 * res.collisions,
+            res.transmissions * static_cast<std::int64_t>(max_degree(g)));
+  // 4b. Per-node transmission counts sum to the total (energy metric).
+  std::int64_t per_node_sum = 0;
+  for (std::int64_t x : res.transmissions_per_node) {
+    EXPECT_GE(x, 0);
+    per_node_sum += x;
+  }
+  EXPECT_EQ(per_node_sum, res.transmissions);
+  // An uninformed-forever node transmits zero times; the source ≥ 1.
+  EXPECT_GE(res.transmissions_per_node[0], 1);
+  // 5. Trace agrees with the counters.
+  EXPECT_EQ(static_cast<std::int64_t>(
+                t.filter(trace_event::type::transmit).size()),
+            res.transmissions);
+  EXPECT_EQ(static_cast<std::int64_t>(
+                t.filter(trace_event::type::receive).size()),
+            res.deliveries);
+  EXPECT_EQ(static_cast<std::int64_t>(
+                t.filter(trace_event::type::collision).size()),
+            res.collisions);
+  // informed events: everyone but the source.
+  EXPECT_EQ(t.filter(trace_event::type::informed).size(),
+            res.informed_at.size() - 1);
+
+  // 6. Per step, a node never both transmits and receives; receivers of a
+  //    step have exactly one transmitting in-neighbor.
+  std::map<std::int64_t, std::vector<node_id>> tx_by_step;
+  for (const auto& e : t.filter(trace_event::type::transmit)) {
+    tx_by_step[e.step].push_back(e.node);
+  }
+  for (const auto& e : t.filter(trace_event::type::receive)) {
+    const auto& txs = tx_by_step[e.step];
+    EXPECT_TRUE(std::find(txs.begin(), txs.end(), e.node) == txs.end())
+        << "node " << e.node << " transmitted and received at " << e.step;
+    int in_tx = 0;
+    for (node_id u : g.in_neighbors(e.node)) {
+      in_tx += std::find(txs.begin(), txs.end(), u) != txs.end() ? 1 : 0;
+    }
+    EXPECT_EQ(in_tx, 1) << "reception without a unique transmitter at step "
+                        << e.step;
+    // The recorded sender is that unique in-neighbor.
+    EXPECT_TRUE(g.has_edge(e.msg.from, e.node));
+  }
+}
+
+TEST_P(ModelInvariants, TraceIsSeedDeterministic) {
+  const auto& [proto_name, topo] = GetParam();
+  const graph g = build(topo);
+  const int d = radius_from(g);
+  const int hint = proto_name == "selective" ? max_degree(g) + 1
+                                             : std::max(1, d);
+  const auto proto = make_protocol(proto_name, g.node_count() - 1, hint);
+  auto run_traced = [&](trace& t) {
+    run_options opts;
+    opts.max_steps = 5'000'000;
+    opts.seed = 77;
+    opts.sink = &t;
+    return run_broadcast(g, *proto, opts);
+  };
+  trace a;
+  trace b;
+  const run_result ra = run_traced(a);
+  const run_result rb = run_traced(b);
+  ASSERT_TRUE(ra.completed && rb.completed);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.events()[i].step, b.events()[i].step);
+    EXPECT_EQ(a.events()[i].node, b.events()[i].node);
+    EXPECT_EQ(static_cast<int>(a.events()[i].what),
+              static_cast<int>(b.events()[i].what));
+    EXPECT_EQ(a.events()[i].msg, b.events()[i].msg);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ModelInvariants,
+    ::testing::Values(scenario{"kp", "layered"}, scenario{"kp", "tree"},
+                      scenario{"kp", "geometric"},
+                      scenario{"decay", "layered"}, scenario{"decay", "gnp"},
+                      scenario{"round-robin", "path"},
+                      scenario{"round-robin", "layered"},
+                      scenario{"select-and-send", "tree"},
+                      scenario{"select-and-send", "gnp"},
+                      scenario{"select-and-send", "geometric"},
+                      scenario{"complete-layered", "layered"},
+                      scenario{"interleaved", "tree"},
+                      scenario{"interleaved", "layered"},
+                      scenario{"selective", "path"}),
+    scenario_name);
+
+TEST(ModelInvariantsTest, DfsKnownConservation) {
+  rng gen(5);
+  const graph g = make_gnp_connected(40, 0.15, gen);
+  const dfs_known_protocol proto(g);
+  trace t;
+  run_options opts;
+  opts.stop = stop_condition::all_halted;
+  opts.max_steps = 1'000'000;
+  opts.sink = &t;
+  const run_result res = run_broadcast(g, proto, opts);
+  ASSERT_TRUE(res.completed);
+  // One transmitter per step ⇒ receptions per step ≤ degree, collisions 0.
+  EXPECT_EQ(res.collisions, 0);
+  std::map<std::int64_t, int> tx_per_step;
+  for (const auto& e : t.filter(trace_event::type::transmit)) {
+    EXPECT_EQ(++tx_per_step[e.step], 1)
+        << "two transmitters at step " << e.step;
+  }
+}
+
+}  // namespace
+}  // namespace radiocast

@@ -1,0 +1,229 @@
+// White-box semantic tests for protocol scheduling rules that the
+// black-box suites cannot pin down: stage-participation timing of the
+// KP randomized algorithm, decay phase-joining, round-robin slot
+// discipline, and transmission-pattern properties observed via traces.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/decay.h"
+#include "core/kp_randomized.h"
+#include "core/round_robin.h"
+#include "graph/generators.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace radiocast {
+namespace {
+
+std::vector<std::int64_t> transmit_steps(const trace& t, node_id v) {
+  std::vector<std::int64_t> steps;
+  for (const auto& e : t.filter(trace_event::type::transmit)) {
+    if (e.node == v) steps.push_back(e.step);
+  }
+  return steps;
+}
+
+// ---------- KP stage participation ----------
+
+TEST(KpSemanticsTest, SourceTransmitsAtStepZeroOnly_FirstBlockStep) {
+  // On a 3-node path the source transmits at step 0 (the block's "source
+  // transmits" step) and then participates in stages like everyone else.
+  graph g = make_path(3);
+  kp_options opts;
+  opts.known_d = 2;
+  const kp_randomized_protocol proto(2, opts);
+  trace t;
+  run_options ro;
+  ro.sink = &t;
+  ro.seed = 5;
+  const run_result res = run_broadcast(g, proto, ro);
+  ASSERT_TRUE(res.completed);
+  const auto steps = transmit_steps(t, 0);
+  ASSERT_FALSE(steps.empty());
+  EXPECT_EQ(steps.front(), 0);
+  EXPECT_EQ(res.informed_at[1], 0);  // single neighbor hears immediately
+}
+
+TEST(KpSemanticsTest, NodeInformedMidStageWaitsForNextStage) {
+  // Star with center 0: leaves are informed at step 0. Stage 1 starts at
+  // step 1. A leaf must never transmit during step 0 (it was informed *at*
+  // step 0, i.e. not before the stage containing step 0... step 0 is the
+  // source step anyway); more strongly, across many seeds, no node ever
+  // transmits in the same stage in which it was informed.
+  const node_id n = 64;
+  const int d = 4;
+  graph g = make_complete_layered_uniform(n, d);
+  kp_options opts;
+  opts.known_d = d;
+  const kp_randomized_protocol proto(n - 1, opts);
+  const int log_r = 6;  // r = 63 → next pow2 exponent 6
+  const int stage_len = (log_r - 2) + 2;  // log(r/D)+2 with D=4
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    trace t;
+    run_options ro;
+    ro.sink = &t;
+    ro.seed = seed;
+    const run_result res = run_broadcast(g, proto, ro);
+    ASSERT_TRUE(res.completed);
+    for (node_id v = 1; v < n; ++v) {
+      const std::int64_t informed =
+          res.informed_at[static_cast<std::size_t>(v)];
+      ASSERT_GE(informed, 0);
+      for (std::int64_t ts : transmit_steps(t, v)) {
+        // Stage containing step ts (steps ≥ 1) starts at ts − (ts−1)%len;
+        // the participation rule demands informing strictly before it.
+        const std::int64_t stage_start = ts - ((ts - 1) % stage_len);
+        EXPECT_LT(informed, stage_start)
+            << "node " << v << " transmitted in its informing stage (seed "
+            << seed << ")";
+      }
+    }
+  }
+}
+
+TEST(KpSemanticsTest, FirstGeometricStepIsCertainTransmission) {
+  // Step l = 0 of a stage has probability 1/2⁰ = 1: every participating
+  // node transmits. On a path of 3 with D=2, node 1 (informed at step 0)
+  // must transmit at the first step of stage 2 at the latest... more
+  // simply: the source transmits at the l=0 step of every stage.
+  graph g = make_path(3);
+  kp_options opts;
+  opts.known_d = 2;
+  const kp_randomized_protocol proto(2, opts);
+  trace t;
+  run_options ro;
+  ro.sink = &t;
+  ro.seed = 3;
+  ro.stop = stop_condition::all_halted;  // run past completion
+  ro.max_steps = 40;
+  run_broadcast(g, proto, ro);
+  const auto steps = transmit_steps(t, 0);
+  // r = 2 → log_r = 1, D = 2 → stage_len = (1−1)+1+1 = 2.
+  // Stage i occupies steps 1+2(i−1), 2+2(i−1); its l=0 step is odd.
+  std::set<std::int64_t> tx(steps.begin(), steps.end());
+  for (std::int64_t s = 1; s < 39; s += 2) {
+    EXPECT_TRUE(tx.count(s)) << "source missed certain step " << s;
+  }
+}
+
+TEST(KpSemanticsTest, AblatedStageIsOneStepShorter) {
+  kp_options full;
+  full.known_d = 8;
+  full.stage_budget = 10;
+  kp_options ablated = full;
+  ablated.ablate_universal_step = true;
+  const kp_randomized_protocol p_full(255, full);
+  const kp_randomized_protocol p_ablated(255, ablated);
+  // r=255→log r=8, D=8→log D=3: geometric steps log(r/D)+1 = 6, so the
+  // full stage is 7 steps and the ablated one 6; 10·8 stages per block.
+  EXPECT_EQ(p_full.schedule_period(), 1 + 10 * 8 * 7);
+  EXPECT_EQ(p_ablated.schedule_period(), 1 + 10 * 8 * 6);
+}
+
+TEST(KpSemanticsTest, DoublingBlocksCoverAllD) {
+  kp_options opts;  // doubling
+  opts.stage_budget = 2;
+  const kp_randomized_protocol proto(255, opts);
+  // log r = 8 blocks for D' = 2,4,…,256: total = Σ 1 + 2·2^i·((8−i)+2).
+  std::int64_t expected = 0;
+  for (int i = 1; i <= 8; ++i) {
+    expected += 1 + 2 * (std::int64_t{1} << i) * ((8 - i) + 2);
+  }
+  EXPECT_EQ(proto.schedule_period(), expected);
+}
+
+// ---------- decay semantics ----------
+
+TEST(DecaySemanticsTest, NodeTransmitsPrefixOfPhase) {
+  // Within each phase, a participating node's transmissions form a prefix
+  // of the phase (it stops after its geometric cutoff and stays silent).
+  const node_id n = 16;
+  graph g = make_star(n);
+  const decay_protocol proto;
+  trace t;
+  run_options ro;
+  ro.sink = &t;
+  ro.seed = 11;
+  ro.stop = stop_condition::all_halted;  // run several phases
+  ro.max_steps = 100;
+  run_broadcast(g, proto, ro);
+  const std::int64_t phase_len = 2 * 4;  // 2·⌈log(r+1)⌉, r = 15
+  for (node_id v = 0; v < n; ++v) {
+    const auto steps = transmit_steps(t, v);
+    std::map<std::int64_t, std::vector<std::int64_t>> by_phase;
+    for (std::int64_t s : steps) by_phase[s / phase_len].push_back(s % phase_len);
+    for (const auto& [phase, offsets] : by_phase) {
+      for (std::size_t i = 0; i < offsets.size(); ++i) {
+        EXPECT_EQ(offsets[i], static_cast<std::int64_t>(i))
+            << "node " << v << " phase " << phase
+            << ": transmissions must form a prefix";
+      }
+    }
+  }
+}
+
+TEST(DecaySemanticsTest, JoinsOnlyAtPhaseBoundaries) {
+  // A node informed mid-phase must stay silent until the next phase starts.
+  graph g = make_path(4);
+  const decay_protocol proto;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    trace t;
+    run_options ro;
+    ro.sink = &t;
+    ro.seed = seed;
+    const run_result res = run_broadcast(g, proto, ro);
+    ASSERT_TRUE(res.completed);
+    const std::int64_t phase_len = 2 * 2;  // r = 3
+    for (node_id v = 1; v < 4; ++v) {
+      const std::int64_t informed =
+          res.informed_at[static_cast<std::size_t>(v)];
+      const std::int64_t next_phase =
+          ((informed / phase_len) + 1) * phase_len;
+      for (std::int64_t s : transmit_steps(t, v)) {
+        EXPECT_GE(s, next_phase) << "node " << v << " seed " << seed;
+      }
+    }
+  }
+}
+
+// ---------- round robin semantics ----------
+
+TEST(RoundRobinSemanticsTest, TransmitsExactlyInOwnSlot) {
+  const node_id n = 8;
+  graph g = make_complete(n);
+  const round_robin_protocol proto;
+  trace t;
+  run_options ro;
+  ro.sink = &t;
+  ro.stop = stop_condition::all_halted;
+  ro.max_steps = 4 * n;
+  run_broadcast(g, proto, ro);
+  for (const auto& e : t.filter(trace_event::type::transmit)) {
+    EXPECT_EQ(e.step % n, e.node);  // modulus r+1 = n
+  }
+}
+
+TEST(RoundRobinSemanticsTest, EveryInformedNodeUsesEverySlotRound) {
+  // After everyone is informed, each full round contains exactly one
+  // transmission per node.
+  const node_id n = 6;
+  graph g = make_complete(n);
+  const round_robin_protocol proto;
+  trace t;
+  run_options ro;
+  ro.sink = &t;
+  ro.stop = stop_condition::all_halted;
+  ro.max_steps = 3 * n;
+  run_broadcast(g, proto, ro);
+  std::map<std::int64_t, int> per_round;
+  for (const auto& e : t.filter(trace_event::type::transmit)) {
+    if (e.step >= n) ++per_round[e.step / n];  // skip the warm-up round
+  }
+  for (const auto& [round, count] : per_round) {
+    EXPECT_EQ(count, n) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace radiocast

@@ -1,0 +1,171 @@
+// Robustness and failure-injection tests: misbehaving protocols, degenerate
+// parameters, and defensive checks across the library's contract surface.
+#include <gtest/gtest.h>
+
+#include "adversary/lower_bound_builder.h"
+#include "adversary/selective_family.h"
+#include "core/echo.h"
+#include "core/runner.h"
+#include "core/universal_sequence.h"
+#include "graph/analysis.h"
+#include "graph/generators.h"
+#include "sim/simulator.h"
+
+namespace radiocast {
+namespace {
+
+// A protocol whose source never transmits: a broken broadcaster. Legal as
+// an object, useless as an algorithm — used to exercise stuck-handling.
+class silent_protocol final : public protocol {
+ public:
+  std::string name() const override { return "silent"; }
+  bool deterministic() const override { return true; }
+  std::unique_ptr<protocol_node> make_node(
+      node_id label, const protocol_params&) const override {
+    class node final : public protocol_node {
+     public:
+      explicit node(node_id label) : informed_(label == 0) {}
+      std::optional<message> on_step(const node_context&) override {
+        return std::nullopt;
+      }
+      void on_receive(const node_context&, const message&) override {
+        informed_ = true;
+      }
+      bool informed() const override { return informed_; }
+
+     private:
+      bool informed_;
+    };
+    return std::make_unique<node>(label);
+  }
+};
+
+// A protocol that breaks the source-starts-informed contract.
+class uninformed_source_protocol final : public protocol {
+ public:
+  std::string name() const override { return "broken-source"; }
+  bool deterministic() const override { return true; }
+  std::unique_ptr<protocol_node> make_node(
+      node_id, const protocol_params&) const override {
+    class node final : public protocol_node {
+     public:
+      std::optional<message> on_step(const node_context&) override {
+        return std::nullopt;
+      }
+      void on_receive(const node_context&, const message&) override {}
+      bool informed() const override { return false; }  // even the source
+    };
+    return std::make_unique<node>();
+  }
+};
+
+TEST(RobustnessTest, SilentProtocolNeverCompletes) {
+  graph g = make_path(4);
+  const silent_protocol proto;
+  run_options opts;
+  opts.max_steps = 200;
+  const run_result res = run_broadcast(g, proto, opts);
+  EXPECT_FALSE(res.completed);
+  EXPECT_EQ(res.steps, 200);
+  EXPECT_EQ(res.transmissions, 0);
+}
+
+TEST(RobustnessTest, BrokenSourceContractIsCaught) {
+  graph g = make_path(3);
+  const uninformed_source_protocol proto;
+  EXPECT_THROW(run_broadcast(g, proto, {}), invariant_error);
+}
+
+TEST(RobustnessTest, AdversaryMarksStuckConstruction) {
+  // Against a silent algorithm the builder waits for the source's first
+  // transmission forever; with a small cap it must flag the result stuck
+  // and still deliver a well-formed radius-D topology.
+  const silent_protocol proto;
+  adversary_options opts;
+  opts.stage_wait_cap = 500;
+  const adversarial_network net =
+      build_adversarial_network(proto, 512, 8, opts);
+  EXPECT_TRUE(net.stuck);
+  EXPECT_EQ(net.g.node_count(), 512);
+  EXPECT_TRUE(is_connected(net.g));
+  EXPECT_EQ(radius_from(net.g), 8);
+}
+
+TEST(RobustnessTest, SelectionDriverRejectsUseAfterFinish) {
+  selection_driver driver({1, 2}, /*helper=*/5, /*bound=*/7);
+  // Drive one full echo with an "empty" outcome: order, silence, helper.
+  (void)driver.on_step(0);
+  (void)driver.on_step(1);
+  (void)driver.on_step(2);
+  driver.on_receive(message{2, 5, 0, 0, 0, 0});  // helper reply (step 2)
+  (void)driver.on_step(3);                       // evaluate → empty_set
+  ASSERT_TRUE(driver.finished());
+  EXPECT_EQ(driver.result(), selection_driver::status::empty_set);
+  EXPECT_THROW(driver.on_step(4), precondition_error);
+  EXPECT_THROW(driver.selected(), precondition_error);
+}
+
+TEST(RobustnessTest, SelectionDriverIgnoresForeignKinds) {
+  selection_driver driver({1, 2}, 5, 7);
+  (void)driver.on_step(0);
+  (void)driver.on_step(1);
+  driver.on_receive(message{99, 3, 0, 0, 0, 0});  // not a reply: ignored
+  (void)driver.on_step(2);
+  driver.on_receive(message{2, 5, 0, 0, 0, 0});
+  (void)driver.on_step(3);
+  EXPECT_EQ(driver.result(), selection_driver::status::empty_set);
+}
+
+TEST(RobustnessTest, ModularFamilyWithTooFewPrimesFails) {
+  // One prime cannot separate pairs that collide modulo it: negative test
+  // for the verifier + the construction's prime requirement.
+  const set_family family = modular_selective_family(16, 2, 1);  // q = 2
+  EXPECT_FALSE(is_selective(family, 16, 2));
+}
+
+TEST(RobustnessTest, UniversalSequenceDeterministic) {
+  const universal_sequence a(14, 12);
+  const universal_sequence b(14, 12);
+  ASSERT_EQ(a.period(), b.period());
+  for (std::int64_t i = 1; i <= a.period(); ++i) {
+    ASSERT_EQ(a.exponent_at(i), b.exponent_at(i));
+  }
+}
+
+TEST(RobustnessTest, UniversalSequenceAbsentExponentGap) {
+  const universal_sequence seq(10, 8);
+  // Exponent 0 (probability 1) never appears in the sequence.
+  EXPECT_EQ(seq.max_cyclic_gap(0), seq.period() + 1);
+  EXPECT_THROW(seq.exponent_at(0), precondition_error);  // 1-based index
+}
+
+TEST(RobustnessTest, RunnerValidatesLabelBound) {
+  // kp protocols are built for a fixed r; running them with a larger label
+  // space must be rejected, a smaller one is fine.
+  graph small = make_path(8);
+  const auto proto = make_protocol("kp", 7, 2);
+  EXPECT_NO_THROW(run_broadcast(small, *proto, {}));
+  graph big = make_path(32);
+  run_options opts;
+  opts.max_steps = 100;
+  EXPECT_THROW(run_broadcast(big, *proto, opts), precondition_error);
+}
+
+TEST(RobustnessTest, EmptyGraphAndTinyGraphEdges) {
+  EXPECT_THROW(graph::undirected(0), precondition_error);
+  graph one = graph::undirected(1);
+  EXPECT_EQ(one.node_count(), 1);
+  EXPECT_EQ(radius_from(one), 0);
+  EXPECT_TRUE(is_connected(one));
+}
+
+TEST(RobustnessTest, RunOptionsCapValidation) {
+  graph g = make_path(2);
+  const auto proto = make_protocol("round-robin", 1);
+  run_options opts;
+  opts.max_steps = 0;
+  EXPECT_THROW(run_broadcast(g, *proto, opts), precondition_error);
+}
+
+}  // namespace
+}  // namespace radiocast

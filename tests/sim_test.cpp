@@ -1,0 +1,269 @@
+// Tests of the radio simulator's semantics: the collision model (receive
+// iff exactly one transmitting in-neighbor, collision ≡ silence), the
+// no-spontaneous-transmission rule, directed operation, tracing, and the
+// run-loop bookkeeping.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace radiocast {
+namespace {
+
+// A scripted protocol for exercising the simulator: each node transmits at
+// exactly the steps listed in its script and records everything it receives.
+// Reception logs are exposed through a shared observer (the protocol is a
+// test fixture, not a real broadcasting algorithm).
+struct script_observer {
+  std::map<node_id, std::vector<std::pair<std::int64_t, node_id>>> received;
+};
+
+class scripted_protocol final : public protocol {
+ public:
+  scripted_protocol(std::map<node_id, std::vector<std::int64_t>> scripts,
+                    script_observer* observer)
+      : scripts_(std::move(scripts)), observer_(observer) {}
+
+  std::string name() const override { return "scripted"; }
+  bool deterministic() const override { return true; }
+
+  std::unique_ptr<protocol_node> make_node(
+      node_id label, const protocol_params&) const override {
+    std::vector<std::int64_t> script;
+    if (const auto it = scripts_.find(label); it != scripts_.end()) {
+      script = it->second;
+    }
+    return std::make_unique<node_impl>(label, std::move(script), observer_);
+  }
+
+ private:
+  class node_impl final : public protocol_node {
+   public:
+    node_impl(node_id label, std::vector<std::int64_t> script,
+              script_observer* observer)
+        : label_(label), script_(std::move(script)), observer_(observer),
+          informed_(label == 0) {}
+
+    std::optional<message> on_step(const node_context& ctx) override {
+      for (std::int64_t s : script_) {
+        if (s == ctx.step) return message{1, label_, ctx.step, 0, 0, 0};
+      }
+      return std::nullopt;
+    }
+
+    void on_receive(const node_context& ctx, const message& msg) override {
+      informed_ = true;
+      observer_->received[label_].emplace_back(ctx.step, msg.from);
+    }
+
+    bool informed() const override { return informed_; }
+
+   private:
+    node_id label_;
+    std::vector<std::int64_t> script_;
+    script_observer* observer_;
+    bool informed_;
+  };
+
+  std::map<node_id, std::vector<std::int64_t>> scripts_;
+  script_observer* observer_;
+};
+
+run_options capped(std::int64_t max_steps) {
+  run_options o;
+  o.max_steps = max_steps;
+  return o;
+}
+
+/// Like capped(), but runs the full step budget even after everyone is
+/// informed (scripted nodes never halt) — for post-wake collision checks.
+run_options capped_full(std::int64_t max_steps) {
+  run_options o = capped(max_steps);
+  o.stop = stop_condition::all_halted;
+  return o;
+}
+
+// ---------- collision semantics ----------
+
+TEST(SimTest, SingleTransmitterIsReceived) {
+  // star: 0 is adjacent to 1, 2, 3.
+  graph g = make_star(4);
+  script_observer obs;
+  scripted_protocol proto({{0, {0}}}, &obs);
+  run_broadcast(g, proto, capped(2));
+  for (node_id v : {1, 2, 3}) {
+    ASSERT_EQ(obs.received[v].size(), 1u) << "node " << v;
+    EXPECT_EQ(obs.received[v][0], (std::pair<std::int64_t, node_id>{0, 0}));
+  }
+}
+
+TEST(SimTest, TwoTransmittersCollideIntoSilence) {
+  // path 1 - 0 - 2: both 1 and 2 transmit at step 1 → 0 hears nothing.
+  graph g = graph::undirected(3);
+  g.add_edge(1, 0);
+  g.add_edge(2, 0);
+  script_observer obs;
+  // step 0: source wakes 1 and 2; step 1: both reply simultaneously.
+  scripted_protocol proto({{0, {0}}, {1, {1}}, {2, {1}}}, &obs);
+  const run_result r = run_broadcast(g, proto, capped_full(3));
+  EXPECT_TRUE(obs.received[0].empty());  // collision ≡ silence
+  EXPECT_GE(r.collisions, 1);
+}
+
+TEST(SimTest, CollisionOnlyAffectsCommonNeighbor) {
+  //   0 - 1, 0 - 2, 2 - 3 : step 0 source wakes 1, 2; step 1 node 2 relays
+  // to 3; step 2 nodes 1 and 3 transmit together. Node 0 (neighbors 1, 2)
+  // hears only 1; node 2 (neighbors 0, 3) hears only 3 — no collision
+  // anywhere despite two simultaneous transmitters.
+  graph g = graph::undirected(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  script_observer obs;
+  scripted_protocol proto({{0, {0}}, {2, {1}}, {1, {2}}, {3, {2}}}, &obs);
+  const run_result r = run_broadcast(g, proto, capped_full(4));
+  ASSERT_EQ(obs.received[0].size(), 2u);
+  EXPECT_EQ(obs.received[0][0].second, 2);  // the step-1 relay
+  EXPECT_EQ(obs.received[0][1].second, 1);  // step 2: only neighbor 1
+  ASSERT_EQ(obs.received[2].size(), 2u);    // from 0 at step 0, from 3 at 2
+  EXPECT_EQ(obs.received[2][1].second, 3);
+  EXPECT_EQ(r.collisions, 0);
+}
+
+TEST(SimTest, TransmitterCannotReceiveSimultaneously) {
+  // 0 - 1 both transmit at step 0... node 1 cannot transmit spontaneously,
+  // so use: step 0 source, step 1 both 0 and 1 transmit → neither receives.
+  graph g = make_path(2);
+  script_observer obs;
+  scripted_protocol proto({{0, {0, 1}}, {1, {1}}}, &obs);
+  run_broadcast(g, proto, capped_full(3));
+  ASSERT_EQ(obs.received[1].size(), 1u);  // only the step-0 wake
+  EXPECT_TRUE(obs.received[0].empty());
+}
+
+TEST(SimTest, ThreeTransmittersStillSilence) {
+  graph g = make_star(5);  // 0 center
+  script_observer obs;
+  scripted_protocol proto({{0, {0}}, {1, {1}}, {2, {1}}, {3, {1}}}, &obs);
+  run_broadcast(g, proto, capped_full(3));
+  EXPECT_TRUE(obs.received[0].empty());
+  // Node 4 is a leaf: hears nothing at step 1 (its only neighbor 0 silent).
+  ASSERT_EQ(obs.received[4].size(), 1u);
+}
+
+// ---------- model rules ----------
+
+TEST(SimTest, SpontaneousTransmissionIsRejected) {
+  graph g = make_path(3);
+  script_observer obs;
+  // Node 2 tries to transmit at step 0 without ever having received.
+  scripted_protocol proto({{2, {0}}}, &obs);
+  EXPECT_THROW(run_broadcast(g, proto, capped(2)), invariant_error);
+}
+
+TEST(SimTest, SourceMayTransmitImmediately) {
+  graph g = make_path(2);
+  script_observer obs;
+  scripted_protocol proto({{0, {0}}}, &obs);
+  EXPECT_NO_THROW(run_broadcast(g, proto, capped(2)));
+}
+
+TEST(SimTest, DirectedEdgesDeliverOneWay) {
+  graph g = graph::directed(3);
+  g.add_edge(0, 1);  // 0 → 1
+  g.add_edge(2, 1);  // 2 → 1 (2 unreachable from 0; it stays silent)
+  script_observer obs;
+  scripted_protocol proto({{0, {0, 1}}}, &obs);
+  run_broadcast(g, proto, capped_full(3));
+  EXPECT_EQ(obs.received[1].size(), 2u);
+  EXPECT_TRUE(obs.received[0].empty());  // no arc into 0
+  EXPECT_TRUE(obs.received[2].empty());  // no arc into 2
+}
+
+TEST(SimTest, DirectedCollisionUsesInNeighbors) {
+  // 0→2, 1→2, 0→1: step 0: 0 transmits (1 and 2 hear). step 1: 0 and 1
+  // transmit → 2 has two transmitting in-neighbors → silence.
+  graph g = graph::directed(3);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.add_edge(0, 1);
+  script_observer obs;
+  scripted_protocol proto({{0, {0, 1}}, {1, {1}}}, &obs);
+  run_broadcast(g, proto, capped_full(3));
+  ASSERT_EQ(obs.received[2].size(), 1u);  // only the step-0 message
+  EXPECT_EQ(obs.received[2][0].first, 0);
+}
+
+// ---------- bookkeeping ----------
+
+TEST(SimTest, InformedAtTracksFirstReception) {
+  graph g = make_path(3);
+  script_observer obs;
+  scripted_protocol proto({{0, {0}}, {1, {4}}}, &obs);
+  const run_result r = run_broadcast(g, proto, capped(10));
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.informed_at[0], 0);
+  EXPECT_EQ(r.informed_at[1], 0);
+  EXPECT_EQ(r.informed_at[2], 4);
+  EXPECT_EQ(r.informed_step, 5);  // completed after step 4
+}
+
+TEST(SimTest, IncompleteRunReportsFailure) {
+  graph g = make_path(3);
+  script_observer obs;
+  scripted_protocol proto({{0, {0}}}, &obs);  // node 2 never reached
+  const run_result r = run_broadcast(g, proto, capped(5));
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.steps, 5);
+  EXPECT_EQ(r.informed_at[2], -1);
+}
+
+TEST(SimTest, CountersAreConsistent) {
+  graph g = make_star(4);
+  script_observer obs;
+  scripted_protocol proto({{0, {0}}, {1, {1}}, {2, {1}}, {3, {2}}}, &obs);
+  const run_result r = run_broadcast(g, proto, capped_full(4));
+  // transmissions: 0@0, 1@1, 2@1, 3@2.
+  EXPECT_EQ(r.transmissions, 4);
+  // deliveries: 3 at step 0; collision at 0 in step 1; 3@2 delivers to 0.
+  EXPECT_EQ(r.collisions, 1);
+  EXPECT_EQ(r.deliveries, 4);
+}
+
+TEST(SimTest, TraceRecordsEvents) {
+  graph g = make_path(2);
+  script_observer obs;
+  scripted_protocol proto({{0, {0}}}, &obs);
+  trace t;
+  run_options opts = capped(2);
+  opts.sink = &t;
+  run_broadcast(g, proto, opts);
+  EXPECT_EQ(t.filter(trace_event::type::transmit).size(), 1u);
+  EXPECT_EQ(t.filter(trace_event::type::receive).size(), 1u);
+  EXPECT_EQ(t.filter(trace_event::type::informed).size(), 1u);
+  EXPECT_NE(t.to_string().find("transmits"), std::string::npos);
+}
+
+TEST(SimTest, ExplicitLabelBoundValidated) {
+  graph g = make_path(2);
+  script_observer obs;
+  scripted_protocol proto({{0, {0}}}, &obs);
+  EXPECT_THROW(run_broadcast_with_r(g, proto, 0, capped(2)),
+               precondition_error);
+  EXPECT_NO_THROW(run_broadcast_with_r(g, proto, 5, capped(2)));
+}
+
+TEST(SimTest, CompletionTimesThrowsOnNonCompletion) {
+  graph g = make_path(3);
+  script_observer obs;
+  scripted_protocol proto({{0, {0}}}, &obs);
+  EXPECT_THROW(completion_times(g, proto, 1, 1, 5), invariant_error);
+}
+
+}  // namespace
+}  // namespace radiocast

@@ -1,0 +1,95 @@
+// Larger-scale smoke tests: the sizes the benchmark harnesses run at,
+// exercised once each under the test runner so regressions in asymptotic
+// behavior (not just correctness) fail CI. Budgeted to stay under ~30 s.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "adversary/lower_bound_builder.h"
+#include "core/runner.h"
+#include "graph/analysis.h"
+#include "graph/generators.h"
+#include "sim/simulator.h"
+
+namespace radiocast {
+namespace {
+
+TEST(StressTest, KpOnLargeWorstCaseFamily) {
+  const node_id n = 8192;
+  const int d = 512;
+  graph g = make_complete_layered_uniform(n, d);
+  const auto proto = make_protocol("kp", n - 1, d);
+  run_options opts;
+  opts.seed = 2;
+  opts.max_steps = 2'000'000;
+  const run_result res = run_broadcast(g, *proto, opts);
+  ASSERT_TRUE(res.completed);
+  // Generous shape bound: c·(D log(n/D) + log²n).
+  const double bound = 40.0 * (d * std::log2(16.0) + 169.0);
+  EXPECT_LT(static_cast<double>(res.informed_step), bound);
+}
+
+TEST(StressTest, DecayOnLargeSparseNetwork) {
+  rng gen(3);
+  const node_id n = 8192;
+  graph g = make_gnp_connected(n, 3.0 / n, gen);
+  const auto proto = make_protocol("decay", n - 1);
+  run_options opts;
+  opts.seed = 4;
+  opts.max_steps = 5'000'000;
+  EXPECT_TRUE(run_broadcast(g, *proto, opts).completed);
+}
+
+TEST(StressTest, SelectAndSendOnLongPath) {
+  const node_id n = 4096;
+  graph g = make_path(n);
+  const auto proto = make_protocol("select-and-send", n - 1);
+  run_options opts;
+  opts.max_steps = 50'000'000;
+  opts.stop = stop_condition::all_halted;
+  const run_result res = run_broadcast(g, *proto, opts);
+  ASSERT_TRUE(res.completed);
+  EXPECT_LT(res.steps, 8 * static_cast<std::int64_t>(n));  // ≈ 2·4 per hop
+}
+
+TEST(StressTest, CompleteLayeredOnWideNetwork) {
+  const node_id n = 8192;
+  const int d = 16;
+  graph g = make_complete_layered_uniform(n, d);  // 512-wide layers
+  const auto proto = make_protocol("complete-layered", n - 1);
+  run_options opts;
+  opts.max_steps = 10'000'000;
+  const run_result res = run_broadcast(g, *proto, opts);
+  ASSERT_TRUE(res.completed);
+  EXPECT_LT(res.informed_step, 2 * n);
+}
+
+TEST(StressTest, AdversaryAtBenchScale) {
+  const node_id n = 4096;
+  const int d = 16;
+  const auto proto = make_protocol("round-robin", n - 1);
+  const adversarial_network net = build_adversarial_network(*proto, n, d);
+  ASSERT_FALSE(net.stuck);
+  EXPECT_EQ(radius_from(net.g), d);
+  run_options opts;
+  opts.max_steps = 100'000'000;
+  const run_result res = run_broadcast(net.g, *proto, opts);
+  ASSERT_TRUE(res.completed);
+  EXPECT_GE(res.informed_step, net.forced_steps);
+}
+
+TEST(StressTest, GeometricFieldAtScale) {
+  rng gen(7);
+  graph g = make_random_geometric(2000, 0.05, gen);
+  ASSERT_TRUE(is_connected(g));
+  const int d = radius_from(g);
+  const auto proto = make_protocol("kp", g.node_count() - 1,
+                                   std::max(1, d));
+  run_options opts;
+  opts.seed = 6;
+  opts.max_steps = 5'000'000;
+  EXPECT_TRUE(run_broadcast(g, *proto, opts).completed);
+}
+
+}  // namespace
+}  // namespace radiocast
