@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_universal_step.dir/bench_ablation_universal_step.cpp.o"
+  "CMakeFiles/bench_ablation_universal_step.dir/bench_ablation_universal_step.cpp.o.d"
+  "bench_ablation_universal_step"
+  "bench_ablation_universal_step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_universal_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_complete_layered.dir/bench_complete_layered.cpp.o"
+  "CMakeFiles/bench_complete_layered.dir/bench_complete_layered.cpp.o.d"
+  "bench_complete_layered"
+  "bench_complete_layered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_complete_layered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

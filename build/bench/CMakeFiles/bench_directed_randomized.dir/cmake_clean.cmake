@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_directed_randomized.dir/bench_directed_randomized.cpp.o"
+  "CMakeFiles/bench_directed_randomized.dir/bench_directed_randomized.cpp.o.d"
+  "bench_directed_randomized"
+  "bench_directed_randomized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_directed_randomized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

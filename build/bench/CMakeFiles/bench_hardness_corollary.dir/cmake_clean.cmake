@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hardness_corollary.dir/bench_hardness_corollary.cpp.o"
+  "CMakeFiles/bench_hardness_corollary.dir/bench_hardness_corollary.cpp.o.d"
+  "bench_hardness_corollary"
+  "bench_hardness_corollary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hardness_corollary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

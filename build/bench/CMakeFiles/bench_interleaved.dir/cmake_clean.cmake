@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interleaved.dir/bench_interleaved.cpp.o"
+  "CMakeFiles/bench_interleaved.dir/bench_interleaved.cpp.o.d"
+  "bench_interleaved"
+  "bench_interleaved.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interleaved.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

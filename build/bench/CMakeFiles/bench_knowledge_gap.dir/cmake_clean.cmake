@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_knowledge_gap.dir/bench_knowledge_gap.cpp.o"
+  "CMakeFiles/bench_knowledge_gap.dir/bench_knowledge_gap.cpp.o.d"
+  "bench_knowledge_gap"
+  "bench_knowledge_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_knowledge_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_label_space.dir/bench_label_space.cpp.o"
+  "CMakeFiles/bench_label_space.dir/bench_label_space.cpp.o.d"
+  "bench_label_space"
+  "bench_label_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_label_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

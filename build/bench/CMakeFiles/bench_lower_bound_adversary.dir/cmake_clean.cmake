@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lower_bound_adversary.dir/bench_lower_bound_adversary.cpp.o"
+  "CMakeFiles/bench_lower_bound_adversary.dir/bench_lower_bound_adversary.cpp.o.d"
+  "bench_lower_bound_adversary"
+  "bench_lower_bound_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lower_bound_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

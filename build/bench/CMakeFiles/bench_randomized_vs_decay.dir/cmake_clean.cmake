@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_randomized_vs_decay.dir/bench_randomized_vs_decay.cpp.o"
+  "CMakeFiles/bench_randomized_vs_decay.dir/bench_randomized_vs_decay.cpp.o.d"
+  "bench_randomized_vs_decay"
+  "bench_randomized_vs_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_randomized_vs_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_randomized_vs_decay.
+# This may be replaced when dependencies are built.

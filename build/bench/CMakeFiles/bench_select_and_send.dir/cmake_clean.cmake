@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_select_and_send.dir/bench_select_and_send.cpp.o"
+  "CMakeFiles/bench_select_and_send.dir/bench_select_and_send.cpp.o.d"
+  "bench_select_and_send"
+  "bench_select_and_send.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_select_and_send.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

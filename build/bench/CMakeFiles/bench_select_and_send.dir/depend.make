@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_select_and_send.
+# This may be replaced when dependencies are built.

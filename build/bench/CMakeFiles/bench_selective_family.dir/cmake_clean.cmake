@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_selective_family.dir/bench_selective_family.cpp.o"
+  "CMakeFiles/bench_selective_family.dir/bench_selective_family.cpp.o.d"
+  "bench_selective_family"
+  "bench_selective_family.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_selective_family.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simulator_throughput.dir/bench_simulator_throughput.cpp.o"
+  "CMakeFiles/bench_simulator_throughput.dir/bench_simulator_throughput.cpp.o.d"
+  "bench_simulator_throughput"
+  "bench_simulator_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simulator_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_small_radius.dir/bench_small_radius.cpp.o"
+  "CMakeFiles/bench_small_radius.dir/bench_small_radius.cpp.o.d"
+  "bench_small_radius"
+  "bench_small_radius.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_small_radius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_universal_sequence.dir/bench_universal_sequence.cpp.o"
+  "CMakeFiles/bench_universal_sequence.dir/bench_universal_sequence.cpp.o.d"
+  "bench_universal_sequence"
+  "bench_universal_sequence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_universal_sequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversarial_topology.dir/adversarial_topology.cpp.o"
+  "CMakeFiles/adversarial_topology.dir/adversarial_topology.cpp.o.d"
+  "adversarial_topology"
+  "adversarial_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversarial_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

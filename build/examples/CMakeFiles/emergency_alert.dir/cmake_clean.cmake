@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emergency_alert.dir/emergency_alert.cpp.o"
+  "CMakeFiles/emergency_alert.dir/emergency_alert.cpp.o.d"
+  "emergency_alert"
+  "emergency_alert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emergency_alert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for emergency_alert.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for emergency_alert.
+# This may be replaced when dependencies are built.

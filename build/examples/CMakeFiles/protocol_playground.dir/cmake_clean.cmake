@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_playground.dir/protocol_playground.cpp.o"
+  "CMakeFiles/protocol_playground.dir/protocol_playground.cpp.o.d"
+  "protocol_playground"
+  "protocol_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

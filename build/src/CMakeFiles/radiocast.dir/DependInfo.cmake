@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adversary/jamming.cpp" "src/CMakeFiles/radiocast.dir/adversary/jamming.cpp.o" "gcc" "src/CMakeFiles/radiocast.dir/adversary/jamming.cpp.o.d"
+  "/root/repo/src/adversary/lower_bound_builder.cpp" "src/CMakeFiles/radiocast.dir/adversary/lower_bound_builder.cpp.o" "gcc" "src/CMakeFiles/radiocast.dir/adversary/lower_bound_builder.cpp.o.d"
+  "/root/repo/src/adversary/selective_family.cpp" "src/CMakeFiles/radiocast.dir/adversary/selective_family.cpp.o" "gcc" "src/CMakeFiles/radiocast.dir/adversary/selective_family.cpp.o.d"
+  "/root/repo/src/core/complete_layered.cpp" "src/CMakeFiles/radiocast.dir/core/complete_layered.cpp.o" "gcc" "src/CMakeFiles/radiocast.dir/core/complete_layered.cpp.o.d"
+  "/root/repo/src/core/decay.cpp" "src/CMakeFiles/radiocast.dir/core/decay.cpp.o" "gcc" "src/CMakeFiles/radiocast.dir/core/decay.cpp.o.d"
+  "/root/repo/src/core/dfs_known.cpp" "src/CMakeFiles/radiocast.dir/core/dfs_known.cpp.o" "gcc" "src/CMakeFiles/radiocast.dir/core/dfs_known.cpp.o.d"
+  "/root/repo/src/core/echo.cpp" "src/CMakeFiles/radiocast.dir/core/echo.cpp.o" "gcc" "src/CMakeFiles/radiocast.dir/core/echo.cpp.o.d"
+  "/root/repo/src/core/interleaved.cpp" "src/CMakeFiles/radiocast.dir/core/interleaved.cpp.o" "gcc" "src/CMakeFiles/radiocast.dir/core/interleaved.cpp.o.d"
+  "/root/repo/src/core/kp_randomized.cpp" "src/CMakeFiles/radiocast.dir/core/kp_randomized.cpp.o" "gcc" "src/CMakeFiles/radiocast.dir/core/kp_randomized.cpp.o.d"
+  "/root/repo/src/core/round_robin.cpp" "src/CMakeFiles/radiocast.dir/core/round_robin.cpp.o" "gcc" "src/CMakeFiles/radiocast.dir/core/round_robin.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "src/CMakeFiles/radiocast.dir/core/runner.cpp.o" "gcc" "src/CMakeFiles/radiocast.dir/core/runner.cpp.o.d"
+  "/root/repo/src/core/select_and_send.cpp" "src/CMakeFiles/radiocast.dir/core/select_and_send.cpp.o" "gcc" "src/CMakeFiles/radiocast.dir/core/select_and_send.cpp.o.d"
+  "/root/repo/src/core/selective_broadcast.cpp" "src/CMakeFiles/radiocast.dir/core/selective_broadcast.cpp.o" "gcc" "src/CMakeFiles/radiocast.dir/core/selective_broadcast.cpp.o.d"
+  "/root/repo/src/core/universal_sequence.cpp" "src/CMakeFiles/radiocast.dir/core/universal_sequence.cpp.o" "gcc" "src/CMakeFiles/radiocast.dir/core/universal_sequence.cpp.o.d"
+  "/root/repo/src/graph/analysis.cpp" "src/CMakeFiles/radiocast.dir/graph/analysis.cpp.o" "gcc" "src/CMakeFiles/radiocast.dir/graph/analysis.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/radiocast.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/radiocast.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/radiocast.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/radiocast.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/radiocast.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/radiocast.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/radiocast.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/radiocast.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/radiocast.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/radiocast.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/fit.cpp" "src/CMakeFiles/radiocast.dir/util/fit.cpp.o" "gcc" "src/CMakeFiles/radiocast.dir/util/fit.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/radiocast.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/radiocast.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/radiocast.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/radiocast.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/radiocast.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/radiocast.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

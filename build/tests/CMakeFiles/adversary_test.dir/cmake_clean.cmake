@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversary_test.dir/adversary_test.cpp.o"
+  "CMakeFiles/adversary_test.dir/adversary_test.cpp.o.d"
+  "adversary_test"
+  "adversary_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

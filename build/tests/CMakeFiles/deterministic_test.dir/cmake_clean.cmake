@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deterministic_test.dir/deterministic_test.cpp.o"
+  "CMakeFiles/deterministic_test.dir/deterministic_test.cpp.o.d"
+  "deterministic_test"
+  "deterministic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deterministic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/echo_test.dir/echo_test.cpp.o"
+  "CMakeFiles/echo_test.dir/echo_test.cpp.o.d"
+  "echo_test"
+  "echo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/echo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

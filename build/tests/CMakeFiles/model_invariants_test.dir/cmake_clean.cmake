@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_invariants_test.dir/model_invariants_test.cpp.o"
+  "CMakeFiles/model_invariants_test.dir/model_invariants_test.cpp.o.d"
+  "model_invariants_test"
+  "model_invariants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_semantics_test.dir/protocol_semantics_test.cpp.o"
+  "CMakeFiles/protocol_semantics_test.dir/protocol_semantics_test.cpp.o.d"
+  "protocol_semantics_test"
+  "protocol_semantics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/randomized_test.dir/randomized_test.cpp.o"
+  "CMakeFiles/randomized_test.dir/randomized_test.cpp.o.d"
+  "randomized_test"
+  "randomized_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/randomized_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/token_validity_test.dir/token_validity_test.cpp.o"
+  "CMakeFiles/token_validity_test.dir/token_validity_test.cpp.o.d"
+  "token_validity_test"
+  "token_validity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/token_validity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
