@@ -14,30 +14,43 @@ namespace {
 
 void run() {
   constexpr std::int64_t kCap = 100'000;  // ≫ 500× the full algorithm
+  bench::reporter rep("ablation_universal_step");
+  rep.config("experiment", "E8");
+  rep.config("cap", static_cast<std::int64_t>(kCap));
   text_table table(
       "E8: ablating the universal-sequence step (fat complete layered "
       "networks, cap 100k steps)");
   table.set_header({"n", "D", "fat in-degree", "kp full", "kp ablated",
                     "bgi decay", "ablation penalty"});
-  for (const auto& [n, d] : std::vector<std::pair<node_id, int>>{
-           {512, 8}, {512, 16}, {1024, 16}, {2048, 16}, {2048, 32}}) {
+  for (const auto& [n, d] : bench::sweep<std::pair<node_id, int>>(
+           {{512, 8}, {512, 16}, {1024, 16}, {2048, 16}, {2048, 32}})) {
     graph g = make_complete_layered_fat(n, d, d - 1);
     const auto full = make_protocol("kp", n - 1, d);
     const auto ablated = make_protocol("kp-ablated", n - 1, d);
     const auto decay = make_protocol("decay", n - 1);
-    const double t_full = bench::mean_time(g, *full, 10, 9, kCap);
-    const double t_decay = bench::mean_time(g, *decay, 10, 9, kCap);
+    const std::string cell =
+        "n=" + std::to_string(n) + "/D=" + std::to_string(d);
+    const auto base = [&](const char* proto) {
+      return bench::params("n", n, "D", d, "protocol", proto);
+    };
+    const double t_full = bench::mean_steps(bench::run_case(
+        rep, cell + "/kp-full", base("kp"), g, *full,
+        bench::trial_count(10), 9, kCap));
+    const double t_decay = bench::mean_steps(bench::run_case(
+        rep, cell + "/decay", base("decay"), g, *decay,
+        bench::trial_count(10), 9, kCap));
+    const int kAblatedTrials = bench::trial_count(4);
+    const trial_set ablated_batch = bench::run_case(
+        rep, cell + "/kp-ablated", base("kp-ablated"), g, *ablated,
+        kAblatedTrials, 9, kCap);
+    // Timed-out trials count at the cap: the penalty column is a lower
+    // bound when any trial stalls.
     double t_ablated = 0;
     int timeouts = 0;
-    constexpr int kAblatedTrials = 4;
-    for (std::uint64_t seed = 9; seed < 9 + kAblatedTrials; ++seed) {
-      run_options opts;
-      opts.seed = seed;
-      opts.max_steps = kCap;
-      const run_result r = run_broadcast(g, *ablated, opts);
-      t_ablated += r.completed ? static_cast<double>(r.informed_step)
+    for (const trial_record& t : ablated_batch.trials) {
+      t_ablated += t.completed ? static_cast<double>(t.informed_step)
                                : static_cast<double>(kCap);
-      timeouts += r.completed ? 0 : 1;
+      timeouts += t.completed ? 0 : 1;
     }
     t_ablated /= kAblatedTrials;
     std::string ablated_cell = text_table::format_double(t_ablated);

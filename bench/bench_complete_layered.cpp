@@ -14,12 +14,14 @@ namespace radiocast {
 namespace {
 
 void run() {
+  bench::reporter rep("complete_layered");
+  rep.config("experiment", "E5");
   text_table table("E5: Complete-Layered vs the refuted Ω(n log D) claim");
   table.set_header({"n", "D", "cl", "cl-advlabels", "n+D·logn", "refuted "
                     "n·logD", "cl/refuted", "select-and-send"});
   std::vector<std::vector<double>> features;
   std::vector<double> ys;
-  for (const node_id n : {1024, 2048, 4096}) {
+  for (const node_id n : bench::sweep({1024, 2048, 4096})) {
     for (int d = 4; d <= n / 4; d *= 4) {
       graph g = make_complete_layered_uniform(n, d);
       // Adversarial labeling: give layer 1 the highest labels so phase 1's
@@ -35,21 +37,30 @@ void run() {
       }
       graph gp = permute_labels(g, perm);
       const auto cl = make_protocol("complete-layered", n - 1);
-      run_options opts;
-      opts.max_steps = 100'000'000;
-      const run_result res = run_broadcast(g, *cl, opts);
-      RC_CHECK(res.completed);
-      const double t_cl = static_cast<double>(res.informed_step);
-      const run_result res_p = run_broadcast(gp, *cl, opts);
-      RC_CHECK(res_p.completed);
-      const double t_clp = static_cast<double>(res_p.informed_step);
+      constexpr std::int64_t kCap = 100'000'000;
+      const std::string cell =
+          "n=" + std::to_string(n) + "/D=" + std::to_string(d);
+      const auto base = [&](const char* labels, const char* proto) {
+        return bench::params("n", n, "D", d, "labels", labels, "protocol",
+                             proto);
+      };
+      const double t_cl = bench::mean_steps(bench::run_case(
+          rep, cell + "/cl", base("identity", "complete-layered"), g, *cl, 1,
+          1, kCap));
+      RC_CHECK(!std::isnan(t_cl));
+      const double t_clp = bench::mean_steps(bench::run_case(
+          rep, cell + "/cl-advlabels", base("adversarial", "complete-layered"),
+          gp, *cl, 1, 1, kCap));
+      RC_CHECK(!std::isnan(t_clp));
       // The Select-and-Send comparison column gets expensive on the
       // largest instances; sample it where it is cheap enough.
       std::string sas_cell = "-";
       if (n <= 2048) {
         const auto sas = make_protocol("select-and-send", n - 1);
-        sas_cell = std::to_string(
-            run_broadcast(g, *sas, opts).informed_step);
+        const double t_sas = bench::mean_steps(bench::run_case(
+            rep, cell + "/select-and-send",
+            base("identity", "select-and-send"), g, *sas, 1, 1, kCap));
+        sas_cell = text_table::format_double(t_sas);
       }
       const double our_bound = n + d * bench::lg(n);
       const double refuted = n * bench::lg(d);
@@ -66,6 +77,11 @@ void run() {
   }
   table.print(std::cout);
   const fit_result f = fit_features(features, ys);
+  obs::json_value fit = obs::json_value::object();
+  fit.set("a_n", f.coefficients[0]);
+  fit.set("b_dlogn", f.coefficients[1]);
+  fit.set("r_squared", f.r_squared);
+  rep.annotate("fit", std::move(fit));
   std::cout << "  fit cl-advlabels ≈ a·n + b·D·log n: a="
             << text_table::format_double(f.coefficients[0], 3)
             << " b=" << text_table::format_double(f.coefficients[1], 3)

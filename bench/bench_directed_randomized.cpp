@@ -15,12 +15,16 @@ namespace radiocast {
 namespace {
 
 void run() {
+  bench::reporter rep("directed_randomized");
+  rep.config("experiment", "E13");
+  rep.config("trials", bench::trial_count(15));
   text_table table("E13: randomized broadcast on directed layered networks "
                    "(15 trials)");
   table.set_header({"n", "D", "arc density", "kp directed", "decay directed",
                     "kp undirected", "kp-dir/bound"});
   rng gen(8);
-  for (const node_id n : {512, 1024, 2048}) {
+  const int trials = bench::trial_count(15);
+  for (const node_id n : bench::sweep({512, 1024, 2048})) {
     const std::set<int> ds{8, 32, n / 16};
     for (const int d : ds) {
       for (const double p : {0.1, 0.9}) {
@@ -31,9 +35,22 @@ void run() {
         graph und = make_complete_layered_uniform(n, d);
         const auto kp = make_protocol("kp", n - 1, d);
         const auto decay = make_protocol("decay", n - 1);
-        const double t_dir = bench::mean_time(dir, *kp, 15, 3);
-        const double t_dir_decay = bench::mean_time(dir, *decay, 15, 3);
-        const double t_und = bench::mean_time(und, *kp, 15, 3);
+        const std::string cell = "n=" + std::to_string(n) +
+                                 "/D=" + std::to_string(d) +
+                                 "/p=" + text_table::format_double(p, 1);
+        const auto base = [&](const char* topo, const char* proto) {
+          return bench::params("n", n, "D", d, "arc_density", p, "topology",
+                               topo, "protocol", proto);
+        };
+        const double t_dir = bench::mean_steps(bench::run_case(
+            rep, cell + "/kp-directed", base("directed", "kp"), dir, *kp,
+            trials, 3));
+        const double t_dir_decay = bench::mean_steps(bench::run_case(
+            rep, cell + "/decay-directed", base("directed", "decay"), dir,
+            *decay, trials, 3));
+        const double t_und = bench::mean_steps(bench::run_case(
+            rep, cell + "/kp-undirected", base("undirected", "kp"), und, *kp,
+            trials, 3));
         table.add(n, d, p, t_dir, t_dir_decay, t_und,
                   t_dir / bench::kp_bound(n, d));
       }

@@ -14,39 +14,68 @@
 namespace radiocast {
 namespace {
 
+// One protocol's energy batch: direct run_broadcast calls (the per-node
+// transmission vector is not part of trial_record), folded back into a
+// trial_set so the telemetry artifact carries the same schema as every
+// other bench. Returns {mean total tx, max tx on any node}.
+std::pair<double, double> energy_case(bench::reporter& rep,
+                                      const std::string& case_name,
+                                      obs::json_value params, const graph& g,
+                                      const protocol& proto, int trials) {
+  trial_set batch;
+  double total_tx = 0;
+  double max_per_node = 0;
+  for (int t = 0; t < trials; ++t) {
+    run_options opts;
+    opts.seed = 7 + static_cast<std::uint64_t>(t);
+    opts.max_steps = 10'000'000;
+    const run_result r = run_broadcast(g, proto, opts);
+    RC_CHECK(r.completed);
+    total_tx += static_cast<double>(r.transmissions);
+    for (std::int64_t x : r.transmissions_per_node) {
+      max_per_node = std::max(max_per_node, static_cast<double>(x));
+    }
+    trial_record rec;
+    rec.seed = opts.seed;
+    rec.completed = r.completed;
+    rec.steps = r.steps;
+    rec.informed_step = r.informed_step;
+    rec.transmissions = r.transmissions;
+    rec.collisions = r.collisions;
+    rec.deliveries = r.deliveries;
+    batch.trials.push_back(rec);
+  }
+  rep.add_case(case_name, std::move(params), batch);
+  obs::json_value energy = obs::json_value::object();
+  energy.set("mean_total_tx", total_tx / trials);
+  energy.set("max_tx_per_node", max_per_node);
+  rep.annotate("energy", std::move(energy));
+  return {total_tx / trials, max_per_node};
+}
+
 void run() {
+  bench::reporter rep("energy");
+  rep.config("experiment", "E15");
+  rep.config("trials", bench::trial_count(10));
   text_table table("E15: energy (transmissions) until completion, mean over "
                    "10 trials");
   table.set_header({"n", "D", "kp total tx", "decay total tx", "tx ratio",
                     "kp max/node", "decay max/node"});
-  for (const node_id n : {512, 1024, 2048}) {
+  for (const node_id n : bench::sweep({512, 1024, 2048})) {
     for (const int d : {16, n / 16}) {
       graph g = make_complete_layered_uniform(n, d);
       const auto kp = make_protocol("kp", n - 1, d);
       const auto decay = make_protocol("decay", n - 1);
-      double kp_tx = 0;
-      double decay_tx = 0;
-      double kp_max = 0;
-      double decay_max = 0;
-      constexpr int kTrials = 10;
-      for (int t = 0; t < kTrials; ++t) {
-        run_options opts;
-        opts.seed = 7 + static_cast<std::uint64_t>(t);
-        opts.max_steps = 10'000'000;
-        const run_result a = run_broadcast(g, *kp, opts);
-        const run_result b = run_broadcast(g, *decay, opts);
-        RC_CHECK(a.completed && b.completed);
-        kp_tx += static_cast<double>(a.transmissions);
-        decay_tx += static_cast<double>(b.transmissions);
-        for (std::int64_t x : a.transmissions_per_node) {
-          kp_max = std::max(kp_max, static_cast<double>(x));
-        }
-        for (std::int64_t x : b.transmissions_per_node) {
-          decay_max = std::max(decay_max, static_cast<double>(x));
-        }
-      }
-      kp_tx /= kTrials;
-      decay_tx /= kTrials;
+      const int trials = bench::trial_count(10);
+      const std::string cell =
+          "n=" + std::to_string(n) + "/D=" + std::to_string(d);
+      const auto base = [&](const char* proto) {
+        return bench::params("n", n, "D", d, "protocol", proto);
+      };
+      const auto [kp_tx, kp_max] =
+          energy_case(rep, cell + "/kp", base("kp"), g, *kp, trials);
+      const auto [decay_tx, decay_max] = energy_case(
+          rep, cell + "/decay", base("decay"), g, *decay, trials);
       table.add(n, d, kp_tx, decay_tx, decay_tx / kp_tx, kp_max, decay_max);
     }
   }

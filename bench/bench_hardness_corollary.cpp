@@ -15,20 +15,28 @@ namespace radiocast {
 namespace {
 
 void run() {
+  bench::reporter rep("hardness_corollary");
+  rep.config("experiment", "E6");
+  rep.config("trials", bench::trial_count(15));
   text_table table("E6: hardness of complete layered networks, by paradigm");
   table.set_header({"n", "D", "rand time", "rand lower bnd", "rand ratio",
                     "det time", "det worst-case bnd", "det ratio"});
-  for (const node_id n : {1024, 2048, 4096}) {
+  for (const node_id n : bench::sweep({1024, 2048, 4096})) {
     for (const int d : {16, 64, n / 8}) {
       graph g = make_complete_layered_uniform(n, d);
       const auto kp = make_protocol("kp", n - 1, d);
-      const double t_rand = bench::mean_time(g, *kp, 15, 5);
+      const std::string cell =
+          "n=" + std::to_string(n) + "/D=" + std::to_string(d);
+      const auto base = [&](const char* proto) {
+        return bench::params("n", n, "D", d, "protocol", proto);
+      };
+      const double t_rand = bench::mean_steps(bench::run_case(
+          rep, cell + "/kp", base("kp"), g, *kp, bench::trial_count(15), 5));
       const double rand_lb = d * bench::lg(static_cast<double>(n) / d);
       const auto cl = make_protocol("complete-layered", n - 1);
-      run_options opts;
-      opts.max_steps = 100'000'000;
-      const double t_det = static_cast<double>(
-          run_broadcast(g, *cl, opts).informed_step);
+      const double t_det = bench::mean_steps(bench::run_case(
+          rep, cell + "/complete-layered", base("complete-layered"), g, *cl,
+          1, 1, 100'000'000));
       const double det_wc =
           n * bench::lg(n) / bench::lg(static_cast<double>(n) / d);
       table.add(n, d, t_rand, rand_lb, t_rand / rand_lb, t_det, det_wc,

@@ -14,24 +14,38 @@ namespace radiocast {
 namespace {
 
 void run() {
+  bench::reporter rep("knowledge_gap");
+  rep.config("experiment", "E11");
   text_table table("E11: known neighborhoods (O(n)) vs unknown (O(n log n))"
                    ", full DFS traversal steps");
   table.set_header({"family", "n", "dfs-known", "select-and-send", "ratio",
                     "ratio/log2(n)"});
   for (const std::string family : {"tree", "gnp"}) {
-    for (const node_id n : {128, 256, 512, 1024, 2048}) {
+    for (const node_id n : bench::sweep({128, 256, 512, 1024, 2048})) {
       rng gen(static_cast<std::uint64_t>(n) * 7);
       graph g = family == "tree" ? make_random_tree(n, gen)
                                  : make_gnp_connected(n, 6.0 / n, gen);
-      run_options opts;
-      opts.max_steps = 100'000'000;
-      opts.stop = stop_condition::all_halted;
+      const std::string cell = family + "/n=" + std::to_string(n);
+      const auto base = [&](const char* proto) {
+        return bench::params("family", family, "n", n, "protocol", proto);
+      };
+      // Both protocols run to all-halted: the comparison is over the FULL
+      // DFS traversal, and steps (not informed_step) is the measurement.
+      const auto halted_steps = [&](const std::string& case_name,
+                                    obs::json_value params,
+                                    const protocol& proto) {
+        const trial_set batch =
+            bench::run_case(rep, case_name, std::move(params), g, proto, 1, 1,
+                            100'000'000, stop_condition::all_halted);
+        RC_CHECK(batch.all_completed());
+        return static_cast<double>(batch.trials.front().steps);
+      };
       const dfs_known_protocol dfs(g);
-      const auto t_dfs =
-          static_cast<double>(run_broadcast(g, dfs, opts).steps);
+      const double t_dfs =
+          halted_steps(cell + "/dfs-known", base("dfs-known"), dfs);
       const auto sas = make_protocol("select-and-send", n - 1);
-      const auto t_sas =
-          static_cast<double>(run_broadcast(g, *sas, opts).steps);
+      const double t_sas = halted_steps(cell + "/select-and-send",
+                                        base("select-and-send"), *sas);
       table.add(family, n, t_dfs, t_sas, t_sas / t_dfs,
                 (t_sas / t_dfs) / bench::lg(n));
     }

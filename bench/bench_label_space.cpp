@@ -15,24 +15,32 @@ void run() {
   const node_id n = 1024;
   const int d = 16;
   graph g = make_complete_layered_uniform(n, d);
+  bench::reporter rep("label_space");
+  rep.config("experiment", "E14");
+  rep.config("n", n);
+  rep.config("D", d);
   text_table table("E14: sparse label spaces, n = 1024, D = 16 "
                    "(complete layered; 5 labelings per row)");
   table.set_header({"r/n", "r", "kp", "round-robin", "sas-traversal",
                     "complete-layered"});
   rng gen(12);
-  for (const int factor : {1, 2, 4, 8}) {
+  for (const int factor : bench::sweep({1, 2, 4, 8})) {
     const node_id r = factor * n - 1;
     // Average over several uniform random labelings per r (factor 1 = a
     // random permutation) so rows differ only in label-space sparsity,
     // not in one labeling's luck.
-    constexpr int kLabelings = 5;
+    const int kLabelings = bench::trial_count(5);
     std::vector<std::vector<node_id>> labelings;
     for (int l = 0; l < kLabelings; ++l) {
       labelings.push_back(sparse_labels(n, r, gen));
     }
+    // run_case cannot thread custom labels / explicit r through, so the
+    // (labeling × seed) grid is run directly and folded into a trial_set
+    // by hand before recording.
     auto timed = [&](const std::string& name, int trials_per_labeling,
                      stop_condition stop) {
       const auto proto = make_protocol(name, r, d);
+      trial_set batch;
       double total = 0;
       for (const auto& labels : labelings) {
         for (int t = 0; t < trials_per_labeling; ++t) {
@@ -46,8 +54,22 @@ void run() {
           total += static_cast<double>(stop == stop_condition::all_informed
                                            ? res.informed_step
                                            : res.steps);
+          trial_record rec;
+          rec.seed = opts.seed;
+          rec.completed = res.completed;
+          rec.steps = res.steps;
+          rec.informed_step = res.informed_step;
+          rec.transmissions = res.transmissions;
+          rec.collisions = res.collisions;
+          rec.deliveries = res.deliveries;
+          batch.trials.push_back(rec);
         }
       }
+      rep.add_case(
+          "r=" + std::to_string(r) + "/" + name,
+          bench::params("n", n, "D", d, "r", r, "r_over_n", factor,
+                        "protocol", name, "labelings", kLabelings),
+          batch);
       return total / (kLabelings * trials_per_labeling);
     };
     const auto informed = stop_condition::all_informed;

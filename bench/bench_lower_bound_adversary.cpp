@@ -12,24 +12,36 @@ namespace radiocast {
 namespace {
 
 void run() {
+  bench::reporter rep("lower_bound_adversary");
+  rep.config("experiment", "E3");
   text_table table("E3: adversarial network G_A per deterministic protocol");
   table.set_header({"protocol", "n", "D", "k", "s/stage", "forced",
                     "measured", "bound", "measured/bound"});
   for (const std::string name :
        {"round-robin", "select-and-send", "interleaved"}) {
-    for (const auto& [n, d] : std::vector<std::pair<node_id, int>>{
-             {512, 8}, {1024, 8}, {2048, 16}, {4096, 16}}) {
+    for (const auto& [n, d] : bench::sweep<std::pair<node_id, int>>(
+             {{512, 8}, {1024, 8}, {2048, 16}, {4096, 16}})) {
       const auto proto = make_protocol(name, n - 1);
       const adversarial_network net =
           build_adversarial_network(*proto, n, d);
-      run_options opts;
-      opts.max_steps = 200'000'000;
-      const run_result res = run_broadcast(net.g, *proto, opts);
+      const trial_set batch = bench::run_case(
+          rep,
+          name + "/n=" + std::to_string(n) + "/D=" + std::to_string(d),
+          bench::params("protocol", name, "n", n, "D", d, "k", net.k,
+                        "jam_steps_per_stage", net.jam_steps_per_stage,
+                        "stuck", net.stuck),
+          net.g, *proto, 1, 1, 200'000'000);
+      const trial_record& res = batch.trials.front();
       const double measured =
           res.completed ? static_cast<double>(res.informed_step)
-                        : static_cast<double>(opts.max_steps);
+                        : 200'000'000.0;
       const double bound = n * bench::lg(n) / bench::lg(
                                static_cast<double>(n) / d);
+      obs::json_value forced = obs::json_value::object();
+      forced.set("forced_steps", net.forced_steps);
+      forced.set("bound", bound);
+      forced.set("measured_over_bound", measured / bound);
+      rep.annotate("adversary", std::move(forced));
       table.add(name + (net.stuck ? " (stuck)" : ""), n, d, net.k,
                 net.jam_steps_per_stage, net.forced_steps, measured, bound,
                 measured / bound);

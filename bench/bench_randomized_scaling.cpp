@@ -13,22 +13,33 @@ namespace radiocast {
 namespace {
 
 void run() {
+  bench::reporter rep("randomized_scaling");
+  rep.config("experiment", "E2");
+  rep.config("trials", bench::trial_count(15));
   text_table table(
       "E2: KP randomized time vs theory bound (complete layered, 15 trials)");
   table.set_header({"n", "D", "time", "bound", "time/bound", "doubling"});
   std::vector<std::vector<double>> features;
   std::vector<double> ys;
-  for (const node_id n : {256, 512, 1024, 2048, 4096}) {
+  for (const node_id n : bench::sweep({256, 512, 1024, 2048, 4096})) {
     for (int d = 4; d <= n / 8; d *= 4) {
       graph g = make_complete_layered_uniform(n, d);
       const auto kp = make_protocol("kp", n - 1, d);
-      const double t = bench::mean_time(g, *kp, 15, 3);
+      const std::string cell =
+          "n=" + std::to_string(n) + "/D=" + std::to_string(d);
+      const double t = bench::mean_steps(bench::run_case(
+          rep, cell + "/kp",
+          bench::params("n", n, "D", d, "protocol", "kp"), g, *kp,
+          bench::trial_count(15), 3));
       // The doubling wrapper pays for the unsuccessful smaller-D blocks;
       // keep its budget small so the bench finishes quickly.
       kp_options opts;
       opts.stage_budget = 8;
       const kp_randomized_protocol doubling(n - 1, opts);
-      const double t_doubling = bench::mean_time(g, doubling, 5, 3);
+      const double t_doubling = bench::mean_steps(bench::run_case(
+          rep, cell + "/kp-doubling",
+          bench::params("n", n, "D", d, "protocol", "kp-doubling"), g,
+          doubling, bench::trial_count(5), 3));
       const double bound = bench::kp_bound(n, d);
       table.add(n, d, t, bound, t / bound, t_doubling);
       features.push_back({d * bench::lg(static_cast<double>(n) / d),
@@ -37,13 +48,15 @@ void run() {
     }
   }
   table.print(std::cout);
-  const fit_result f = fit_features(features, ys);
-  std::cout << "  two-term fit time ≈ a·D·log(n/D) + b·log²n: a="
-            << text_table::format_double(f.coefficients[0], 3)
-            << " b=" << text_table::format_double(f.coefficients[1], 3)
-            << " R²=" << text_table::format_double(f.r_squared, 4) << "\n"
-            << "Expected shape: time/bound bounded (no drift with n or D);"
-               " R² close to 1.\n";
+  if (ys.size() >= 3) {
+    const fit_result f = fit_features(features, ys);
+    std::cout << "  two-term fit time ≈ a·D·log(n/D) + b·log²n: a="
+              << text_table::format_double(f.coefficients[0], 3)
+              << " b=" << text_table::format_double(f.coefficients[1], 3)
+              << " R²=" << text_table::format_double(f.r_squared, 4) << "\n"
+              << "Expected shape: time/bound bounded (no drift with n or D);"
+                 " R² close to 1.\n";
+  }
 }
 
 }  // namespace

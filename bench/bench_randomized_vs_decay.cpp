@@ -13,13 +13,14 @@
 namespace radiocast {
 namespace {
 
-void run_family(const std::string& family) {
+void run_family(bench::reporter& rep, const std::string& family) {
   text_table table("E1 [" + family + "]: KP optimal vs BGI Decay, mean steps "
                    "(20 trials)");
   table.set_header({"n", "D", "kp", "decay", "speedup", "kp/bound",
                     "decay/bound"});
   rng gen(99);
-  for (const node_id n : {512, 1024, 2048, 4096}) {
+  const int trials = bench::trial_count(20);
+  for (const node_id n : bench::sweep({512, 1024, 2048, 4096})) {
     const std::set<int> ds{8, static_cast<int>(std::sqrt(n)), n / 32, n / 8};
     for (const int d : ds) {
       if (d < 2 || d > n / 2) continue;
@@ -36,9 +37,18 @@ void run_family(const std::string& family) {
                           0.5, gen);
       const auto kp = make_protocol("kp", n - 1, d);
       const auto decay = make_protocol("decay", n - 1);
-      const int trials = 20;
-      const double t_kp = bench::mean_time(g, *kp, trials, 1);
-      const double t_decay = bench::mean_time(g, *decay, trials, 1);
+      const auto cell = [&](const char* proto) {
+        return family + "/n=" + std::to_string(n) +
+               "/D=" + std::to_string(d) + "/" + proto;
+      };
+      const auto base = [&](const char* proto) {
+        return bench::params("family", family, "n", n, "D", d, "protocol",
+                             proto);
+      };
+      const double t_kp = bench::mean_steps(bench::run_case(
+          rep, cell("kp"), base("kp"), g, *kp, trials, 1));
+      const double t_decay = bench::mean_steps(bench::run_case(
+          rep, cell("decay"), base("decay"), g, *decay, trials, 1));
       table.add(n, d, t_kp, t_decay, t_decay / t_kp,
                 t_kp / bench::kp_bound(n, d),
                 t_decay / bench::bgi_bound(n, d));
@@ -51,8 +61,11 @@ void run_family(const std::string& family) {
 }  // namespace radiocast
 
 int main() {
-  radiocast::run_family("complete-layered");
-  radiocast::run_family("random-layered");
+  radiocast::bench::reporter rep("randomized_vs_decay");
+  rep.config("experiment", "E1");
+  rep.config("trials", radiocast::bench::trial_count(20));
+  radiocast::run_family(rep, "complete-layered");
+  radiocast::run_family(rep, "random-layered");
   std::cout << "\nExpected shape: speedup column grows with D at fixed n;\n"
                "both normalized columns stay O(1) across the sweep.\n";
   return 0;

@@ -18,6 +18,8 @@ graph family_graph(const std::string& family, node_id n, rng& gen) {
 }
 
 void run() {
+  bench::reporter rep("select_and_send");
+  rep.config("experiment", "E4");
   text_table table("E4: Select-and-Send full-traversal steps vs n");
   table.set_header(
       {"family", "n=128", "n=256", "n=512", "n=1024", "c in c·n·log n",
@@ -27,22 +29,28 @@ void run() {
     rng gen(7);
     std::vector<double> xs, ys;
     std::vector<std::string> row{family};
-    for (const node_id n : {128, 256, 512, 1024}) {
+    for (const node_id n : bench::sweep({128, 256, 512, 1024})) {
       graph g = family_graph(family, n, gen);
       const auto proto = make_protocol("select-and-send", n - 1);
-      run_options opts;
-      opts.max_steps = 100'000'000;
-      opts.stop = stop_condition::all_halted;
-      const run_result res = run_broadcast(g, *proto, opts);
-      RC_CHECK(res.completed);
+      const trial_set batch = bench::run_case(
+          rep, family + "/n=" + std::to_string(n),
+          bench::params("family", family, "n", n, "protocol",
+                        "select-and-send"),
+          g, *proto, 1, 1, 100'000'000, stop_condition::all_halted);
+      RC_CHECK(batch.all_completed());
+      const std::int64_t steps = batch.trials.front().steps;
       xs.push_back(static_cast<double>(n));
-      ys.push_back(static_cast<double>(res.steps));
-      row.push_back(std::to_string(res.steps));
+      ys.push_back(static_cast<double>(steps));
+      row.push_back(std::to_string(steps));
     }
-    const fit_result f =
-        fit_scaled(xs, ys, [](double x) { return x * bench::lg(x); });
-    row.push_back(text_table::format_double(f.coefficients[0], 2));
-    row.push_back(text_table::format_double(f.r_squared, 4));
+    if (xs.size() >= 2) {
+      const fit_result f =
+          fit_scaled(xs, ys, [](double x) { return x * bench::lg(x); });
+      rep.annotate("fit", bench::fit_json(f));
+      row.push_back(text_table::format_double(f.coefficients[0], 2));
+      row.push_back(text_table::format_double(f.r_squared, 4));
+    }
+    while (row.size() < 7) row.push_back("-");  // smoke: sweep too short to fit
     table.add_row(row);
   }
   table.print(std::cout);

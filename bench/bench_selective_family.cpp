@@ -5,6 +5,8 @@
 // where the per-stage jam count ⌊k·log(n/4)/(8·log k)⌋ comes from. The
 // harness builds greedy families, verifies them exhaustively, and brackets
 // their size between the CMS bound and the trivial m-singleton family.
+#include <chrono>
+
 #include "adversary/selective_family.h"
 #include "bench_common.h"
 
@@ -12,15 +14,30 @@ namespace radiocast {
 namespace {
 
 void run() {
+  bench::reporter rep("selective_family");
+  rep.config("experiment", "E10");
   text_table table("E10: greedy (m,k)-selective families vs the CMS bound");
   table.set_header({"m", "k", "greedy size", "CMS lower bnd", "singletons",
                     "verified"});
   rng gen(2718);
-  for (const auto& [m, k] : std::vector<std::pair<int, int>>{
-           {8, 2}, {12, 2}, {16, 2}, {20, 2}, {24, 2},
-           {10, 3}, {14, 3}, {18, 3}, {12, 4}, {16, 4}}) {
+  for (const auto& [m, k] : bench::sweep<std::pair<int, int>>(
+           {{8, 2}, {12, 2}, {16, 2}, {20, 2}, {24, 2},
+            {10, 3}, {14, 3}, {18, 3}, {12, 4}, {16, 4}})) {
+    const auto start = std::chrono::steady_clock::now();
     const set_family family = greedy_selective_family(m, k, gen);
     const bool ok = is_selective(family, m, k);
+    const double wall_ms =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    obs::json_value values = obs::json_value::object();
+    values.set("greedy_size", static_cast<std::int64_t>(family.size()));
+    values.set("cms_lower_bound", bench::lg(m) * k / 8.0);
+    values.set("singletons", m);
+    values.set("verified", ok);
+    rep.add_analytic_case(
+        "m=" + std::to_string(m) + "/k=" + std::to_string(k),
+        bench::params("m", m, "k", k), std::move(values), wall_ms);
     table.add(m, k, family.size(), bench::lg(m) * k / 8.0, m,
               std::string(ok ? "yes" : "NO"));
   }

@@ -13,26 +13,41 @@ namespace radiocast {
 namespace {
 
 void run() {
+  bench::reporter rep("small_radius");
+  rep.config("experiment", "E12");
+  rep.config("trials", bench::trial_count(25));
   text_table table("E12: small-radius scaling of randomized broadcast "
                    "(complete layered, 25 trials)");
   table.set_header({"D", "n", "kp", "decay", "kp/log2n", "kp/logn"});
+  const int trials = bench::trial_count(25);
+  const node_id n_max = bench::smoke() ? 256 : 4096;
   for (const int d : {2, 4}) {
     std::vector<double> xs, ys;
-    for (node_id n = 256; n <= 4096; n *= 2) {
+    for (node_id n = 256; n <= n_max; n *= 2) {
       graph g = make_complete_layered_uniform(n, d);
       const auto kp = make_protocol("kp", n - 1, d);
       const auto decay = make_protocol("decay", n - 1);
-      const double t_kp = bench::mean_time(g, *kp, 25, 11);
-      const double t_decay = bench::mean_time(g, *decay, 25, 11);
+      const std::string cell =
+          "D=" + std::to_string(d) + "/n=" + std::to_string(n);
+      const auto base = [&](const char* proto) {
+        return bench::params("n", n, "D", d, "protocol", proto);
+      };
+      const double t_kp = bench::mean_steps(bench::run_case(
+          rep, cell + "/kp", base("kp"), g, *kp, trials, 11));
+      const double t_decay = bench::mean_steps(bench::run_case(
+          rep, cell + "/decay", base("decay"), g, *decay, trials, 11));
       table.add(d, n, t_kp, t_decay, t_kp / (bench::lg(n) * bench::lg(n)),
                 t_kp / bench::lg(n));
       xs.push_back(static_cast<double>(n));
       ys.push_back(t_kp);
     }
-    const fit_result f = fit_scaled(
-        xs, ys, [](double x) { return bench::lg(x) * bench::lg(x); });
-    std::cout << "  D=" << d << " single-term fit kp ≈ c·log²n: ";
-    bench::print_fit("log²n", f);
+    if (xs.size() >= 2) {
+      const fit_result f = fit_scaled(
+          xs, ys, [](double x) { return bench::lg(x) * bench::lg(x); });
+      rep.annotate("fit_log2n", bench::fit_json(f));
+      std::cout << "  D=" << d << " single-term fit kp ≈ c·log²n: ";
+      bench::print_fit("log²n", f);
+    }
   }
   table.print(std::cout);
   std::cout << "\nExpected shape: 'kp/log2n' roughly flat while 'kp/logn'\n"

@@ -4,6 +4,8 @@
 // Sweeps (r, D) over powers of two in the paper's regime and reports the
 // period against the 2D + 64·log²r count and, per condition, the worst
 // ratio of measured max cyclic gap to the allowed bound (≤ 1 required).
+#include <chrono>
+
 #include "core/universal_sequence.h"
 #include "bench_common.h"
 
@@ -11,13 +13,17 @@ namespace radiocast {
 namespace {
 
 void run() {
+  bench::reporter rep("universal_sequence");
+  rep.config("experiment", "E7");
   text_table table("E7: universal sequence construction quality");
   table.set_header({"log r", "log D", "period", "count bound", "U1 worst",
                     "U2 worst"});
-  for (int log_r = 12; log_r <= 20; log_r += 2) {
+  const int log_r_max = bench::smoke() ? 12 : 20;
+  for (int log_r = 12; log_r <= log_r_max; log_r += 2) {
     // Start the D sweep where every placement level fits the depth-log D
     // tree (the paper's D > 32·r^(2/3) regime, in its practical form).
     for (int log_d = (2 * log_r) / 3 + 3; log_d <= log_r; log_d += 2) {
+      const auto start = std::chrono::steady_clock::now();
       const universal_sequence seq(log_r, log_d);
       double u1_worst = 0.0;
       for (int j = seq.u1_lo(); j <= seq.u1_hi(); ++j) {
@@ -34,6 +40,20 @@ void run() {
       const std::int64_t count_bound =
           2 * (std::int64_t{1} << log_d) +
           64 * static_cast<std::int64_t>(log_r) * log_r;
+      const double wall_ms =
+          std::chrono::duration_cast<
+              std::chrono::duration<double, std::milli>>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      obs::json_value values = obs::json_value::object();
+      values.set("period", seq.period());
+      values.set("count_bound", count_bound);
+      values.set("u1_worst", u1_worst);
+      values.set("u2_worst", u2_worst);
+      rep.add_analytic_case(
+          "log_r=" + std::to_string(log_r) + "/log_d=" + std::to_string(log_d),
+          bench::params("log_r", log_r, "log_d", log_d), std::move(values),
+          wall_ms);
       table.add(log_r, log_d, seq.period(), count_bound, u1_worst, u2_worst);
     }
   }

@@ -1,23 +1,45 @@
 #!/usr/bin/env bash
 # Rebuilds radiocast, runs the full test suite, and regenerates every
-# experiment table (E1–E13) into test_output.txt / bench_output.txt at the
-# repository root. This is the one-command reproduction entry point.
+# experiment table (E1–E15) into test_output.txt / bench_output.txt at the
+# repository root, plus one BENCH_<name>.json telemetry artifact per bench
+# (schema "radiocast.bench.v1"; see docs/OBSERVABILITY.md). This is the
+# one-command reproduction entry point.
+#
+# Usage:
+#   scripts/reproduce.sh          full run (all experiments, full sweeps)
+#   scripts/reproduce.sh smoke    minutes-scale validation: every bench runs
+#                                 with RADIOCAST_SMOKE=1 (first sweep point,
+#                                 ≤2 trials) and every emitted JSON artifact
+#                                 is schema-checked with radiocast_inspect;
+#                                 missing keys fail the run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+mode="${1:-full}"
+
+# No explicit generator: reuse whatever build/ was configured with (the
+# acceptance command is plain `cmake -B build -S .`).
+cmake -B build -S .
+cmake --build build --parallel
 
 ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+smoke_env=()
+if [ "$mode" = "smoke" ]; then
+  smoke_env=(RADIOCAST_SMOKE=1)
+fi
 
 {
   for b in build/bench/*; do
     if [ -f "$b" ] && [ -x "$b" ]; then
       echo "===== $(basename "$b") ====="
-      "$b"
+      env "${smoke_env[@]}" "$b"
       echo
     fi
   done
 } 2>&1 | tee bench_output.txt
 
-echo "done: see test_output.txt and bench_output.txt"
+# Validate every telemetry artifact against the radiocast.bench.v1 schema.
+build/tools/radiocast_inspect validate BENCH_*.json
+
+echo "done: see test_output.txt, bench_output.txt, and BENCH_*.json"

@@ -1,5 +1,6 @@
 #include "core/decay.h"
 
+#include "obs/metrics.h"
 #include "util/math.h"
 
 namespace radiocast {
@@ -28,8 +29,20 @@ class decay_node final : public protocol_node {
       drawn_phase_ = phase;
       cutoff_ = 1;
       while (cutoff_ < phase_len_ && ctx.gen->flip()) ++cutoff_;
+      if (ctx.metrics != nullptr) {
+        // Phase markers: which decay phase is live, and the distribution
+        // of drawn cutoffs (geometric, mean ≈ 2).
+        ctx.metrics->get_gauge("decay.phase").set(phase);
+        ctx.metrics->get_histogram("decay.cutoff").observe(cutoff_);
+      }
     }
     if (offset < cutoff_) {
+      if (ctx.metrics != nullptr) {
+        // Stage index within the phase: stage k transmits with effective
+        // probability 2⁻ᵏ across the informed population.
+        ctx.metrics->get_counter("decay.stage_tx", std::to_string(offset))
+            .add();
+      }
       return message{kDecayPayload, label_, 0, 0, 0};
     }
     return std::nullopt;

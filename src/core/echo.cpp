@@ -1,5 +1,6 @@
 #include "core/echo.h"
 
+#include "obs/metrics.h"
 #include "util/math.h"
 
 namespace radiocast {
@@ -37,7 +38,7 @@ std::optional<message> selection_driver::on_step(std::int64_t) {
       heard1_.reset();
       heard2_.reset();
       sub_ = substep::listen1;
-      ++segments_;
+      note_segment();
       return message{kinds_.order, -1, lo_, hi_, helper_};
     }
     case substep::listen1:
@@ -66,12 +67,22 @@ std::optional<message> selection_driver::on_step(std::int64_t) {
       heard1_.reset();
       heard2_.reset();
       sub_ = substep::listen1;
-      ++segments_;
+      note_segment();
       return message{kinds_.order, -1, lo_, hi_, helper_};
     }
   }
   RC_CHECK(false);
   return std::nullopt;
+}
+
+void selection_driver::note_segment() {
+  ++segments_;
+  if (metrics_ != nullptr) {
+    const char* tag = phase_ == phase::full_probe ? "full_probe"
+                      : phase_ == phase::doubling ? "doubling"
+                                                  : "binary";
+    metrics_->get_counter("echo.segments", tag).add();
+  }
 }
 
 void selection_driver::on_receive(const message& msg) {

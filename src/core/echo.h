@@ -26,6 +26,10 @@
 #include "sim/message.h"
 #include "util/assert.h"
 
+namespace radiocast::obs {
+class metrics_registry;
+}  // namespace radiocast::obs
+
 namespace radiocast {
 
 /// Message kinds the selection subprotocol uses, chosen by the owning
@@ -110,16 +114,24 @@ class selection_driver {
   /// tests: O(log label_bound) per selection).
   int segments_issued() const { return segments_; }
 
+  /// Optional phase markers: counts issued segments per selection phase
+  /// under `echo.segments{full_probe|doubling|binary}`. Null (default)
+  /// disables instrumentation; the owning protocol forwards the registry
+  /// it received through node_context.
+  void set_metrics(obs::metrics_registry* metrics) { metrics_ = metrics; }
+
  private:
   enum class phase { full_probe, doubling, binary };
   enum class substep { send_order, listen1, listen2, evaluate };
   enum class echo_outcome { empty, unique, multi };
 
   void advance(echo_outcome outcome);
+  void note_segment();  ///< bumps segments_ and the phase-labeled counter
 
   selection_kinds kinds_;
   node_id helper_;
   node_id bound_;
+  obs::metrics_registry* metrics_ = nullptr;
 
   status status_ = status::running;
   phase phase_ = phase::full_probe;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/decay.h"
+#include "obs/metrics.h"
 #include "util/assert.h"
 #include "util/math.h"
 
@@ -67,7 +68,12 @@ class kp_node final : public protocol_node {
     const std::int64_t in_block = pos - block.start;
     if (in_block == 0) {
       // "the source transmits" — the first step of each block.
-      if (label_ == 0) return payload();
+      if (label_ == 0) {
+        if (ctx.metrics != nullptr) {
+          ctx.metrics->get_counter("kp.tx", "source_step").add();
+        }
+        return payload();
+      }
       return std::nullopt;
     }
     const std::int64_t stage_index = (in_block - 1) / block.stage_len;
@@ -77,13 +83,26 @@ class kp_node final : public protocol_node {
     // transmits in stage i+1).
     const std::int64_t stage_start_step = ctx.step - within;
     if (informed_step_ >= stage_start_step) return std::nullopt;
+    const bool universal_step = within >= block.geometric_steps;
     double p = 0.0;
-    if (within < block.geometric_steps) {
+    if (!universal_step) {
       p = std::ldexp(1.0, -static_cast<int>(within));  // 1/2ˡ
     } else {
       p = block.seq.probability_at(stage_index + 1);  // p_i, 1-based
     }
-    if (ctx.gen->bernoulli(p)) return payload();
+    if (ctx.gen->bernoulli(p)) {
+      if (ctx.metrics != nullptr) {
+        // Phase markers: which doubling block (log D guess) is live, how
+        // deep into its stage schedule we are, and whether the transmit
+        // came from the geometric cascade or the Lemma 1 universal step.
+        ctx.metrics->get_gauge("kp.block_log_d").set(block.log_d);
+        ctx.metrics->get_gauge("kp.stage").set(stage_index);
+        ctx.metrics->get_counter(
+                        "kp.tx", universal_step ? "universal" : "geometric")
+            .add();
+      }
+      return payload();
+    }
     return std::nullopt;
   }
 

@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "core/echo.h"
+#include "obs/metrics.h"
 
 namespace radiocast {
 
@@ -37,7 +38,7 @@ class sas_node final : public protocol_node {
     // Scheduled duties (presence replies, echo replies — including helper
     // replies owed after this node stopped).
     if (auto due = pending_.take(ctx.step)) return due;
-    if (driving_) return drive(ctx.step);
+    if (driving_) return drive(ctx);
     return std::nullopt;
   }
 
@@ -59,10 +60,10 @@ class sas_node final : public protocol_node {
         break;
       case kStopToken:
         pending_.clear();  // cancels any outstanding presence reservation
-        if (static_cast<node_id>(msg.a) == label_) take_token(msg.from);
+        if (static_cast<node_id>(msg.a) == label_) take_token(ctx, msg.from);
         break;
       case kToken:
-        if (static_cast<node_id>(msg.a) == label_) take_token(msg.from);
+        if (static_cast<node_id>(msg.a) == label_) take_token(ctx, msg.from);
         break;
       case kOrder:
         if (driving_) break;  // impossible in a clean run; ignore defensively
@@ -81,32 +82,50 @@ class sas_node final : public protocol_node {
   bool halted() const override { return halted_; }
 
  private:
-  void take_token(node_id from) {
+  void take_token(const node_context& ctx, node_id from) {
     if (!visited_) {
       visited_ = true;
       parent_ = from;
       helper_ = from;
+      if (ctx.metrics != nullptr) {
+        ctx.metrics->get_counter("sas.first_visits").add();
+      }
+    }
+    if (ctx.metrics != nullptr) {
+      // Phase marker: every DFS token hop (forward passes and returns).
+      ctx.metrics->get_counter("sas.token_hops").add();
     }
     // (visited_ && token addressed to us) ⇒ a child returned the token:
     // resume the DFS with a fresh probe either way.
     driving_ = true;
     pending_.clear();
     driver_.emplace(kKinds, helper_, r_);
+    driver_->set_metrics(ctx.metrics);
   }
 
-  std::optional<message> drive(std::int64_t step) {
-    std::optional<message> out = driver_->on_step(step);
+  std::optional<message> drive(const node_context& ctx) {
+    std::optional<message> out = driver_->on_step(ctx.step);
     if (!driver_->finished()) return out;
     driving_ = false;
+    if (ctx.metrics != nullptr) {
+      ctx.metrics->get_histogram("sas.segments_per_selection")
+          .observe(driver_->segments_issued());
+    }
     if (driver_->result() == selection_driver::status::selected) {
       // Pass the token forward; we resume when it comes back.
       const node_id next = driver_->selected();
       driver_.reset();
+      if (ctx.metrics != nullptr) {
+        ctx.metrics->get_counter("sas.selections").add();
+      }
       return message{kToken, label_, next, 0, 0};
     }
     // S = ∅: the subtree below us is complete.
     driver_.reset();
     halted_ = true;
+    if (ctx.metrics != nullptr) {
+      ctx.metrics->get_counter("sas.subtrees_completed").add();
+    }
     if (label_ == 0) return std::nullopt;  // the traversal is over
     return message{kToken, label_, parent_, 0, 0};
   }

@@ -1,0 +1,162 @@
+// Metrics registry: counters, gauges, log₂-bucketed histograms, and
+// per-step series for observing simulator runs.
+//
+// Design goals, in order:
+//   1. Zero cost when disabled. Instrumentation sites hold a
+//      `metrics_registry*` that is null by default; the only overhead of a
+//      disabled run is one pointer test per site (guarded by a bench
+//      assertion in bench_simulator_throughput).
+//   2. Cheap when enabled. Lookups return stable references (the registry
+//      is node-based), so hot loops resolve a metric once and then touch a
+//      single int64. The simulator's per-step series append is an
+//      amortized O(1) vector push.
+//   3. Everything exports. The whole registry serializes to one JSON
+//      object with deterministic (sorted) key order, so artifacts diff
+//      cleanly across runs.
+//
+// Instruments:
+//   * counter   — monotone int64 (transmissions, token hops, echo rounds);
+//   * gauge     — last-write-wins int64 (current decay phase, kp stage);
+//   * histogram — fixed log₂ buckets: bucket 0 counts values ≤ 1, bucket i
+//                 counts values in (2^{i-1}, 2^i]; 64 buckets cover int64;
+//   * series    — one int64 per simulator step (frontier size, collisions).
+//
+// Labeled lookup: every accessor takes an optional label; (name, label)
+// pairs are distinct instruments, exported as `name{label}`. Protocols use
+// labels for phase markers, e.g. counter("kp.stage_tx", "2").
+//
+// Not thread-safe: one registry per run (the simulator is single-threaded).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace radiocast::obs {
+
+/// Monotone event count.
+class counter {
+ public:
+  void add(std::int64_t n = 1) { value_ += n; }
+  std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Last-written value plus the number of writes.
+class gauge {
+ public:
+  void set(std::int64_t v) {
+    value_ = v;
+    ++writes_;
+  }
+  std::int64_t value() const { return value_; }
+  std::int64_t writes() const { return writes_; }
+
+ private:
+  std::int64_t value_ = 0;
+  std::int64_t writes_ = 0;
+};
+
+/// Fixed log₂-bucket histogram over non-negative int64 values.
+class histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  /// Bucket index for `v`: 0 for v ≤ 1, otherwise the unique i ≥ 1 with
+  /// 2^{i-1} < v ≤ 2^i (i.e. upper bounds 1, 2, 4, 8, …).
+  static int bucket_index(std::int64_t v);
+
+  /// Inclusive upper bound of bucket i (2^i; bucket 0 ⇒ 1).
+  static std::int64_t bucket_upper_bound(int i);
+
+  void observe(std::int64_t v);
+
+  std::int64_t count() const { return count_; }
+  std::int64_t sum() const { return sum_; }
+  std::int64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::int64_t max() const { return count_ == 0 ? 0 : max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  std::int64_t bucket(int i) const { return buckets_[i]; }
+
+  /// Smallest bucket upper bound at or above the pct-th percentile of the
+  /// recorded distribution (an upper estimate, as buckets are coarse).
+  std::int64_t percentile_bound(double pct) const;
+
+ private:
+  std::int64_t buckets_[kBuckets] = {};
+  std::int64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+/// One value per simulator step. The registry does not enforce alignment;
+/// the simulator pushes exactly once per step for every series it owns.
+class series {
+ public:
+  void push(std::int64_t v) { values_.push_back(v); }
+  void reserve(std::size_t n) { values_.reserve(n); }
+  const std::vector<std::int64_t>& values() const { return values_; }
+  std::size_t size() const { return values_.size(); }
+
+ private:
+  std::vector<std::int64_t> values_;
+};
+
+/// Owner of all instruments for one run (or one bench process).
+///
+/// References returned by the accessors are stable for the registry's
+/// lifetime; callers on hot paths should resolve once and reuse.
+class metrics_registry {
+ public:
+  counter& get_counter(const std::string& name,
+                       const std::string& label = {});
+  gauge& get_gauge(const std::string& name, const std::string& label = {});
+  histogram& get_histogram(const std::string& name,
+                           const std::string& label = {});
+  series& get_series(const std::string& name, const std::string& label = {});
+
+  /// Lookup without creation; nullptr when the instrument does not exist.
+  const counter* find_counter(const std::string& name,
+                              const std::string& label = {}) const;
+  const gauge* find_gauge(const std::string& name,
+                          const std::string& label = {}) const;
+  const histogram* find_histogram(const std::string& name,
+                                  const std::string& label = {}) const;
+  const series* find_series(const std::string& name,
+                            const std::string& label = {}) const;
+
+  const std::map<std::string, counter>& counters() const { return counters_; }
+  const std::map<std::string, gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, histogram>& histograms() const {
+    return histograms_;
+  }
+  const std::map<std::string, series>& all_series() const { return series_; }
+
+  /// Export key for a (name, label) pair: `name` or `name{label}`.
+  static std::string key(const std::string& name, const std::string& label);
+
+  /// Drops every instrument.
+  void clear();
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...},
+  ///  "series": {...}} with sorted keys. Histograms export count/sum/min/
+  /// max/mean plus the non-empty bucket upper bounds and counts.
+  json_value to_json() const;
+
+ private:
+  std::map<std::string, counter> counters_;
+  std::map<std::string, gauge> gauges_;
+  std::map<std::string, histogram> histograms_;
+  std::map<std::string, series> series_;
+};
+
+}  // namespace radiocast::obs

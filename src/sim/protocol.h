@@ -26,6 +26,10 @@
 #include "sim/message.h"
 #include "util/rng.h"
 
+namespace radiocast::obs {
+class metrics_registry;
+}  // namespace radiocast::obs
+
 namespace radiocast {
 
 /// Static parameters handed to every node at creation.
@@ -39,6 +43,13 @@ struct node_context {
   std::int64_t step = 0;  ///< global synchronous step number (0-based)
   rng* gen = nullptr;     ///< per-node generator (unused by deterministic
                           ///< protocols; never null inside the simulator)
+  /// Observability hook: null unless the run enables metrics
+  /// (run_options::metrics). Protocols use it to tag phase markers —
+  /// decay stage draws, kp block/stage indices, DFS token hops, echo
+  /// rounds — and MUST guard every use with a null check so that
+  /// metrics-disabled runs stay free of instrumentation cost. The
+  /// registry carries no protocol semantics; it never feeds decisions.
+  obs::metrics_registry* metrics = nullptr;
 };
 
 /// One node's running protocol instance.

@@ -1,7 +1,10 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <chrono>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/assert.h"
 
 namespace radiocast {
@@ -19,6 +22,10 @@ struct node_slot {
 
 run_result run_broadcast_with_r(const graph& g, const protocol& proto,
                                 node_id r, const run_options& opts) {
+  obs::span_profiler* profiler =
+      opts.profiler != nullptr ? opts.profiler : obs::global_profiler();
+  obs::scoped_span run_span(profiler, "run_broadcast");
+
   const node_id n = g.node_count();
   RC_REQUIRE(r >= n - 1);
   RC_REQUIRE(opts.max_steps >= 1);
@@ -50,13 +57,42 @@ run_result run_broadcast_with_r(const graph& g, const protocol& proto,
 
   rng root(opts.seed);
   std::vector<node_slot> slots(static_cast<std::size_t>(n));
-  for (node_id v = 0; v < n; ++v) {
-    auto& slot = slots[static_cast<std::size_t>(v)];
-    slot.gen = root.split();
-    slot.node = proto.make_node(labels[static_cast<std::size_t>(v)], params);
-    RC_CHECK(slot.node != nullptr);
+  {
+    obs::scoped_span setup_span(profiler, "setup");
+    for (node_id v = 0; v < n; ++v) {
+      auto& slot = slots[static_cast<std::size_t>(v)];
+      slot.gen = root.split();
+      slot.node = proto.make_node(labels[static_cast<std::size_t>(v)], params);
+      RC_CHECK(slot.node != nullptr);
+    }
   }
   RC_CHECK_MSG(slots[0].node->informed(), "the source must start informed");
+
+  if (opts.sink != nullptr) {
+    // Steady-state recording should not reallocate: reserve for the step
+    // cap (a few events per step, clamped to keep pathological caps sane)
+    // or the ring capacity, whichever binds.
+    const auto cap_hint = static_cast<std::size_t>(
+        std::min<std::int64_t>(opts.max_steps * 2, std::int64_t{1} << 20));
+    opts.sink->reserve(cap_hint);
+  }
+
+  // Metrics: resolve every per-step series once, outside the loop. The
+  // disabled path (metrics == nullptr) must cost one branch per site.
+  obs::series* sr_frontier = nullptr;
+  obs::series* sr_tx = nullptr;
+  obs::series* sr_deliveries = nullptr;
+  obs::series* sr_collisions = nullptr;
+  obs::series* sr_idle = nullptr;
+  obs::histogram* h_tx_per_step = nullptr;
+  if (opts.metrics != nullptr) {
+    sr_frontier = &opts.metrics->get_series("sim.informed_frontier");
+    sr_tx = &opts.metrics->get_series("sim.transmissions");
+    sr_deliveries = &opts.metrics->get_series("sim.deliveries");
+    sr_collisions = &opts.metrics->get_series("sim.collisions");
+    sr_idle = &opts.metrics->get_series("sim.idle_listeners");
+    h_tx_per_step = &opts.metrics->get_histogram("sim.transmitters_per_step");
+  }
 
   run_result result;
   result.informed_at.assign(static_cast<std::size_t>(n), -1);
@@ -80,12 +116,16 @@ run_result run_broadcast_with_r(const graph& g, const protocol& proto,
     });
   };
 
+  obs::scoped_span loop_span(profiler, "step_loop");
   for (std::int64_t step = 0; step < opts.max_steps; ++step) {
+    const std::int64_t collisions_before = result.collisions;
+    const std::int64_t deliveries_before = result.deliveries;
+
     // Phase 1: collect transmit decisions.
     transmitters.clear();
     for (node_id v = 0; v < n; ++v) {
       auto& slot = slots[static_cast<std::size_t>(v)];
-      node_context ctx{step, &slot.gen};
+      node_context ctx{step, &slot.gen, opts.metrics};
       std::optional<message> decision = slot.node->on_step(ctx);
       if (!decision) continue;
       RC_CHECK_MSG(v == 0 || slot.received_any,
@@ -141,7 +181,7 @@ run_result run_broadcast_with_r(const graph& g, const protocol& proto,
       RC_CHECK(tx_stamp[static_cast<std::size_t>(sender)] == step);
       const message* delivered = &tx_msg[static_cast<std::size_t>(sender)];
       const bool was_informed = slot.node->informed();
-      node_context ctx{step, &slot.gen};
+      node_context ctx{step, &slot.gen, opts.metrics};
       slot.node->on_receive(ctx, *delivered);
       slot.received_any = true;
       ++result.deliveries;
@@ -155,6 +195,23 @@ run_result run_broadcast_with_r(const graph& g, const protocol& proto,
           opts.sink->record({step, trace_event::type::informed, v, {}});
         }
       }
+    }
+
+    if (opts.metrics != nullptr) {
+      const auto tx_count = static_cast<std::int64_t>(transmitters.size());
+      const std::int64_t step_collisions =
+          result.collisions - collisions_before;
+      const std::int64_t step_deliveries =
+          result.deliveries - deliveries_before;
+      sr_frontier->push(informed_count);
+      sr_tx->push(tx_count);
+      sr_deliveries->push(step_deliveries);
+      sr_collisions->push(step_collisions);
+      // Listeners that heard nothing at all: everyone except transmitters
+      // and the listeners resolved to a delivery or an observed collision.
+      sr_idle->push(static_cast<std::int64_t>(n) - tx_count -
+                    step_deliveries - step_collisions);
+      h_tx_per_step->observe(tx_count);
     }
 
     result.steps = step + 1;
@@ -181,22 +238,82 @@ run_result run_broadcast(const graph& g, const protocol& proto,
   return run_broadcast_with_r(g, proto, g.node_count() - 1, opts);
 }
 
+std::size_t trial_set::completed_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(trials.begin(), trials.end(),
+                    [](const trial_record& t) { return t.completed; }));
+}
+
+double trial_set::timeout_rate() const {
+  if (trials.empty()) return 0.0;
+  return 1.0 - static_cast<double>(completed_count()) /
+                   static_cast<double>(trials.size());
+}
+
+std::vector<double> trial_set::completion_steps() const {
+  std::vector<double> out;
+  out.reserve(trials.size());
+  for (const trial_record& t : trials) {
+    if (t.completed) out.push_back(static_cast<double>(t.informed_step));
+  }
+  return out;
+}
+
+double trial_set::total_wall_ms() const {
+  double total = 0.0;
+  for (const trial_record& t : trials) total += t.wall_ms;
+  return total;
+}
+
+trial_set run_trials(const graph& g, const protocol& proto,
+                     const trial_options& opts) {
+  RC_REQUIRE(opts.trials >= 1);
+  obs::span_profiler* profiler =
+      opts.profiler != nullptr ? opts.profiler : obs::global_profiler();
+  obs::scoped_span batch_span(profiler, "run_trials");
+
+  trial_set out;
+  out.trials.reserve(static_cast<std::size_t>(opts.trials));
+  for (int t = 0; t < opts.trials; ++t) {
+    run_options ropts;
+    ropts.seed = opts.base_seed + static_cast<std::uint64_t>(t);
+    ropts.max_steps = opts.max_steps;
+    ropts.stop = opts.stop;
+    ropts.metrics = opts.metrics;
+    ropts.profiler = opts.profiler;
+    const auto start = std::chrono::steady_clock::now();
+    const run_result r = run_broadcast(g, proto, ropts);
+    const auto end = std::chrono::steady_clock::now();
+
+    trial_record rec;
+    rec.seed = ropts.seed;
+    rec.completed = r.completed;
+    rec.steps = r.steps;
+    rec.informed_step = r.completed ? r.informed_step : std::int64_t{-1};
+    rec.transmissions = r.transmissions;
+    rec.collisions = r.collisions;
+    rec.deliveries = r.deliveries;
+    rec.wall_ms =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+            end - start)
+            .count();
+    out.trials.push_back(rec);
+  }
+  return out;
+}
+
 std::vector<double> completion_times(const graph& g, const protocol& proto,
                                      int trials, std::uint64_t base_seed,
                                      std::int64_t max_steps) {
-  RC_REQUIRE(trials >= 1);
-  std::vector<double> times;
-  times.reserve(static_cast<std::size_t>(trials));
-  for (int t = 0; t < trials; ++t) {
-    run_options opts;
-    opts.seed = base_seed + static_cast<std::uint64_t>(t);
-    opts.max_steps = max_steps;
-    const run_result r = run_broadcast(g, proto, opts);
-    RC_CHECK_MSG(r.completed, "broadcast did not complete within the step "
-                              "cap for protocol " + proto.name());
-    times.push_back(static_cast<double>(r.informed_step));
-  }
-  return times;
+  trial_options opts;
+  opts.trials = trials;
+  opts.base_seed = base_seed;
+  opts.max_steps = max_steps;
+  const trial_set batch = run_trials(g, proto, opts);
+  RC_CHECK_MSG(batch.all_completed(),
+               "broadcast did not complete within the step cap for protocol " +
+                   proto.name());
+  return batch.completion_steps();
 }
 
 }  // namespace radiocast

@@ -20,6 +20,11 @@
 #include "sim/protocol.h"
 #include "sim/trace.h"
 
+namespace radiocast::obs {
+class metrics_registry;
+class span_profiler;
+}  // namespace radiocast::obs
+
 namespace radiocast {
 
 /// When the run loop stops.
@@ -33,6 +38,16 @@ struct run_options {
   stop_condition stop = stop_condition::all_informed;
   std::uint64_t seed = 1;      ///< root seed; split per node
   trace* sink = nullptr;       ///< optional event recording
+  /// Optional metrics collection (see src/obs/metrics.h). When set, the
+  /// simulator records per-step series — informed-frontier size,
+  /// transmissions, deliveries, collisions, idle listeners — under
+  /// `sim.*`, and protocols receive the registry through node_context to
+  /// tag per-phase counters. Null ⇒ the step loop's only overhead is one
+  /// branch per instrumentation site.
+  obs::metrics_registry* metrics = nullptr;
+  /// Optional wall-clock span collection for this run. When null, the
+  /// process-wide obs::global_profiler() (also null by default) is used.
+  obs::span_profiler* profiler = nullptr;
   /// Optional sparse labeling: labels[v] is the label of graph node v
   /// (distinct, within {0,…,r}, labels[0] == 0 — the source's label).
   /// Empty ⇒ identity (label = node id). The paper's model only fixes
@@ -65,9 +80,58 @@ run_result run_broadcast(const graph& g, const protocol& proto,
 run_result run_broadcast_with_r(const graph& g, const protocol& proto,
                                 node_id r, const run_options& opts = {});
 
-/// Convenience for experiments: mean completion time over `trials` seeded
-/// runs (each seed = base_seed + trial index). Throws if any trial fails to
-/// complete within the cap.
+// ---------------------------------------------------------------------------
+// Trial batches — the measurement substrate of every bench and experiment.
+// ---------------------------------------------------------------------------
+
+/// Options for a seeded trial batch.
+struct trial_options {
+  int trials = 1;
+  std::uint64_t base_seed = 1;  ///< trial t runs with seed base_seed + t
+  std::int64_t max_steps = 1'000'000;
+  stop_condition stop = stop_condition::all_informed;
+  /// Metrics registry shared across all trials (phase counters accumulate;
+  /// per-step series are only meaningful for single-trial batches).
+  obs::metrics_registry* metrics = nullptr;
+  obs::span_profiler* profiler = nullptr;
+};
+
+/// Outcome of one trial, the unit record of bench telemetry.
+struct trial_record {
+  std::uint64_t seed = 0;
+  bool completed = false;   ///< stop condition reached within the cap
+  std::int64_t steps = 0;
+  std::int64_t informed_step = -1;  ///< −1 when the trial timed out
+  std::int64_t transmissions = 0;
+  std::int64_t collisions = 0;
+  std::int64_t deliveries = 0;
+  double wall_ms = 0.0;  ///< wall-clock of this trial's run_broadcast
+};
+
+/// A batch of seeded trials. Unlike completion_times, incomplete trials are
+/// DATA, not errors — benches near the step cap report timeout rates
+/// instead of aborting the sweep.
+struct trial_set {
+  std::vector<trial_record> trials;
+
+  std::size_t completed_count() const;
+  bool all_completed() const { return completed_count() == trials.size(); }
+  /// Fraction of trials that hit the step cap, in [0, 1].
+  double timeout_rate() const;
+  /// informed_step of each COMPLETED trial, in trial order.
+  std::vector<double> completion_steps() const;
+  double total_wall_ms() const;
+};
+
+/// Runs `opts.trials` seeded broadcasts and records one trial_record each.
+/// Never throws on timeout — inspect trial_set::timeout_rate().
+trial_set run_trials(const graph& g, const protocol& proto,
+                     const trial_options& opts);
+
+/// Convenience for experiments: completion time over `trials` seeded runs
+/// (each seed = base_seed + trial index). Throws if any trial fails to
+/// complete within the cap; sweeps that must survive timeouts use
+/// run_trials instead.
 std::vector<double> completion_times(const graph& g, const protocol& proto,
                                      int trials, std::uint64_t base_seed,
                                      std::int64_t max_steps = 1'000'000);

@@ -1,20 +1,83 @@
 #include "sim/trace.h"
 
+#include <algorithm>
 #include <sstream>
+
+#include "obs/json.h"
 
 namespace radiocast {
 
+const char* trace_event_type_name(trace_event::type t) {
+  switch (t) {
+    case trace_event::type::transmit: return "transmit";
+    case trace_event::type::receive: return "receive";
+    case trace_event::type::collision: return "collision";
+    case trace_event::type::informed: return "informed";
+  }
+  return "unknown";
+}
+
+void trace::set_capacity(std::size_t capacity) {
+  // Normalize to chronological order before re-binding the ring.
+  std::vector<trace_event> ordered = events();
+  if (capacity != 0 && ordered.size() > capacity) {
+    dropped_ += ordered.size() - capacity;
+    ordered.erase(ordered.begin(),
+                  ordered.begin() +
+                      static_cast<std::ptrdiff_t>(ordered.size() - capacity));
+  }
+  events_ = std::move(ordered);
+  capacity_ = capacity;
+  head_ = 0;
+  if (capacity_ != 0) events_.reserve(capacity_);
+}
+
+void trace::reserve(std::size_t events) {
+  if (capacity_ != 0) events = std::min(events, capacity_);
+  events_.reserve(events);
+}
+
+void trace::record(trace_event event) {
+  if (capacity_ == 0) {
+    events_.emplace_back(std::move(event));
+    return;
+  }
+  if (events_.size() < capacity_) {
+    events_.emplace_back(std::move(event));
+    return;
+  }
+  // Ring full: overwrite the oldest slot.
+  events_[head_] = std::move(event);
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+template <typename Fn>
+void trace::for_each_in_order(Fn&& fn) const {
+  const std::size_t n = events_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    fn(events_[(head_ + i) % n]);
+  }
+}
+
+std::vector<trace_event> trace::events() const {
+  std::vector<trace_event> out;
+  out.reserve(events_.size());
+  for_each_in_order([&](const trace_event& e) { out.push_back(e); });
+  return out;
+}
+
 std::vector<trace_event> trace::filter(trace_event::type t) const {
   std::vector<trace_event> out;
-  for (const auto& e : events_) {
+  for_each_in_order([&](const trace_event& e) {
     if (e.what == t) out.push_back(e);
-  }
+  });
   return out;
 }
 
 std::string trace::to_string() const {
   std::ostringstream os;
-  for (const auto& e : events_) {
+  for_each_in_order([&](const trace_event& e) {
     os << "step " << e.step << ": node " << e.node << ' ';
     switch (e.what) {
       case trace_event::type::transmit:
@@ -32,8 +95,57 @@ std::string trace::to_string() const {
         break;
     }
     os << '\n';
-  }
+  });
   return os.str();
+}
+
+void trace::to_ndjson(std::ostream& os) const {
+  for_each_in_order([&](const trace_event& e) {
+    obs::json_value line = obs::json_value::object();
+    line.set("step", e.step);
+    line.set("type", trace_event_type_name(e.what));
+    line.set("node", static_cast<std::int64_t>(e.node));
+    if (e.what == trace_event::type::transmit ||
+        e.what == trace_event::type::receive) {
+      line.set("kind", static_cast<std::int64_t>(e.msg.kind));
+      line.set("from", static_cast<std::int64_t>(e.msg.from));
+      line.set("a", e.msg.a);
+      line.set("b", e.msg.b);
+      line.set("c", e.msg.c);
+      line.set("d", e.msg.d);
+    }
+    line.write(os);
+    os << '\n';
+  });
+}
+
+std::string trace::summary_json() const {
+  std::int64_t first_step = -1;
+  std::int64_t last_step = -1;
+  std::int64_t by_type[4] = {};
+  bool any = false;
+  for_each_in_order([&](const trace_event& e) {
+    if (!any) {
+      first_step = e.step;
+      any = true;
+    }
+    last_step = e.step;
+    ++by_type[static_cast<int>(e.what)];
+  });
+
+  obs::json_value root = obs::json_value::object();
+  root.set("events", events_.size());
+  root.set("dropped", dropped_);
+  root.set("first_step", first_step);
+  root.set("last_step", last_step);
+  obs::json_value types = obs::json_value::object();
+  for (const auto t :
+       {trace_event::type::transmit, trace_event::type::receive,
+        trace_event::type::collision, trace_event::type::informed}) {
+    types.set(trace_event_type_name(t), by_type[static_cast<int>(t)]);
+  }
+  root.set("by_type", std::move(types));
+  return root.dump();
 }
 
 }  // namespace radiocast

@@ -1,7 +1,20 @@
-// Optional step-by-step event recording for debugging and the examples.
+// Optional step-by-step event recording for debugging, the examples, and
+// offline analysis.
+//
+// Two storage modes:
+//   * unbounded (default) — an append-only log of every event;
+//   * ring — construct with a capacity (or call set_capacity) and the trace
+//     keeps only the most recent `capacity` events, counting what it
+//     dropped. Long runs can then keep "the last million events" without
+//     unbounded memory.
+//
+// Export: `to_string` for humans, `to_ndjson` (one JSON object per line)
+// for offline tooling, and `summary_json` for compact per-run roll-ups.
+// The NDJSON schema is documented in docs/OBSERVABILITY.md.
 #pragma once
 
 #include <cstdint>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -20,21 +33,65 @@ struct trace_event {
   message msg;  ///< for transmit/receive; default-initialized otherwise
 };
 
-/// Append-only event log.
+/// Short lowercase tag for an event type ("transmit", "receive", …).
+const char* trace_event_type_name(trace_event::type t);
+
+/// Event log; append-only or bounded-ring depending on capacity.
 class trace {
  public:
-  void record(trace_event event) { events_.push_back(event); }
-  const std::vector<trace_event>& events() const { return events_; }
-  std::size_t size() const { return events_.size(); }
+  trace() = default;
+  /// Ring mode from the start: keep only the latest `capacity` events.
+  explicit trace(std::size_t capacity) { set_capacity(capacity); }
 
-  /// Events of one type, in order.
+  /// Switches to ring mode with the given bound (0 restores unbounded
+  /// mode). Shrinking below the current size discards the oldest events.
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const { return capacity_; }
+
+  /// Pre-allocates storage (bounded by the ring capacity when set). The
+  /// simulator calls this when a sink is attached and the step cap is
+  /// known, so steady-state recording never reallocates.
+  void reserve(std::size_t events);
+
+  void record(trace_event event);
+
+  /// Retained events, oldest first. Materializes a fresh vector in ring
+  /// mode (the ring stores them rotated); cheap relative to any analysis.
+  std::vector<trace_event> events() const;
+
+  /// Number of retained events.
+  std::size_t size() const { return events_.size(); }
+  /// Events evicted by the ring bound (0 in unbounded mode).
+  std::size_t dropped() const { return dropped_; }
+  /// Total events ever recorded.
+  std::size_t recorded() const { return size() + dropped_; }
+
+  /// Retained events of one type, oldest first.
   std::vector<trace_event> filter(trace_event::type t) const;
 
   /// Human-readable rendering, one line per event.
   std::string to_string() const;
 
+  /// Newline-delimited JSON, one event per line:
+  ///   {"step":s,"type":"transmit","node":v,"kind":k,"from":f,
+  ///    "a":…,"b":…,"c":…,"d":…}
+  /// (message fields only for transmit/receive events).
+  void to_ndjson(std::ostream& os) const;
+
+  /// Compact roll-up: retained/dropped counts, first/last step, and a
+  /// per-type count object. Shape:
+  ///   {"events":n,"dropped":n,"first_step":s,"last_step":s,
+  ///    "by_type":{"transmit":n,…}}
+  std::string summary_json() const;
+
  private:
+  template <typename Fn>
+  void for_each_in_order(Fn&& fn) const;  // oldest → newest
+
   std::vector<trace_event> events_;
+  std::size_t capacity_ = 0;  ///< 0 = unbounded
+  std::size_t head_ = 0;      ///< ring mode: index of the oldest event
+  std::size_t dropped_ = 0;
 };
 
 }  // namespace radiocast

@@ -18,6 +18,16 @@ double percentile(const std::vector<double>& sorted, double pct) {
   return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
 }
 
+std::vector<double> percentiles(std::vector<double> samples,
+                                const std::vector<double>& pcts) {
+  RC_REQUIRE(!samples.empty());
+  std::sort(samples.begin(), samples.end());
+  std::vector<double> out;
+  out.reserve(pcts.size());
+  for (const double pct : pcts) out.push_back(percentile(samples, pct));
+  return out;
+}
+
 summary summarize(std::vector<double> samples) {
   RC_REQUIRE(!samples.empty());
   std::sort(samples.begin(), samples.end());
@@ -26,7 +36,9 @@ summary summarize(std::vector<double> samples) {
   s.min = samples.front();
   s.max = samples.back();
   s.median = percentile(samples, 50.0);
+  s.p90 = percentile(samples, 90.0);
   s.p95 = percentile(samples, 95.0);
+  s.p99 = percentile(samples, 99.0);
   accumulator acc;
   for (double x : samples) acc.add(x);
   s.mean = acc.mean();

@@ -14,7 +14,9 @@ struct summary {
   double min = 0.0;
   double max = 0.0;
   double median = 0.0;
-  double p95 = 0.0;  ///< 95th percentile (nearest-rank interpolation)
+  double p90 = 0.0;  ///< 90th percentile (linear interpolation)
+  double p95 = 0.0;  ///< 95th percentile (linear interpolation)
+  double p99 = 0.0;  ///< 99th percentile (linear interpolation)
 };
 
 /// Computes a summary of `samples`. Requires a nonempty sample.
@@ -23,6 +25,13 @@ summary summarize(std::vector<double> samples);
 /// Percentile in [0, 100] by linear interpolation between closest ranks.
 /// `sorted` must be nonempty and ascending.
 double percentile(const std::vector<double>& sorted, double pct);
+
+/// Batch percentiles over an UNSORTED sample (sorts a copy once). Returns
+/// one value per requested pct, in request order. Requires nonempty
+/// samples. This is the helper bench telemetry uses for its p50/p90/p95/
+/// p99 blocks.
+std::vector<double> percentiles(std::vector<double> samples,
+                                const std::vector<double>& pcts);
 
 /// Streaming accumulator (Welford) for when samples need not be retained.
 class accumulator {

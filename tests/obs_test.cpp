@@ -1,0 +1,392 @@
+// Tests of the observability layer: the metrics registry (counter / gauge /
+// histogram bucket boundaries / series), the JSON document model and its
+// parser (round-trips), the span profiler, the trace ring buffer and its
+// NDJSON export, and the simulator-facing instrumentation contract
+// (metrics/series filled when a registry is attached, run_trials reporting
+// timeouts as data).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/runner.h"
+#include "graph/generators.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+#include "util/stats.h"
+
+namespace radiocast {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, CounterAndGaugeBasics) {
+  obs::metrics_registry reg;
+  reg.get_counter("tx").add();
+  reg.get_counter("tx").add(4);
+  EXPECT_EQ(reg.get_counter("tx").value(), 5);
+
+  reg.get_gauge("phase").set(3);
+  reg.get_gauge("phase").set(7);
+  EXPECT_EQ(reg.get_gauge("phase").value(), 7);
+  EXPECT_EQ(reg.get_gauge("phase").writes(), 2);
+}
+
+TEST(MetricsTest, LabeledLookupIsDistinct) {
+  obs::metrics_registry reg;
+  reg.get_counter("tx", "universal").add(2);
+  reg.get_counter("tx", "geometric").add(5);
+  EXPECT_EQ(reg.get_counter("tx", "universal").value(), 2);
+  EXPECT_EQ(reg.get_counter("tx", "geometric").value(), 5);
+  EXPECT_EQ(reg.find_counter("tx{universal}")->value(), 2);
+  EXPECT_EQ(reg.find_counter("tx"), nullptr);
+}
+
+TEST(MetricsTest, ReferencesStayStableAcrossInsertions) {
+  obs::metrics_registry reg;
+  obs::counter& first = reg.get_counter("a");
+  for (int i = 0; i < 100; ++i) {
+    reg.get_counter("c" + std::to_string(i)).add();
+  }
+  first.add(9);
+  EXPECT_EQ(reg.get_counter("a").value(), 9);
+}
+
+TEST(MetricsTest, HistogramBucketBoundaries) {
+  // Bucket i holds values in (2^(i-1), 2^i]; bucket 0 holds v ≤ 1. The
+  // boundary value 2^i must land in bucket i, and 2^i + 1 in bucket i+1.
+  EXPECT_EQ(obs::histogram::bucket_index(0), 0);
+  EXPECT_EQ(obs::histogram::bucket_index(1), 0);
+  EXPECT_EQ(obs::histogram::bucket_index(2), 1);
+  EXPECT_EQ(obs::histogram::bucket_index(3), 2);
+  EXPECT_EQ(obs::histogram::bucket_index(4), 2);
+  EXPECT_EQ(obs::histogram::bucket_index(5), 3);
+  EXPECT_EQ(obs::histogram::bucket_index(8), 3);
+  EXPECT_EQ(obs::histogram::bucket_index(9), 4);
+  EXPECT_EQ(obs::histogram::bucket_index(1 << 20), 20);
+  EXPECT_EQ(obs::histogram::bucket_index((1 << 20) + 1), 21);
+
+  obs::histogram h;
+  for (std::int64_t v : {1, 2, 3, 4, 100, 1000}) h.observe(v);
+  EXPECT_EQ(h.count(), 6);
+  EXPECT_EQ(h.sum(), 1110);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 1000);
+  EXPECT_DOUBLE_EQ(h.mean(), 1110.0 / 6.0);
+}
+
+TEST(MetricsTest, HistogramPercentileBoundIsAnUpperBound) {
+  obs::histogram h;
+  for (std::int64_t v = 1; v <= 1000; ++v) h.observe(v);
+  // The p50 bucket bound must cover at least half the mass but stay within
+  // one power of two of the true median.
+  const std::int64_t p50 = h.percentile_bound(50.0);
+  EXPECT_GE(p50, 500);
+  EXPECT_LE(p50, 1024);
+  EXPECT_GE(h.percentile_bound(100.0), 1000);
+}
+
+TEST(MetricsTest, SeriesRecordsInOrder) {
+  obs::metrics_registry reg;
+  obs::series& s = reg.get_series("frontier");
+  s.push(1);
+  s.push(5);
+  s.push(25);
+  ASSERT_EQ(s.values().size(), 3u);
+  EXPECT_EQ(s.values()[2], 25);
+}
+
+TEST(MetricsTest, ToJsonExportsAllKinds) {
+  obs::metrics_registry reg;
+  reg.get_counter("c").add(2);
+  reg.get_gauge("g").set(4);
+  reg.get_histogram("h").observe(9);
+  reg.get_series("s").push(1);
+  const obs::json_value j = reg.to_json();
+  ASSERT_NE(j.find_path("counters.c"), nullptr);
+  EXPECT_EQ(j.find_path("counters.c")->as_int(), 2);
+  ASSERT_NE(j.find_path("gauges.g"), nullptr);
+  ASSERT_NE(j.find_path("histograms.h"), nullptr);
+  EXPECT_EQ(j.find_path("histograms.h.count")->as_int(), 1);
+  ASSERT_NE(j.find_path("series.s"), nullptr);
+  EXPECT_EQ(j.find_path("series.s")->items().size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// JSON model + parser
+// ---------------------------------------------------------------------------
+
+TEST(JsonTest, ObjectPreservesInsertionOrderAndReplacesInPlace) {
+  obs::json_value o = obs::json_value::object();
+  o.set("z", 1);
+  o.set("a", 2);
+  o.set("z", 3);
+  EXPECT_EQ(o.dump(), "{\"z\":3,\"a\":2}");
+}
+
+TEST(JsonTest, RoundTripsThroughParser) {
+  obs::json_value o = obs::json_value::object();
+  o.set("int", std::int64_t{1234567890123});
+  o.set("neg", -4);
+  o.set("pi", 3.25);
+  o.set("text", "quote \" backslash \\ newline \n unicode \u00e9");
+  o.set("flag", true);
+  o.set("nothing", nullptr);
+  obs::json_value arr = obs::json_value::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  o.set("arr", std::move(arr));
+
+  for (int indent : {-1, 2}) {
+    std::string err;
+    const auto parsed = obs::json_parse(o.dump(indent), &err);
+    ASSERT_TRUE(parsed.has_value()) << err;
+    EXPECT_EQ(*parsed, o) << "indent=" << indent;
+    // Integers must survive as integers (no 1.23457e+12 mangling).
+    EXPECT_EQ(parsed->find("int")->as_int(), 1234567890123);
+  }
+}
+
+TEST(JsonTest, ParserRejectsMalformedInput) {
+  for (const char* bad : {"{", "[1,]", "{\"a\":}", "tru", "1 2", "\"\\x\""}) {
+    std::string err;
+    EXPECT_FALSE(obs::json_parse(bad, &err).has_value()) << bad;
+    EXPECT_FALSE(err.empty()) << bad;
+  }
+}
+
+TEST(JsonTest, FindPathDescendsDottedKeys) {
+  const auto doc = obs::json_parse(R"({"a":{"b":{"c":42}}})");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_NE(doc->find_path("a.b.c"), nullptr);
+  EXPECT_EQ(doc->find_path("a.b.c")->as_int(), 42);
+  EXPECT_EQ(doc->find_path("a.x.c"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Span profiler
+// ---------------------------------------------------------------------------
+
+TEST(SpanTest, NestsAndAccumulates) {
+  obs::span_profiler prof;
+  for (int i = 0; i < 3; ++i) {
+    obs::scoped_span outer(&prof, "outer");
+    obs::scoped_span inner(&prof, "inner");
+  }
+  const obs::span_stats* outer = prof.find("outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, 3);
+  ASSERT_EQ(outer->children.size(), 1u);
+  EXPECT_EQ(outer->children[0]->name, "inner");
+  EXPECT_EQ(outer->children[0]->count, 3);
+  EXPECT_LE(outer->children[0]->total_ns, outer->total_ns);
+}
+
+TEST(SpanTest, NullProfilerIsANoOp) {
+  obs::scoped_span s(nullptr, "nothing");  // must not crash
+  SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// Trace: ring buffer + exports
+// ---------------------------------------------------------------------------
+
+trace_event make_event(std::int64_t step, trace_event::type t, node_id node) {
+  trace_event e;
+  e.step = step;
+  e.what = t;
+  e.node = node;
+  e.msg = message{7, node, step, 2, 3, 4};
+  return e;
+}
+
+TEST(TraceTest, RingBufferKeepsNewestAndCountsDropped) {
+  trace tr(3);
+  for (std::int64_t s = 0; s < 10; ++s) {
+    tr.record(make_event(s, trace_event::type::transmit, 1));
+  }
+  EXPECT_EQ(tr.size(), 3u);
+  EXPECT_EQ(tr.dropped(), 7u);
+  EXPECT_EQ(tr.recorded(), 10u);
+  const auto events = tr.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].step, 7);  // oldest retained
+  EXPECT_EQ(events[2].step, 9);  // newest
+}
+
+TEST(TraceTest, ShrinkingCapacityDropsOldest) {
+  trace tr;
+  for (std::int64_t s = 0; s < 5; ++s) {
+    tr.record(make_event(s, trace_event::type::informed, 2));
+  }
+  tr.set_capacity(2);
+  const auto events = tr.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].step, 3);
+  EXPECT_EQ(events[1].step, 4);
+  EXPECT_EQ(tr.dropped(), 3u);
+}
+
+TEST(TraceTest, FilterSelectsOneTypeInOrder) {
+  trace tr;
+  tr.record(make_event(0, trace_event::type::transmit, 1));
+  tr.record(make_event(1, trace_event::type::collision, 2));
+  tr.record(make_event(2, trace_event::type::transmit, 3));
+  const auto transmits = tr.filter(trace_event::type::transmit);
+  ASSERT_EQ(transmits.size(), 2u);
+  EXPECT_EQ(transmits[0].node, 1);
+  EXPECT_EQ(transmits[1].node, 3);
+  EXPECT_EQ(tr.filter(trace_event::type::informed).size(), 0u);
+}
+
+TEST(TraceTest, ToStringMentionsEveryEvent) {
+  trace tr;
+  tr.record(make_event(5, trace_event::type::transmit, 3));
+  tr.record(make_event(6, trace_event::type::collision, 4));
+  const std::string text = tr.to_string();
+  EXPECT_NE(text.find("transmit"), std::string::npos);
+  EXPECT_NE(text.find("collision"), std::string::npos);
+  EXPECT_NE(text.find('5'), std::string::npos);
+}
+
+TEST(TraceTest, NdjsonRoundTripsThroughTheParser) {
+  trace tr;
+  tr.record(make_event(0, trace_event::type::transmit, 1));
+  tr.record(make_event(0, trace_event::type::collision, 2));
+  tr.record(make_event(1, trace_event::type::receive, 3));
+  std::ostringstream out;
+  tr.to_ndjson(out);
+
+  std::string err;
+  const auto lines = obs::ndjson_parse(out.str(), &err);
+  ASSERT_TRUE(lines.has_value()) << err;
+  ASSERT_EQ(lines->size(), 3u);
+  EXPECT_EQ((*lines)[0].find("type")->as_string(), "transmit");
+  // Message payload fields only appear on transmit/receive events.
+  EXPECT_EQ((*lines)[0].find("kind")->as_int(), 7);
+  EXPECT_EQ((*lines)[0].find("a")->as_int(), 0);
+  EXPECT_EQ((*lines)[1].find("type")->as_string(), "collision");
+  EXPECT_EQ((*lines)[1].find("kind"), nullptr);
+  EXPECT_EQ((*lines)[2].find("node")->as_int(), 3);
+
+  const auto summary = obs::json_parse(tr.summary_json(), &err);
+  ASSERT_TRUE(summary.has_value()) << err;
+  EXPECT_EQ(summary->find("events")->as_int(), 3);
+  EXPECT_EQ(summary->find_path("by_type.transmit")->as_int(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Simulator instrumentation contract
+// ---------------------------------------------------------------------------
+
+TEST(SimObservabilityTest, MetricsRegistryFillsSeriesAndPhaseCounters) {
+  graph g = make_complete_layered_uniform(128, 8);
+  const auto proto = make_protocol("decay", 127);
+  obs::metrics_registry metrics;
+  run_options opts;
+  opts.seed = 3;
+  opts.metrics = &metrics;
+  const run_result r = run_broadcast(g, *proto, opts);
+  ASSERT_TRUE(r.completed);
+
+  // Per-step series must be exactly as long as the run.
+  const obs::series* frontier = metrics.find_series("sim.informed_frontier");
+  ASSERT_NE(frontier, nullptr);
+  EXPECT_EQ(static_cast<std::int64_t>(frontier->values().size()), r.steps);
+  EXPECT_EQ(frontier->values().back(), 128);
+  const obs::series* tx = metrics.find_series("sim.transmissions");
+  ASSERT_NE(tx, nullptr);
+  std::int64_t total_tx = 0;
+  for (std::int64_t v : tx->values()) total_tx += v;
+  EXPECT_EQ(total_tx, r.transmissions);
+  ASSERT_NE(metrics.find_series("sim.collisions"), nullptr);
+  ASSERT_NE(metrics.find_series("sim.deliveries"), nullptr);
+  ASSERT_NE(metrics.find_series("sim.idle_listeners"), nullptr);
+
+  // Protocol phase markers: decay exposes its stage structure.
+  EXPECT_NE(metrics.find_gauge("decay.phase"), nullptr);
+  EXPECT_NE(metrics.find_histogram("decay.cutoff"), nullptr);
+}
+
+TEST(SimObservabilityTest, KpAndSelectAndSendExposePhaseMarkers) {
+  graph g = make_complete_layered_uniform(64, 4);
+  {
+    obs::metrics_registry metrics;
+    run_options opts;
+    opts.metrics = &metrics;
+    const auto kp = make_protocol("kp", 63, 4);
+    ASSERT_TRUE(run_broadcast(g, *kp, opts).completed);
+    ASSERT_NE(metrics.find_counter("kp.tx{universal}"), nullptr);
+    EXPECT_GT(metrics.find_counter("kp.tx{universal}")->value(), 0);
+    EXPECT_NE(metrics.find_gauge("kp.stage"), nullptr);
+  }
+  {
+    obs::metrics_registry metrics;
+    run_options opts;
+    opts.metrics = &metrics;
+    opts.stop = stop_condition::all_halted;
+    opts.max_steps = 10'000'000;
+    const auto sas = make_protocol("select-and-send", 63);
+    ASSERT_TRUE(run_broadcast(g, *sas, opts).completed);
+    ASSERT_NE(metrics.find_counter("sas.token_hops"), nullptr);
+    EXPECT_GT(metrics.find_counter("sas.token_hops")->value(), 0);
+    // Every non-source node is first-visited exactly once by the DFS token.
+    ASSERT_NE(metrics.find_counter("sas.first_visits"), nullptr);
+    EXPECT_EQ(metrics.find_counter("sas.first_visits")->value(), 63);
+    EXPECT_NE(metrics.find_counter("echo.segments{binary}"), nullptr);
+  }
+}
+
+TEST(SimObservabilityTest, ProfilerRecordsRunSpans) {
+  graph g = make_path(16);
+  const auto proto = make_protocol("round-robin", 15);
+  obs::span_profiler prof;
+  run_options opts;
+  opts.profiler = &prof;
+  ASSERT_TRUE(run_broadcast(g, *proto, opts).completed);
+  const obs::span_stats* run = prof.find("run_broadcast");
+  ASSERT_NE(run, nullptr);
+  EXPECT_EQ(run->count, 1);
+  ASSERT_NE(prof.find("step_loop"), nullptr);
+}
+
+TEST(SimObservabilityTest, RunTrialsReportsTimeoutsAsData) {
+  graph g = make_path(64);
+  const auto proto = make_protocol("round-robin", 63);
+  trial_options opts;
+  opts.trials = 3;
+  opts.max_steps = 10;  // far too few steps for a 64-node path
+  const trial_set batch = run_trials(g, *proto, opts);
+  EXPECT_EQ(batch.completed_count(), 0);
+  EXPECT_DOUBLE_EQ(batch.timeout_rate(), 1.0);
+  EXPECT_TRUE(batch.completion_steps().empty());
+  for (const trial_record& t : batch.trials) {
+    EXPECT_FALSE(t.completed);
+    EXPECT_EQ(t.informed_step, -1);
+    EXPECT_EQ(t.steps, 10);
+  }
+  // The throwing wrapper still aborts, for call sites that require
+  // completion.
+  EXPECT_THROW(completion_times(g, *proto, 1, 1, 10), invariant_error);
+}
+
+TEST(StatsTest, PercentilesBatchMatchesSingleCalls) {
+  std::vector<double> samples;
+  for (int i = 100; i >= 1; --i) samples.push_back(i);
+  const auto ps = percentiles(samples, {50.0, 90.0, 99.0});
+  ASSERT_EQ(ps.size(), 3u);
+  EXPECT_NEAR(ps[0], 50.5, 1e-9);
+  EXPECT_NEAR(ps[1], 90.1, 1e-9);
+  EXPECT_NEAR(ps[2], 99.01, 1e-9);
+  const summary s = summarize(samples);
+  EXPECT_NEAR(s.p90, ps[1], 1e-9);
+  EXPECT_NEAR(s.p99, ps[2], 1e-9);
+}
+
+}  // namespace
+}  // namespace radiocast

@@ -1,0 +1,312 @@
+// radiocast_inspect — reads the BENCH_<name>.json telemetry artifacts the
+// bench harnesses emit (schema "radiocast.bench.v1"; see
+// docs/OBSERVABILITY.md).
+//
+//   radiocast_inspect print    FILE        human-readable summary
+//   radiocast_inspect validate FILE...     schema check; exit 1 on failure
+//   radiocast_inspect diff     OLD NEW     per-case comparison of two runs
+//
+// `validate` is what scripts/reproduce.sh's smoke target runs against every
+// artifact: it fails on any missing required key, so a bench that silently
+// stops filling a field breaks CI instead of producing holes in the data.
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace radiocast {
+namespace {
+
+using obs::json_value;
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool load(const std::string& path, json_value* out) {
+  std::string text;
+  if (!read_file(path, &text)) {
+    std::cerr << "error: cannot read " << path << "\n";
+    return false;
+  }
+  std::string error;
+  std::optional<json_value> doc = obs::json_parse(text, &error);
+  if (!doc) {
+    std::cerr << "error: " << path << ": " << error << "\n";
+    return false;
+  }
+  *out = std::move(*doc);
+  return true;
+}
+
+std::string fmt(double v, int prec = 1) {
+  if (std::isnan(v)) return "-";
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(prec) << v;
+  return ss.str();
+}
+
+double number_or_nan(const json_value* v) {
+  return v != nullptr && v->is_number() ? v->as_double() : std::nan("");
+}
+
+// ---------------------------------------------------------------------------
+// validate
+// ---------------------------------------------------------------------------
+
+struct validator {
+  std::string path;
+  int failures = 0;
+
+  void fail(const std::string& what) {
+    std::cerr << path << ": " << what << "\n";
+    ++failures;
+  }
+
+  void require(const json_value& obj, const std::string& where,
+               const std::string& key, json_value::kind k) {
+    const json_value* v = obj.find(key);
+    if (v == nullptr) {
+      fail(where + ": missing required key \"" + key + "\"");
+      return;
+    }
+    const bool numeric_ok =
+        (k == json_value::kind::number || k == json_value::kind::integer) &&
+        v->is_number();
+    if (v->type() != k && !numeric_ok) {
+      fail(where + ": key \"" + key + "\" has the wrong type");
+    }
+  }
+
+  void check_trial(const json_value& t, const std::string& where) {
+    require(t, where, "seed", json_value::kind::integer);
+    require(t, where, "completed", json_value::kind::boolean);
+    require(t, where, "steps", json_value::kind::integer);
+    require(t, where, "informed_step", json_value::kind::integer);
+    require(t, where, "transmissions", json_value::kind::integer);
+    require(t, where, "collisions", json_value::kind::integer);
+    require(t, where, "deliveries", json_value::kind::integer);
+    require(t, where, "wall_ms", json_value::kind::number);
+  }
+
+  void check_case(const json_value& c, const std::string& where) {
+    require(c, where, "name", json_value::kind::string);
+    require(c, where, "params", json_value::kind::object);
+    require(c, where, "trials", json_value::kind::array);
+    require(c, where, "timeout_rate", json_value::kind::number);
+    require(c, where, "wall_ms", json_value::kind::number);
+    require(c, where, "steps", json_value::kind::object);
+    const json_value* trials = c.find("trials");
+    if (trials != nullptr && trials->is_array()) {
+      for (std::size_t i = 0; i < trials->items().size(); ++i) {
+        check_trial(trials->items()[i],
+                    where + ".trials[" + std::to_string(i) + "]");
+      }
+      // A case with completed trials must carry the percentile block; an
+      // analytic case (no trials) must carry "values" instead.
+      const json_value* steps = c.find("steps");
+      bool any_completed = false;
+      for (const json_value& t : trials->items()) {
+        const json_value* done = t.find("completed");
+        if (done != nullptr && done->as_bool()) any_completed = true;
+      }
+      if (any_completed && steps != nullptr && steps->is_object()) {
+        for (const char* key :
+             {"mean", "stddev", "min", "p50", "p90", "p95", "p99", "max"}) {
+          require(*steps, where + ".steps", key, json_value::kind::number);
+        }
+      }
+      if (trials->items().empty() && !c.contains("values")) {
+        fail(where + ": no trials and no \"values\" block");
+      }
+    }
+  }
+
+  bool run(const json_value& doc) {
+    const json_value* schema = doc.find("schema");
+    if (schema == nullptr || !schema->is_string()) {
+      fail("missing required key \"schema\"");
+    } else if (schema->as_string() != "radiocast.bench.v1") {
+      fail("unknown schema \"" + schema->as_string() + "\"");
+    }
+    require(doc, "root", "bench", json_value::kind::string);
+    require(doc, "root", "config", json_value::kind::object);
+    require(doc, "root", "cases", json_value::kind::array);
+    require(doc, "root", "spans", json_value::kind::array);
+    const json_value* cases = doc.find("cases");
+    if (cases != nullptr && cases->is_array()) {
+      if (cases->items().empty()) fail("cases array is empty");
+      for (std::size_t i = 0; i < cases->items().size(); ++i) {
+        check_case(cases->items()[i], "cases[" + std::to_string(i) + "]");
+      }
+    }
+    return failures == 0;
+  }
+};
+
+int cmd_validate(const std::vector<std::string>& files) {
+  int bad = 0;
+  for (const std::string& file : files) {
+    json_value doc;
+    if (!load(file, &doc)) {
+      ++bad;
+      continue;
+    }
+    validator v{file};
+    if (v.run(doc)) {
+      std::cout << file << ": OK ("
+                << doc.find("cases")->items().size() << " cases)\n";
+    } else {
+      std::cerr << file << ": FAILED (" << v.failures << " problems)\n";
+      ++bad;
+    }
+  }
+  return bad == 0 ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// print
+// ---------------------------------------------------------------------------
+
+void print_spans(const json_value& spans, int depth) {
+  for (const json_value& s : spans.items()) {
+    const json_value* name = s.find("name");
+    std::cout << std::string(static_cast<std::size_t>(depth) * 2, ' ')
+              << (name != nullptr ? name->as_string() : "?") << "  "
+              << fmt(number_or_nan(s.find("total_ms")), 2) << " ms  ×"
+              << (s.find("count") != nullptr ? s.find("count")->as_int() : 0)
+              << "\n";
+    const json_value* children = s.find("children");
+    if (children != nullptr && !children->items().empty()) {
+      print_spans(*children, depth + 1);
+    }
+  }
+}
+
+int cmd_print(const std::string& file) {
+  json_value doc;
+  if (!load(file, &doc)) return 1;
+  const json_value* bench = doc.find("bench");
+  std::cout << "bench: " << (bench != nullptr ? bench->as_string() : "?")
+            << "\n";
+  const json_value* config = doc.find("config");
+  if (config != nullptr) std::cout << "config: " << config->dump() << "\n";
+
+  const json_value* cases = doc.find("cases");
+  if (cases != nullptr && cases->is_array()) {
+    std::cout << "\n"
+              << std::left << std::setw(44) << "case" << std::right
+              << std::setw(7) << "trials" << std::setw(10) << "mean"
+              << std::setw(10) << "p95" << std::setw(9) << "t/o"
+              << std::setw(11) << "wall ms" << "\n";
+    for (const json_value& c : cases->items()) {
+      const json_value* name = c.find("name");
+      const json_value* trials = c.find("trials");
+      const std::size_t n_trials =
+          trials != nullptr ? trials->items().size() : 0;
+      std::cout << std::left << std::setw(44)
+                << (name != nullptr ? name->as_string() : "?") << std::right
+                << std::setw(7) << n_trials << std::setw(10)
+                << fmt(number_or_nan(c.find_path("steps.mean")))
+                << std::setw(10)
+                << fmt(number_or_nan(c.find_path("steps.p95"))) << std::setw(9)
+                << fmt(100.0 * number_or_nan(c.find("timeout_rate")), 0) + "%"
+                << std::setw(11) << fmt(number_or_nan(c.find("wall_ms")), 1)
+                << "\n";
+      const json_value* values = c.find("values");
+      if (values != nullptr && !values->members().empty()) {
+        std::cout << "    values: " << values->dump() << "\n";
+      }
+    }
+  }
+  const json_value* spans = doc.find("spans");
+  if (spans != nullptr && !spans->items().empty()) {
+    std::cout << "\nspans:\n";
+    print_spans(*spans, 1);
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// diff
+// ---------------------------------------------------------------------------
+
+int cmd_diff(const std::string& old_file, const std::string& new_file) {
+  json_value old_doc, new_doc;
+  if (!load(old_file, &old_doc) || !load(new_file, &new_doc)) return 1;
+
+  std::map<std::string, const json_value*> old_cases, new_cases;
+  auto index = [](const json_value& doc,
+                  std::map<std::string, const json_value*>* out) {
+    const json_value* cases = doc.find("cases");
+    if (cases == nullptr) return;
+    for (const json_value& c : cases->items()) {
+      const json_value* name = c.find("name");
+      if (name != nullptr) (*out)[name->as_string()] = &c;
+    }
+  };
+  index(old_doc, &old_cases);
+  index(new_doc, &new_cases);
+
+  std::cout << std::left << std::setw(44) << "case" << std::right
+            << std::setw(11) << "old mean" << std::setw(11) << "new mean"
+            << std::setw(9) << "delta" << "\n";
+  for (const auto& [name, new_case] : new_cases) {
+    const auto it = old_cases.find(name);
+    if (it == old_cases.end()) {
+      std::cout << std::left << std::setw(44) << name << "  (new case)\n";
+      continue;
+    }
+    const double old_mean = number_or_nan(it->second->find_path("steps.mean"));
+    const double new_mean = number_or_nan(new_case->find_path("steps.mean"));
+    std::string delta = "-";
+    if (!std::isnan(old_mean) && !std::isnan(new_mean) && old_mean != 0.0) {
+      delta = fmt(100.0 * (new_mean - old_mean) / old_mean, 1) + "%";
+    }
+    std::cout << std::left << std::setw(44) << name << std::right
+              << std::setw(11) << fmt(old_mean) << std::setw(11)
+              << fmt(new_mean) << std::setw(9) << delta << "\n";
+  }
+  for (const auto& [name, old_case] : old_cases) {
+    (void)old_case;
+    if (new_cases.find(name) == new_cases.end()) {
+      std::cout << std::left << std::setw(44) << name << "  (removed)\n";
+    }
+  }
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage: radiocast_inspect print    BENCH_x.json\n"
+               "       radiocast_inspect validate BENCH_x.json [more...]\n"
+               "       radiocast_inspect diff     OLD.json NEW.json\n";
+  return 2;
+}
+
+}  // namespace
+}  // namespace radiocast
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return radiocast::usage();
+  const std::string& cmd = args.front();
+  if (cmd == "print" && args.size() == 2) return radiocast::cmd_print(args[1]);
+  if (cmd == "validate" && args.size() >= 2) {
+    return radiocast::cmd_validate({args.begin() + 1, args.end()});
+  }
+  if (cmd == "diff" && args.size() == 3) {
+    return radiocast::cmd_diff(args[1], args[2]);
+  }
+  return radiocast::usage();
+}
