@@ -116,6 +116,9 @@ class reporter {
       one.set("collisions", t.collisions);
       one.set("deliveries", t.deliveries);
       one.set("wall_ms", t.wall_ms);
+      one.set("crashed_nodes", t.crashed_nodes);
+      one.set("suppressed_deliveries", t.suppressed_deliveries);
+      one.set("churned_edges", t.churned_edges);
       trials.push_back(std::move(one));
     }
     c.set("trials", std::move(trials));
@@ -201,17 +204,21 @@ class reporter {
 
 /// Runs a seeded trial batch, records it as a case, and returns the batch.
 /// Timeouts become data (timeout_rate in the artifact), never exceptions.
+/// An optional fault model is re-seeded per trial by run_trials, so each
+/// trial draws an independent fault schedule from its own seed.
 inline trial_set run_case(reporter& rep, const std::string& case_name,
                           obs::json_value params, const graph& g,
                           const protocol& proto, int trials,
                           std::uint64_t seed = 1,
                           std::int64_t cap = 50'000'000,
-                          stop_condition stop = stop_condition::all_informed) {
+                          stop_condition stop = stop_condition::all_informed,
+                          fault::fault_model* faults = nullptr) {
   trial_options topts;
   topts.trials = trials;
   topts.base_seed = seed;
   topts.max_steps = cap;
   topts.stop = stop;
+  topts.faults = faults;
   trial_set batch = run_trials(g, proto, topts);
   rep.add_case(case_name, std::move(params), batch);
   return batch;

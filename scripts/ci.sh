@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Continuous-integration entry point: builds and tests the library in two
+# configurations and smoke-validates the telemetry pipeline.
+#
+#   1. Release build (build/)           — cmake + ctest, the tier-1 gate.
+#   2. Sanitizer build (build-san/)     — address+undefined via
+#      -DRADIOCAST_SANITIZE=address,undefined, full ctest under
+#      instrumentation.
+#   3. Telemetry smoke (build/ci-smoke) — every bench with RADIOCAST_SMOKE=1
+#      (first sweep point, ≤2 trials), then `radiocast_inspect validate` on
+#      each emitted BENCH_*.json. Runs in a scratch directory so the
+#      committed full-run artifacts at the repository root are untouched.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== [1/3] Release build + tests ==="
+cmake -B build -S .
+cmake --build build --parallel
+ctest --test-dir build --output-on-failure
+
+echo "=== [2/3] Sanitizer build + tests (address,undefined) ==="
+cmake -B build-san -S . -DRADIOCAST_SANITIZE=address,undefined
+cmake --build build-san --parallel
+ctest --test-dir build-san --output-on-failure
+
+echo "=== [3/3] Telemetry smoke + schema validation ==="
+smoke_dir=build/ci-smoke
+rm -rf "$smoke_dir"
+mkdir -p "$smoke_dir"
+for b in build/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then
+    echo "--- $(basename "$b") ---"
+    (cd "$smoke_dir" && RADIOCAST_SMOKE=1 "../../$b")
+  fi
+done
+build/tools/radiocast_inspect validate "$smoke_dir"/BENCH_*.json
+
+echo "ci: all three stages passed"

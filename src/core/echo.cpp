@@ -48,20 +48,27 @@ std::optional<message> selection_driver::on_step(std::int64_t) {
       sub_ = substep::evaluate;
       return std::nullopt;
     case substep::evaluate: {
-      echo_outcome outcome;
+      // Reply patterns impossible on a reliable channel — both steps
+      // heard (a member crashed between its two replies), or a lone
+      // step-2 reply from a non-helper (the member's step-1 reply was
+      // dropped) — mean the channel is faulty; restart the probe rather
+      // than trust any inference drawn from it. Faults only erase
+      // deliveries, so every heard reply is genuine: drops can bias an
+      // echo toward "multi" (extra descending work) but never fabricate
+      // a "unique" or "empty" outcome.
+      std::optional<echo_outcome> outcome;
       if (heard1_ && !heard2_) {
         outcome = echo_outcome::unique;
-      } else if (!heard1_ && heard2_) {
-        RC_CHECK_MSG(*heard2_ == helper_,
-                     "echo step 2 must come from the helper");
+      } else if (!heard1_ && heard2_ && *heard2_ == helper_) {
         outcome = echo_outcome::empty;
       } else if (!heard1_ && !heard2_) {
         outcome = echo_outcome::multi;
-      } else {
-        RC_CHECK_MSG(false, "echo heard replies in both steps");
-        return std::nullopt;  // unreachable
       }
-      advance(outcome);
+      if (outcome) {
+        advance(*outcome);
+      } else {
+        recover();
+      }
       if (status_ != status::running) return std::nullopt;
       // Immediately issue the next order in this same step.
       heard1_.reset();
@@ -73,6 +80,17 @@ std::optional<message> selection_driver::on_step(std::int64_t) {
   }
   RC_CHECK(false);
   return std::nullopt;
+}
+
+void selection_driver::recover() {
+  ++recoveries_;
+  if (metrics_ != nullptr) {
+    metrics_->get_counter("echo.recoveries").add();
+  }
+  phase_ = phase::full_probe;
+  doubling_k_ = 0;
+  lo_ = 0;
+  hi_ = bound_;
 }
 
 void selection_driver::note_segment() {
@@ -119,9 +137,12 @@ void selection_driver::advance(echo_outcome outcome) {
       switch (outcome) {
         case echo_outcome::empty: {
           ++doubling_k_;
-          RC_CHECK_MSG(
-              (std::int64_t{1} << (doubling_k_ - 1)) <= bound_,
-              "doubling ran past the label bound with a nonempty S");
+          if ((std::int64_t{1} << (doubling_k_ - 1)) > bound_) {
+            // Doubling ran past the label bound with a nonempty S:
+            // impossible reliably, a dropped-reply artifact under faults.
+            recover();
+            return;
+          }
           lo_ = 1;
           hi_ = static_cast<node_id>(
               std::min<std::int64_t>(std::int64_t{1} << doubling_k_,
@@ -155,14 +176,17 @@ void selection_driver::advance(echo_outcome outcome) {
           const node_id next = std::max<node_id>(1, size / 2);
           lo_ = hi_ + 1;
           hi_ = hi_ + next;
-          RC_CHECK_MSG(lo_ <= bound_ + 1,
-                       "binary selection walked past the label bound");
+          if (lo_ > bound_ + 1) recover();  // walked past the label bound
           return;
         }
         case echo_outcome::multi: {
-          // ≥ 2 elements in R: descend into the left half.
+          // ≥ 2 elements in R: descend into the left half. "≥2 in a
+          // single-label range" is impossible reliably — recover.
           const node_id size = hi_ - lo_ + 1;
-          RC_CHECK_MSG(size >= 2, "≥2 responders in a single-label range");
+          if (size < 2) {
+            recover();
+            return;
+          }
           hi_ = lo_ + size / 2 - 1;
           return;
         }

@@ -114,6 +114,18 @@ class selection_driver {
   /// tests: O(log label_bound) per selection).
   int segments_issued() const { return segments_; }
 
+  /// Times the driver observed a reply pattern that is impossible on a
+  /// reliable channel (both echo steps heard, a non-helper lone step-2
+  /// reply, or a range walk past the label bound) and restarted the probe
+  /// from scratch. Always 0 in the fault-free model; under fault injection
+  /// (src/fault/) dropped replies can produce such patterns, and
+  /// restarting keeps the selection correct at the price of extra
+  /// segments. Note the asymmetry that makes this safe: faults only erase
+  /// deliveries, so a heard reply is always genuine — errors can only bias
+  /// an echo toward the "≥2" outcome, never toward a false "unique" or
+  /// false "empty".
+  int recoveries() const { return recoveries_; }
+
   /// Optional phase markers: counts issued segments per selection phase
   /// under `echo.segments{full_probe|doubling|binary}`. Null (default)
   /// disables instrumentation; the owning protocol forwards the registry
@@ -127,6 +139,7 @@ class selection_driver {
 
   void advance(echo_outcome outcome);
   void note_segment();  ///< bumps segments_ and the phase-labeled counter
+  void recover();       ///< restart from the full probe after a fault
 
   selection_kinds kinds_;
   node_id helper_;
@@ -141,6 +154,7 @@ class selection_driver {
   std::optional<node_id> heard1_, heard2_;
   node_id selected_ = -1;
   int segments_ = 0;
+  int recoveries_ = 0;
 };
 
 }  // namespace radiocast

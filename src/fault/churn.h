@@ -1,0 +1,56 @@
+// Dynamic-topology edge churn.
+//
+// Models a mobile/ad hoc deployment whose links flap: each step, every
+// eligible edge independently toggles between up and down with probability
+// `toggle_probability`. A down edge carries no signal in either direction
+// (it neither delivers nor contributes to collisions).
+//
+// Solvability guarantee: a BFS spanning tree rooted at the source is
+// computed once per run and its edges are never churned, so the graph —
+// and in particular the informed region — stays connected at every step
+// and broadcast remains solvable no matter how hard the non-tree edges
+// flap. (Completion time still suffers: the protocols do not know the
+// tree, and the flapping edges keep changing which transmissions collide.)
+//
+// Requires an undirected graph with every node reachable from the source.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "fault/fault_model.h"
+
+namespace radiocast::fault {
+
+struct churn_options {
+  /// Per eligible (non-spanning-tree) edge, per step, probability in
+  /// [0, 1] of flipping its up/down state.
+  double toggle_probability = 0.0;
+};
+
+class churn_model final : public fault_model {
+ public:
+  explicit churn_model(churn_options opts);
+
+  std::string name() const override { return "churn"; }
+  void begin_run(const run_view& view) override;
+  void begin_step(const step_view& view, step_faults* out) override;
+
+  /// Edges the schedule may churn (non-tree edges of the current run).
+  std::size_t eligible_edge_count() const { return edges_.size(); }
+  /// Eligible edges currently down.
+  std::int64_t down_count() const { return down_count_; }
+  /// Up/down transitions emitted so far in the current run.
+  std::int64_t toggle_count() const { return toggle_count_; }
+
+ private:
+  churn_options opts_;
+  rng gen_{0};
+  std::vector<std::pair<node_id, node_id>> edges_;  // eligible, u < v
+  std::vector<std::uint8_t> down_;                  // parallel to edges_
+  std::int64_t down_count_ = 0;
+  std::int64_t toggle_count_ = 0;
+};
+
+}  // namespace radiocast::fault

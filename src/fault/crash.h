@@ -1,0 +1,56 @@
+// Crash-stop node failures.
+//
+// A crashed node leaves the computation permanently: it never transmits
+// again, and transmissions toward it are absorbed (it cannot become
+// informed). This is the crash-stop model of the unreliable-devices
+// literature (cf. Czumaj–Davies, "Randomized Communication Without Network
+// Knowledge"); the simulator exempts crashed nodes from the completion
+// condition, so "completed" means "every surviving node got the message".
+//
+// Two triggers, combinable:
+//   * a fixed schedule of (node, step) pairs — the node crashes at the
+//     START of that step, before transmitting in it;
+//   * a per-step crash probability applied independently to every live
+//     node (seeded from the run seed; same seed ⇒ same crash schedule).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "fault/fault_model.h"
+
+namespace radiocast::fault {
+
+struct crash_options {
+  /// Deterministic crashes: node v crashes at the start of step s.
+  std::vector<std::pair<node_id, std::int64_t>> schedule;
+  /// Per live node, per step, independent crash probability in [0, 1].
+  double crash_probability = 0.0;
+  /// Never crash node 0 (keeps the broadcast solvable; the crashed-source
+  /// experiment sets this to false and schedules the source explicitly).
+  bool spare_source = false;
+};
+
+class crash_model final : public fault_model {
+ public:
+  explicit crash_model(crash_options opts);
+
+  std::string name() const override { return "crash"; }
+  void begin_run(const run_view& view) override;
+  void begin_step(const step_view& view, step_faults* out) override;
+
+  /// Nodes this model has crashed so far in the current run.
+  std::int64_t crashed_count() const { return crashed_count_; }
+
+ private:
+  crash_options opts_;
+  rng gen_{0};
+  node_id n_ = 0;
+  std::vector<std::uint8_t> down_;      // this model's own crash record
+  std::size_t schedule_cursor_ = 0;     // into sorted schedule_
+  std::vector<std::pair<std::int64_t, node_id>> schedule_;  // (step, node)
+  std::int64_t crashed_count_ = 0;
+};
+
+}  // namespace radiocast::fault

@@ -1,0 +1,49 @@
+#include "fault/fault_model.h"
+
+#include "util/assert.h"
+
+namespace radiocast::fault {
+
+std::uint64_t mix_seed(std::uint64_t run_seed, std::uint64_t salt) {
+  // One splitmix64 step over the xor keeps distinct salts decorrelated even
+  // for adjacent run seeds (run_trials uses base_seed + t).
+  std::uint64_t state = run_seed ^ salt;
+  return splitmix64(state);
+}
+
+composite_fault_model::composite_fault_model(std::vector<fault_model*> models)
+    : models_(std::move(models)) {
+  for (const fault_model* m : models_) RC_REQUIRE(m != nullptr);
+}
+
+std::string composite_fault_model::name() const {
+  std::string out = "composite(";
+  for (std::size_t i = 0; i < models_.size(); ++i) {
+    if (i != 0) out += '+';
+    out += models_[i]->name();
+  }
+  out += ')';
+  return out;
+}
+
+void composite_fault_model::begin_run(const run_view& view) {
+  // Children receive independently derived seeds keyed by position, so two
+  // instances of the same model type do not mirror each other's draws.
+  for (std::size_t i = 0; i < models_.size(); ++i) {
+    run_view child = view;
+    child.seed = mix_seed(view.seed, 0xc0311a7e00000000ULL + i);
+    models_[i]->begin_run(child);
+  }
+}
+
+void composite_fault_model::begin_step(const step_view& view,
+                                       step_faults* out) {
+  for (fault_model* m : models_) m->begin_step(view, out);
+}
+
+void composite_fault_model::filter_deliveries(
+    const step_view& view, std::vector<delivery_candidate>* candidates) {
+  for (fault_model* m : models_) m->filter_deliveries(view, candidates);
+}
+
+}  // namespace radiocast::fault

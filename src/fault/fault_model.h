@@ -1,0 +1,145 @@
+// Fault injection: adversarial and stochastic perturbations of the radio
+// model.
+//
+// The paper's model (§1) is ideal — synchronous, collision-iff-≥2, no
+// failures. The radio literature's robustness folklore (Decay-style
+// randomized protocols degrade gracefully; token protocols are brittle) is
+// about what happens when that ideal breaks. This subsystem makes the break
+// injectable and measurable: a `fault_model` plugs into
+// `run_options::faults` and the simulator consults it at three points of
+// each step:
+//
+//   1. `begin_step`  — before transmit decisions: the model reports node
+//      crash-stops and edge up/down churn for this step; the simulator
+//      applies them (crashed nodes neither transmit nor receive, down
+//      edges carry no signal).
+//   2. `filter_deliveries` — after collision resolution: the model sees
+//      every would-be successful reception (exactly one transmitting
+//      neighbor) and may suppress any subset. A suppressed listener hears
+//      silence — indistinguishable from a collision, exactly like the ⊥
+//      answers of the Theorem 2 jamming function (adversary/jamming.h).
+//
+// Faults only ever REMOVE deliveries; they never forge or corrupt
+// messages. Silence is always a legal observation in the radio model, so
+// every protocol remains well-defined under any fault model (it may merely
+// fail to complete — which is the data).
+//
+// Determinism contract: `begin_run` receives the run seed and MUST reset
+// all model state from it. The model draws randomness only from its own
+// generator (salted independently of the per-node generators), so
+// attaching a fault model never perturbs protocol coin flips: a model
+// that suppresses nothing yields bit-identical `run_result`s to the
+// fault-free run (guarded by tests/fault_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace radiocast::fault {
+
+/// Run-level context handed to `begin_run`.
+struct run_view {
+  const graph* g = nullptr;
+  std::uint64_t seed = 0;       ///< the run's root seed; models salt it
+  std::int64_t max_steps = 0;   ///< the run's step cap
+};
+
+/// Per-step context. Snapshots are owned by the simulator and valid only
+/// for the duration of the callback.
+struct step_view {
+  std::int64_t step = 0;
+  const graph* g = nullptr;
+  /// Per node: first step at which it became informed; −1 = uninformed.
+  const std::vector<std::int64_t>* informed_at = nullptr;
+  /// Per node: 1 once crash-stopped (includes crashes applied this step).
+  const std::vector<std::uint8_t>* crashed = nullptr;
+};
+
+/// What a model wants to happen at the top of a step. The simulator owns
+/// the buffers and applies the effects (idempotently: crashing a crashed
+/// node or downing a down edge is a no-op).
+struct step_faults {
+  std::vector<node_id> crashes;  ///< nodes that crash-stop now
+  std::vector<std::pair<node_id, node_id>> edges_down;  ///< signal cut
+  std::vector<std::pair<node_id, node_id>> edges_up;    ///< signal restored
+
+  void clear() {
+    crashes.clear();
+    edges_down.clear();
+    edges_up.clear();
+  }
+};
+
+/// One would-be successful reception of this step, offered to
+/// `filter_deliveries` for suppression.
+struct delivery_candidate {
+  node_id listener = -1;
+  node_id sender = -1;
+  bool listener_informed = false;  ///< informed before this step's delivery
+  bool suppressed = false;         ///< set by fault models to drop it
+};
+
+/// Interface of all fault models. Implementations: crash_model (crash.h),
+/// loss_model (loss.h), jammer_model (jammer.h), churn_model (churn.h),
+/// and composite_fault_model below.
+class fault_model {
+ public:
+  virtual ~fault_model() = default;
+
+  /// Short tag for tables and artifacts ("crash", "loss", "jam_greedy", …).
+  virtual std::string name() const = 0;
+
+  /// Resets ALL state from the run seed. Called once per run_broadcast,
+  /// before any step; a model object is reusable across runs and trials.
+  virtual void begin_run(const run_view& view) = 0;
+
+  /// Called at the top of every step, before transmit decisions. Models
+  /// append crash/churn effects to `out` (never cleared here — composites
+  /// share one buffer).
+  virtual void begin_step(const step_view& view, step_faults* out) {
+    (void)view;
+    (void)out;
+  }
+
+  /// Called once per step iff at least one reception would succeed. Models
+  /// mark candidates `suppressed`; already-suppressed candidates must be
+  /// left alone (and models should not spend randomness on them, so that
+  /// composition order is the documented order of effects).
+  virtual void filter_deliveries(const step_view& view,
+                                 std::vector<delivery_candidate>* candidates) {
+    (void)view;
+    (void)candidates;
+  }
+};
+
+/// Deterministic seed derivation: every model mixes the run seed with its
+/// own salt so that stacked models draw independent streams and none of
+/// them touches the per-node protocol generators.
+std::uint64_t mix_seed(std::uint64_t run_seed, std::uint64_t salt);
+
+/// Applies several fault models in order: crashes and churn accumulate,
+/// delivery filters chain (later models see — and must respect — earlier
+/// suppressions). Children get independently derived seeds, so two
+/// instances of the same model type stay decorrelated. Does not own the
+/// children.
+class composite_fault_model final : public fault_model {
+ public:
+  explicit composite_fault_model(std::vector<fault_model*> models);
+
+  std::string name() const override;
+  void begin_run(const run_view& view) override;
+  void begin_step(const step_view& view, step_faults* out) override;
+  void filter_deliveries(
+      const step_view& view,
+      std::vector<delivery_candidate>* candidates) override;
+
+ private:
+  std::vector<fault_model*> models_;
+};
+
+}  // namespace radiocast::fault

@@ -1,0 +1,80 @@
+#include "fault/jammer.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace radiocast::fault {
+
+namespace {
+constexpr std::uint64_t kJamSalt = 0x3a77'ab1e'0b5c'0003ULL;
+}  // namespace
+
+jammer_model::jammer_model(jammer_options opts) : opts_(opts) {
+  RC_REQUIRE_MSG(opts_.budget >= 0, "jammer budget must be non-negative");
+}
+
+std::string jammer_model::name() const {
+  return opts_.strategy == jam_strategy::oblivious_random ? "jam_oblivious"
+                                                          : "jam_greedy";
+}
+
+void jammer_model::begin_run(const run_view& view) {
+  n_ = view.g->node_count();
+  gen_ = rng(mix_seed(view.seed, kJamSalt));
+  targets_.clear();
+  jammed_count_ = 0;
+}
+
+void jammer_model::begin_step(const step_view& view, step_faults* out) {
+  (void)view;
+  (void)out;
+  if (opts_.strategy != jam_strategy::oblivious_random || opts_.budget == 0) {
+    return;
+  }
+  // Oblivious: the target list is drawn before anyone transmits, every
+  // step, so it is a function of the seed and the step count only (picks
+  // may repeat; the budget is an upper bound on silenced listeners).
+  targets_.clear();
+  for (int i = 0; i < opts_.budget; ++i) {
+    targets_.push_back(
+        static_cast<node_id>(gen_.below(static_cast<std::uint64_t>(n_))));
+  }
+}
+
+void jammer_model::filter_deliveries(
+    const step_view& view, std::vector<delivery_candidate>* candidates) {
+  (void)view;
+  if (opts_.budget == 0) return;
+
+  if (opts_.strategy == jam_strategy::oblivious_random) {
+    for (delivery_candidate& c : *candidates) {
+      if (c.suppressed) continue;
+      if (std::find(targets_.begin(), targets_.end(), c.listener) !=
+          targets_.end()) {
+        c.suppressed = true;
+        ++jammed_count_;
+      }
+    }
+    return;
+  }
+
+  // Greedy frontier: silence the receptions that would inform new nodes
+  // first, then spend any leftover budget on control traffic to informed
+  // listeners. Candidate order is the simulator's deterministic
+  // resolution order, so the whole schedule is reproducible.
+  int remaining = opts_.budget;
+  for (const bool frontier_pass : {true, false}) {
+    if (remaining == 0) break;
+    for (delivery_candidate& c : *candidates) {
+      if (remaining == 0) break;
+      if (c.suppressed) continue;
+      if (c.listener_informed == frontier_pass) continue;
+      c.suppressed = true;
+      ++jammed_count_;
+      --remaining;
+    }
+  }
+}
+
+}  // namespace radiocast::fault

@@ -1,0 +1,59 @@
+// Budget-limited adversarial jammer.
+//
+// Each step the jammer may silence the reception of up to `budget`
+// listeners: a jammed listener hears silence even if exactly one neighbor
+// transmitted. This is the empirical cousin of the Theorem 2 jamming
+// function (adversary/jamming.h): there the adversary answers ⊥ to keep a
+// combinatorial invariant alive inside the lower-bound construction; here
+// it spends a per-step budget against a real protocol execution, and the
+// measurement is how much completion time the budget buys.
+//
+// Strategies:
+//   * oblivious_random — before seeing who transmits, pick `budget` nodes
+//     uniformly at random each step and silence whatever they would have
+//     received. Models environmental interference; a function of the seed
+//     and the step count only.
+//   * greedy_frontier  — after collision resolution, spend the budget on
+//     actual successful receptions, uninformed listeners first (the
+//     informed frontier — the deliveries that would grow the broadcast),
+//     then informed ones (which carry protocol control traffic: Echo
+//     replies, DFS token passes). Deterministic given the execution; the
+//     strongest delay adversary at this budget granularity.
+#pragma once
+
+#include "fault/fault_model.h"
+
+namespace radiocast::fault {
+
+enum class jam_strategy { oblivious_random, greedy_frontier };
+
+struct jammer_options {
+  /// Max listeners silenced per step. 0 ⇒ the jammer is a no-op and the
+  /// run is bit-identical to the fault-free one (guarded by tests).
+  int budget = 0;
+  jam_strategy strategy = jam_strategy::oblivious_random;
+};
+
+class jammer_model final : public fault_model {
+ public:
+  explicit jammer_model(jammer_options opts);
+
+  std::string name() const override;
+  void begin_run(const run_view& view) override;
+  void begin_step(const step_view& view, step_faults* out) override;
+  void filter_deliveries(
+      const step_view& view,
+      std::vector<delivery_candidate>* candidates) override;
+
+  /// Deliveries this model has silenced in the current run.
+  std::int64_t jammed_count() const { return jammed_count_; }
+
+ private:
+  jammer_options opts_;
+  rng gen_{0};
+  node_id n_ = 0;
+  std::vector<node_id> targets_;  // oblivious picks for the current step
+  std::int64_t jammed_count_ = 0;
+};
+
+}  // namespace radiocast::fault

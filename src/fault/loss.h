@@ -1,0 +1,43 @@
+// Probabilistic message loss.
+//
+// Each would-be successful reception (exactly one transmitting neighbor)
+// is independently dropped with probability `drop_probability`; the
+// listener hears silence. Collisions are already silence, so loss composes
+// cleanly with the paper's model: it strictly thins the set of deliveries
+// and never forges observations.
+//
+// Loss is per (listener, step) DELIVERY, not per transmission: a single
+// transmission heard by k listeners is subjected to k independent drops —
+// the standard independent-erasure channel of the unreliable-radio
+// literature.
+#pragma once
+
+#include "fault/fault_model.h"
+
+namespace radiocast::fault {
+
+struct loss_options {
+  /// Probability, in [0, 1], that any single delivery is suppressed.
+  double drop_probability = 0.0;
+};
+
+class loss_model final : public fault_model {
+ public:
+  explicit loss_model(loss_options opts);
+
+  std::string name() const override { return "loss"; }
+  void begin_run(const run_view& view) override;
+  void filter_deliveries(
+      const step_view& view,
+      std::vector<delivery_candidate>* candidates) override;
+
+  /// Deliveries this model has suppressed in the current run.
+  std::int64_t dropped_count() const { return dropped_count_; }
+
+ private:
+  loss_options opts_;
+  rng gen_{0};
+  std::int64_t dropped_count_ = 0;
+};
+
+}  // namespace radiocast::fault

@@ -20,6 +20,11 @@
 #include "core/select_and_send.h"         // IWYU pragma: export
 #include "core/selective_broadcast.h"     // IWYU pragma: export
 #include "core/universal_sequence.h"      // IWYU pragma: export
+#include "fault/churn.h"                  // IWYU pragma: export
+#include "fault/crash.h"                  // IWYU pragma: export
+#include "fault/fault_model.h"            // IWYU pragma: export
+#include "fault/jammer.h"                 // IWYU pragma: export
+#include "fault/loss.h"                   // IWYU pragma: export
 #include "graph/analysis.h"               // IWYU pragma: export
 #include "graph/generators.h"             // IWYU pragma: export
 #include "graph/graph.h"                  // IWYU pragma: export

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <unordered_set>
 
+#include "fault/fault_model.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "util/assert.h"
@@ -85,6 +87,9 @@ run_result run_broadcast_with_r(const graph& g, const protocol& proto,
   obs::series* sr_collisions = nullptr;
   obs::series* sr_idle = nullptr;
   obs::histogram* h_tx_per_step = nullptr;
+  obs::series* sr_f_crashed = nullptr;
+  obs::series* sr_f_suppressed = nullptr;
+  obs::series* sr_f_down_edges = nullptr;
   if (opts.metrics != nullptr) {
     sr_frontier = &opts.metrics->get_series("sim.informed_frontier");
     sr_tx = &opts.metrics->get_series("sim.transmissions");
@@ -92,6 +97,13 @@ run_result run_broadcast_with_r(const graph& g, const protocol& proto,
     sr_collisions = &opts.metrics->get_series("sim.collisions");
     sr_idle = &opts.metrics->get_series("sim.idle_listeners");
     h_tx_per_step = &opts.metrics->get_histogram("sim.transmitters_per_step");
+    // Fault series only exist for fault-injected runs, so fault-free
+    // metric exports keep their exact pre-fault shape.
+    if (opts.faults != nullptr) {
+      sr_f_crashed = &opts.metrics->get_series("sim.fault.crashed_nodes");
+      sr_f_suppressed = &opts.metrics->get_series("sim.fault.suppressed");
+      sr_f_down_edges = &opts.metrics->get_series("sim.fault.down_edges");
+    }
   }
 
   run_result result;
@@ -110,20 +122,87 @@ run_result run_broadcast_with_r(const graph& g, const protocol& proto,
   std::vector<message> tx_msg(static_cast<std::size_t>(n));
   std::vector<std::int64_t> tx_stamp(static_cast<std::size_t>(n), -1);
 
+  // Fault state, allocated only for fault-injected runs. The simulator —
+  // not the models — owns the crash mask and down-edge set, so the hot
+  // loop never pays a virtual call per node or per edge.
+  fault::fault_model* const faults = opts.faults;
+  std::vector<std::uint8_t> crashed;
+  std::unordered_set<std::uint64_t> down_edges;
+  fault::step_faults step_faults_buf;
+  std::vector<fault::delivery_candidate> pending;
+  std::int64_t crashed_uninformed = 0;
+  const bool normalize_edges = !g.is_directed();
+  auto edge_key = [normalize_edges](node_id a, node_id b) {
+    if (normalize_edges && a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+           static_cast<std::uint32_t>(b);
+  };
+  if (faults != nullptr) {
+    crashed.assign(static_cast<std::size_t>(n), 0);
+    faults->begin_run({&g, opts.seed, opts.max_steps});
+  }
+
+  // Crashed nodes are exempt from both stop conditions: completion means
+  // every *surviving* node is informed (resp. halted).
   auto all_halted = [&] {
-    return std::all_of(slots.begin(), slots.end(), [](const node_slot& s) {
-      return s.node->halted();
-    });
+    for (node_id v = 0; v < n; ++v) {
+      if (faults != nullptr && crashed[static_cast<std::size_t>(v)] != 0) {
+        continue;
+      }
+      if (!slots[static_cast<std::size_t>(v)].node->halted()) return false;
+    }
+    return true;
   };
 
   obs::scoped_span loop_span(profiler, "step_loop");
   for (std::int64_t step = 0; step < opts.max_steps; ++step) {
     const std::int64_t collisions_before = result.collisions;
     const std::int64_t deliveries_before = result.deliveries;
+    const std::int64_t suppressed_before = result.suppressed_deliveries;
+
+    if (faults != nullptr) {  // injection site 1: crash-stops and churn
+      step_faults_buf.clear();
+      const fault::step_view view{step, &g, &result.informed_at, &crashed};
+      faults->begin_step(view, &step_faults_buf);
+      for (const node_id v : step_faults_buf.crashes) {
+        RC_CHECK_MSG(v >= 0 && v < n, "fault model crashed an unknown node");
+        auto& mark = crashed[static_cast<std::size_t>(v)];
+        if (mark != 0) continue;
+        mark = 1;
+        ++result.crashed_nodes;
+        if (result.informed_at[static_cast<std::size_t>(v)] == -1) {
+          ++crashed_uninformed;
+        }
+        if (opts.sink != nullptr) {
+          opts.sink->record({step, trace_event::type::crash, v, {}});
+        }
+      }
+      for (const auto& [u, v] : step_faults_buf.edges_down) {
+        if (!down_edges.insert(edge_key(u, v)).second) continue;
+        ++result.churned_edges;
+        if (opts.sink != nullptr) {
+          message m;
+          m.a = v;
+          opts.sink->record({step, trace_event::type::edge_down, u, m});
+        }
+      }
+      for (const auto& [u, v] : step_faults_buf.edges_up) {
+        if (down_edges.erase(edge_key(u, v)) == 0) continue;
+        ++result.churned_edges;
+        if (opts.sink != nullptr) {
+          message m;
+          m.a = v;
+          opts.sink->record({step, trace_event::type::edge_up, u, m});
+        }
+      }
+    }
 
     // Phase 1: collect transmit decisions.
     transmitters.clear();
     for (node_id v = 0; v < n; ++v) {
+      if (faults != nullptr && crashed[static_cast<std::size_t>(v)] != 0) {
+        continue;  // injection site 2: crashed nodes never transmit
+      }
       auto& slot = slots[static_cast<std::size_t>(v)];
       node_context ctx{step, &slot.gen, opts.metrics};
       std::optional<message> decision = slot.node->on_step(ctx);
@@ -147,6 +226,12 @@ run_result run_broadcast_with_r(const graph& g, const protocol& proto,
     touched.clear();
     for (const node_id t : transmitters) {
       for (node_id v : g.out_neighbors(t)) {
+        if (faults != nullptr &&  // injection site 3: crashes + churn
+            (crashed[static_cast<std::size_t>(v)] != 0 ||
+             (!down_edges.empty() &&
+              down_edges.count(edge_key(t, v)) != 0))) {
+          continue;  // no signal: neither a delivery nor a collision
+        }
         auto& s = stamp[static_cast<std::size_t>(v)];
         if (s != step) {
           s = step;
@@ -165,20 +250,8 @@ run_result run_broadcast_with_r(const graph& g, const protocol& proto,
       }
     }
 
-    for (node_id v : touched) {
-      const int count = arrivals[static_cast<std::size_t>(v)];
-      if (count == -1) continue;  // v transmitted this step
+    auto deliver = [&](node_id v, node_id sender) {
       auto& slot = slots[static_cast<std::size_t>(v)];
-      if (count >= 2) {
-        ++result.collisions;
-        if (opts.sink != nullptr) {
-          opts.sink->record({step, trace_event::type::collision, v, {}});
-        }
-        continue;
-      }
-      RC_CHECK(count == 1);
-      const node_id sender = last_sender[static_cast<std::size_t>(v)];
-      RC_CHECK(tx_stamp[static_cast<std::size_t>(sender)] == step);
       const message* delivered = &tx_msg[static_cast<std::size_t>(sender)];
       const bool was_informed = slot.node->informed();
       node_context ctx{step, &slot.gen, opts.metrics};
@@ -195,6 +268,46 @@ run_result run_broadcast_with_r(const graph& g, const protocol& proto,
           opts.sink->record({step, trace_event::type::informed, v, {}});
         }
       }
+    };
+
+    for (node_id v : touched) {
+      const int count = arrivals[static_cast<std::size_t>(v)];
+      if (count == -1) continue;  // v transmitted this step
+      if (count >= 2) {
+        ++result.collisions;
+        if (opts.sink != nullptr) {
+          opts.sink->record({step, trace_event::type::collision, v, {}});
+        }
+        continue;
+      }
+      RC_CHECK(count == 1);
+      const node_id sender = last_sender[static_cast<std::size_t>(v)];
+      RC_CHECK(tx_stamp[static_cast<std::size_t>(sender)] == step);
+      if (faults != nullptr) {  // injection site 4: defer for loss/jamming
+        pending.push_back(
+            {v, sender, slots[static_cast<std::size_t>(v)].node->informed(),
+             false});
+        continue;
+      }
+      deliver(v, sender);
+    }
+
+    if (faults != nullptr && !pending.empty()) {
+      const fault::step_view view{step, &g, &result.informed_at, &crashed};
+      faults->filter_deliveries(view, &pending);
+      for (const fault::delivery_candidate& c : pending) {
+        if (c.suppressed) {
+          ++result.suppressed_deliveries;
+          if (opts.sink != nullptr) {
+            opts.sink->record(
+                {step, trace_event::type::drop, c.listener,
+                 tx_msg[static_cast<std::size_t>(c.sender)]});
+          }
+          continue;
+        }
+        deliver(c.listener, c.sender);
+      }
+      pending.clear();
     }
 
     if (opts.metrics != nullptr) {
@@ -212,19 +325,28 @@ run_result run_broadcast_with_r(const graph& g, const protocol& proto,
       sr_idle->push(static_cast<std::int64_t>(n) - tx_count -
                     step_deliveries - step_collisions);
       h_tx_per_step->observe(tx_count);
+      if (sr_f_crashed != nullptr) {
+        sr_f_crashed->push(result.crashed_nodes);
+        sr_f_suppressed->push(result.suppressed_deliveries -
+                              suppressed_before);
+        sr_f_down_edges->push(static_cast<std::int64_t>(down_edges.size()));
+      }
     }
 
     result.steps = step + 1;
-    if (informed_count == n && result.informed_step == -1) {
+    // Crashed nodes can never become informed; completion is over the
+    // survivors (crashed_uninformed == 0 in fault-free runs).
+    const bool everyone_informed = informed_count + crashed_uninformed == n;
+    if (everyone_informed && result.informed_step == -1) {
       result.informed_step = step + 1;
     }
     if (opts.stop == stop_condition::all_informed) {
-      if (informed_count == n) {
+      if (everyone_informed) {
         result.completed = true;
         break;
       }
     } else {
-      if (informed_count == n && all_halted()) {
+      if (everyone_informed && all_halted()) {
         result.completed = true;
         break;
       }
@@ -281,6 +403,7 @@ trial_set run_trials(const graph& g, const protocol& proto,
     ropts.stop = opts.stop;
     ropts.metrics = opts.metrics;
     ropts.profiler = opts.profiler;
+    ropts.faults = opts.faults;  // re-seeded per trial by begin_run
     const auto start = std::chrono::steady_clock::now();
     const run_result r = run_broadcast(g, proto, ropts);
     const auto end = std::chrono::steady_clock::now();
@@ -293,6 +416,9 @@ trial_set run_trials(const graph& g, const protocol& proto,
     rec.transmissions = r.transmissions;
     rec.collisions = r.collisions;
     rec.deliveries = r.deliveries;
+    rec.crashed_nodes = r.crashed_nodes;
+    rec.suppressed_deliveries = r.suppressed_deliveries;
+    rec.churned_edges = r.churned_edges;
     rec.wall_ms =
         std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
             end - start)
@@ -310,9 +436,25 @@ std::vector<double> completion_times(const graph& g, const protocol& proto,
   opts.base_seed = base_seed;
   opts.max_steps = max_steps;
   const trial_set batch = run_trials(g, proto, opts);
-  RC_CHECK_MSG(batch.all_completed(),
-               "broadcast did not complete within the step cap for protocol " +
-                   proto.name());
+  if (!batch.all_completed()) {
+    // Identify the first failing seed so the throw is actionable; sweeps
+    // that must survive timeouts use run_trials directly.
+    std::uint64_t first_failed = 0;
+    for (const trial_record& t : batch.trials) {
+      if (!t.completed) {
+        first_failed = t.seed;
+        break;
+      }
+    }
+    const std::size_t failed = batch.trials.size() - batch.completed_count();
+    RC_CHECK_MSG(false, "broadcast did not complete within " +
+                            std::to_string(max_steps) +
+                            " steps for protocol " + proto.name() + " (" +
+                            std::to_string(failed) + "/" +
+                            std::to_string(batch.trials.size()) +
+                            " trials timed out; first failing seed " +
+                            std::to_string(first_failed) + ")");
+  }
   return batch.completion_steps();
 }
 

@@ -25,6 +25,10 @@ class metrics_registry;
 class span_profiler;
 }  // namespace radiocast::obs
 
+namespace radiocast::fault {
+class fault_model;
+}  // namespace radiocast::fault
+
 namespace radiocast {
 
 /// When the run loop stops.
@@ -48,6 +52,16 @@ struct run_options {
   /// Optional wall-clock span collection for this run. When null, the
   /// process-wide obs::global_profiler() (also null by default) is used.
   obs::span_profiler* profiler = nullptr;
+  /// Optional fault injection (see src/fault/fault_model.h). When set, the
+  /// simulator consults the model at the top of every step (crash-stops,
+  /// edge churn) and before committing deliveries (loss, jamming), records
+  /// `sim.fault.*` metric series and crash/drop/edge trace events, and
+  /// fills the fault-accounting fields of run_result. Crashed nodes are
+  /// exempt from the stop condition: "completed" then means every
+  /// SURVIVING node is informed (resp. halted). Null ⇒ the fault-free step
+  /// loop pays exactly one branch per injection site, and results are
+  /// bit-identical to a run where the model suppresses nothing.
+  fault::fault_model* faults = nullptr;
   /// Optional sparse labeling: labels[v] is the label of graph node v
   /// (distinct, within {0,…,r}, labels[0] == 0 — the source's label).
   /// Empty ⇒ identity (label = node id). The paper's model only fixes
@@ -68,6 +82,10 @@ struct run_result {
   /// Per-node transmission counts — the energy metric of the radio
   /// literature (transmitting dominates a node's power budget).
   std::vector<std::int64_t> transmissions_per_node;
+  // Fault accounting (all zero when run_options::faults is null).
+  std::int64_t crashed_nodes = 0;  ///< nodes crash-stopped during the run
+  std::int64_t suppressed_deliveries = 0;  ///< receptions silenced (loss/jam)
+  std::int64_t churned_edges = 0;  ///< edge up/down transitions applied
 };
 
 /// Runs `proto` on `g` with node 0 as source until the stop condition or the
@@ -94,6 +112,10 @@ struct trial_options {
   /// per-step series are only meaningful for single-trial batches).
   obs::metrics_registry* metrics = nullptr;
   obs::span_profiler* profiler = nullptr;
+  /// Optional fault injection, shared by every trial: the model is re-seeded
+  /// per trial through fault_model::begin_run (trial t runs with seed
+  /// base_seed + t), so each trial draws an independent fault schedule.
+  fault::fault_model* faults = nullptr;
 };
 
 /// Outcome of one trial, the unit record of bench telemetry.
@@ -105,6 +127,11 @@ struct trial_record {
   std::int64_t transmissions = 0;
   std::int64_t collisions = 0;
   std::int64_t deliveries = 0;
+  // Fault accounting (zero for fault-free batches); turns trial batches
+  // into resilience curves — timeout_rate vs fault intensity.
+  std::int64_t crashed_nodes = 0;
+  std::int64_t suppressed_deliveries = 0;
+  std::int64_t churned_edges = 0;
   double wall_ms = 0.0;  ///< wall-clock of this trial's run_broadcast
 };
 

@@ -13,6 +13,10 @@ const char* trace_event_type_name(trace_event::type t) {
     case trace_event::type::receive: return "receive";
     case trace_event::type::collision: return "collision";
     case trace_event::type::informed: return "informed";
+    case trace_event::type::crash: return "crash";
+    case trace_event::type::drop: return "drop";
+    case trace_event::type::edge_down: return "edge_down";
+    case trace_event::type::edge_up: return "edge_up";
   }
   return "unknown";
 }
@@ -93,6 +97,19 @@ std::string trace::to_string() const {
       case trace_event::type::informed:
         os << "becomes informed";
         break;
+      case trace_event::type::crash:
+        os << "crash-stops";
+        break;
+      case trace_event::type::drop:
+        os << "loses a delivery from=" << e.msg.from
+           << " kind=" << e.msg.kind;
+        break;
+      case trace_event::type::edge_down:
+        os << "loses link to " << e.msg.a;
+        break;
+      case trace_event::type::edge_up:
+        os << "regains link to " << e.msg.a;
+        break;
     }
     os << '\n';
   });
@@ -106,13 +123,17 @@ void trace::to_ndjson(std::ostream& os) const {
     line.set("type", trace_event_type_name(e.what));
     line.set("node", static_cast<std::int64_t>(e.node));
     if (e.what == trace_event::type::transmit ||
-        e.what == trace_event::type::receive) {
+        e.what == trace_event::type::receive ||
+        e.what == trace_event::type::drop) {
       line.set("kind", static_cast<std::int64_t>(e.msg.kind));
       line.set("from", static_cast<std::int64_t>(e.msg.from));
       line.set("a", e.msg.a);
       line.set("b", e.msg.b);
       line.set("c", e.msg.c);
       line.set("d", e.msg.d);
+    } else if (e.what == trace_event::type::edge_down ||
+               e.what == trace_event::type::edge_up) {
+      line.set("peer", e.msg.a);
     }
     line.write(os);
     os << '\n';
@@ -122,7 +143,7 @@ void trace::to_ndjson(std::ostream& os) const {
 std::string trace::summary_json() const {
   std::int64_t first_step = -1;
   std::int64_t last_step = -1;
-  std::int64_t by_type[4] = {};
+  std::int64_t by_type[trace_event::kTypeCount] = {};
   bool any = false;
   for_each_in_order([&](const trace_event& e) {
     if (!any) {
@@ -141,7 +162,9 @@ std::string trace::summary_json() const {
   obs::json_value types = obs::json_value::object();
   for (const auto t :
        {trace_event::type::transmit, trace_event::type::receive,
-        trace_event::type::collision, trace_event::type::informed}) {
+        trace_event::type::collision, trace_event::type::informed,
+        trace_event::type::crash, trace_event::type::drop,
+        trace_event::type::edge_down, trace_event::type::edge_up}) {
     types.set(trace_event_type_name(t), by_type[static_cast<int>(t)]);
   }
   root.set("by_type", std::move(types));

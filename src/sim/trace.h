@@ -24,13 +24,29 @@
 namespace radiocast {
 
 /// One observable event in a simulation.
+///
+/// The last four types are fault-injection events (src/fault/), recorded
+/// by the simulator when a fault model acts: `crash` (node crash-stops),
+/// `drop` (a would-be delivery suppressed by loss/jamming; msg = the lost
+/// frame), `edge_down`/`edge_up` (churn; node = one endpoint, msg.a = the
+/// other).
 struct trace_event {
-  enum class type { transmit, receive, collision, informed };
+  enum class type {
+    transmit,
+    receive,
+    collision,
+    informed,
+    crash,
+    drop,
+    edge_down,
+    edge_up,
+  };
+  static constexpr int kTypeCount = 8;
 
   std::int64_t step = 0;
   type what = type::transmit;
   node_id node = -1;
-  message msg;  ///< for transmit/receive; default-initialized otherwise
+  message msg;  ///< for transmit/receive/drop; endpoint for edge events
 };
 
 /// Short lowercase tag for an event type ("transmit", "receive", …).

@@ -1,0 +1,366 @@
+// Fault-injection subsystem tests: determinism (same seed ⇒ identical
+// crash/loss/churn schedule and identical run_result), the zero-intensity
+// identity guarantee, per-model semantics, composition, and the trial-batch
+// fault accounting.
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+#include "fault/churn.h"
+#include "fault/crash.h"
+#include "fault/fault_model.h"
+#include "fault/jammer.h"
+#include "fault/loss.h"
+#include "graph/analysis.h"
+#include "obs/metrics.h"
+#include "graph/generators.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace radiocast {
+namespace {
+
+run_result run_with(const graph& g, const protocol& proto,
+                    fault::fault_model* faults, std::uint64_t seed = 11,
+                    std::int64_t max_steps = 50'000) {
+  run_options opts;
+  opts.seed = seed;
+  opts.max_steps = max_steps;
+  opts.faults = faults;
+  return run_broadcast(g, proto, opts);
+}
+
+void expect_identical(const run_result& a, const run_result& b) {
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.informed_step, b.informed_step);
+  EXPECT_EQ(a.transmissions, b.transmissions);
+  EXPECT_EQ(a.collisions, b.collisions);
+  EXPECT_EQ(a.deliveries, b.deliveries);
+  EXPECT_EQ(a.informed_at, b.informed_at);
+  EXPECT_EQ(a.transmissions_per_node, b.transmissions_per_node);
+  EXPECT_EQ(a.crashed_nodes, b.crashed_nodes);
+  EXPECT_EQ(a.suppressed_deliveries, b.suppressed_deliveries);
+  EXPECT_EQ(a.churned_edges, b.churned_edges);
+}
+
+graph test_graph() {
+  rng gen(17);
+  return make_gnp_connected(48, 0.12, gen);
+}
+
+// ---------- zero-intensity identity ----------
+
+TEST(FaultTest, NoOpModelsAreBitIdenticalToFaultFree) {
+  const graph g = test_graph();
+  const auto proto = make_protocol("decay", g.node_count() - 1);
+  const run_result base = run_with(g, *proto, nullptr);
+
+  fault::loss_model loss(fault::loss_options{0.0});
+  expect_identical(base, run_with(g, *proto, &loss));
+
+  fault::jammer_model jam_o(
+      fault::jammer_options{0, fault::jam_strategy::oblivious_random});
+  expect_identical(base, run_with(g, *proto, &jam_o));
+
+  fault::jammer_model jam_g(
+      fault::jammer_options{0, fault::jam_strategy::greedy_frontier});
+  expect_identical(base, run_with(g, *proto, &jam_g));
+
+  fault::crash_model crash(fault::crash_options{});
+  expect_identical(base, run_with(g, *proto, &crash));
+
+  fault::churn_model churn(fault::churn_options{0.0});
+  expect_identical(base, run_with(g, *proto, &churn));
+
+  std::vector<fault::fault_model*> all{&loss, &jam_o, &crash, &churn};
+  fault::composite_fault_model composite(all);
+  expect_identical(base, run_with(g, *proto, &composite));
+}
+
+// ---------- determinism: same seed ⇒ same schedule and result ----------
+
+TEST(FaultTest, CrashScheduleIsSeedDeterministic) {
+  const graph g = test_graph();
+  const auto proto = make_protocol("decay", g.node_count() - 1);
+  fault::crash_options copts;
+  copts.crash_probability = 0.002;
+  copts.spare_source = true;
+  fault::crash_model crash(copts);
+  const run_result a = run_with(g, *proto, &crash, 5);
+  const run_result b = run_with(g, *proto, &crash, 5);
+  expect_identical(a, b);
+  // A different seed draws a different schedule (equality of every field
+  // would require an astronomically unlikely coincidence of crash draws
+  // AND protocol coin flips).
+  const run_result c = run_with(g, *proto, &crash, 6);
+  EXPECT_FALSE(a.steps == c.steps && a.deliveries == c.deliveries &&
+               a.informed_at == c.informed_at &&
+               a.crashed_nodes == c.crashed_nodes);
+}
+
+TEST(FaultTest, LossScheduleIsSeedDeterministic) {
+  const graph g = test_graph();
+  const auto proto = make_protocol("decay", g.node_count() - 1);
+  fault::loss_model loss(fault::loss_options{0.3});
+  const run_result a = run_with(g, *proto, &loss, 9);
+  const run_result b = run_with(g, *proto, &loss, 9);
+  expect_identical(a, b);
+  EXPECT_GT(a.suppressed_deliveries, 0);
+}
+
+TEST(FaultTest, ChurnScheduleIsSeedDeterministic) {
+  const graph g = test_graph();
+  const auto proto = make_protocol("decay", g.node_count() - 1);
+  fault::churn_model churn(fault::churn_options{0.05});
+  const run_result a = run_with(g, *proto, &churn, 21);
+  const run_result b = run_with(g, *proto, &churn, 21);
+  expect_identical(a, b);
+  EXPECT_GT(a.churned_edges, 0);
+}
+
+TEST(FaultTest, CompositeIsSeedDeterministic) {
+  const graph g = test_graph();
+  const auto proto = make_protocol("decay", g.node_count() - 1);
+  fault::crash_options copts;
+  copts.crash_probability = 0.001;
+  copts.spare_source = true;
+  fault::crash_model crash(copts);
+  fault::loss_model loss(fault::loss_options{0.15});
+  fault::jammer_model jam(
+      fault::jammer_options{2, fault::jam_strategy::oblivious_random});
+  std::vector<fault::fault_model*> models{&crash, &loss, &jam};
+  fault::composite_fault_model composite(models);
+  const run_result a = run_with(g, *proto, &composite, 31);
+  const run_result b = run_with(g, *proto, &composite, 31);
+  expect_identical(a, b);
+}
+
+// ---------- crash semantics ----------
+
+TEST(FaultTest, ScheduledCrashSilencesNodeAndExemptsCompletion) {
+  // Star: source informs every leaf at once. Crash one leaf before the
+  // first step: the run completes over the survivors and the crashed leaf
+  // is never informed.
+  graph g = make_star(6);
+  const auto proto = make_protocol("decay", 5);
+  fault::crash_options copts;
+  copts.schedule = {{3, 0}};
+  fault::crash_model crash(copts);
+  const run_result res = run_with(g, *proto, &crash);
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.crashed_nodes, 1);
+  EXPECT_EQ(res.informed_at[3], -1);
+  EXPECT_EQ(res.transmissions_per_node[3], 0);
+  for (const node_id v : {1, 2, 4, 5}) {
+    EXPECT_GE(res.informed_at[static_cast<std::size_t>(v)], 0);
+  }
+}
+
+TEST(FaultTest, LateCrashAfterInformingStillCompletes) {
+  graph g = make_path(4);
+  const auto proto = make_protocol("decay", 3);
+  // Crash node 1 far in the future — after it has relayed the message.
+  fault::crash_options copts;
+  copts.schedule = {{1, 40'000}};
+  fault::crash_model crash(copts);
+  const run_result res = run_with(g, *proto, &crash);
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.crashed_nodes, 0);  // completed before the scheduled step
+}
+
+TEST(FaultTest, CrashTraceEventsRecorded) {
+  graph g = make_star(5);
+  const auto proto = make_protocol("decay", 4);
+  fault::crash_options copts;
+  copts.schedule = {{2, 0}};
+  fault::crash_model crash(copts);
+  trace tr;
+  run_options opts;
+  opts.max_steps = 1'000;
+  opts.faults = &crash;
+  opts.sink = &tr;
+  const run_result res = run_broadcast(g, *proto, opts);
+  EXPECT_EQ(res.crashed_nodes, 1);
+  const auto crashes = tr.filter(trace_event::type::crash);
+  ASSERT_EQ(crashes.size(), 1u);
+  EXPECT_EQ(crashes[0].node, 2);
+  EXPECT_EQ(crashes[0].step, 0);
+}
+
+TEST(FaultTest, CrashOptionsValidated) {
+  EXPECT_THROW(fault::crash_model({{{0, -1}}, 0.0, false}),
+               precondition_error);
+  EXPECT_THROW(fault::crash_model({{}, 1.5, false}), precondition_error);
+  graph g = make_path(3);
+  const auto proto = make_protocol("decay", 2);
+  fault::crash_options out_of_range;
+  out_of_range.schedule = {{99, 0}};
+  fault::crash_model crash(out_of_range);
+  EXPECT_THROW(run_with(g, *proto, &crash), precondition_error);
+}
+
+// ---------- loss semantics ----------
+
+TEST(FaultTest, TotalLossSuppressesEveryDelivery) {
+  graph g = make_path(4);
+  const auto proto = make_protocol("decay", 3);
+  fault::loss_model loss(fault::loss_options{1.0});
+  const run_result res = run_with(g, *proto, &loss, 11, 2'000);
+  EXPECT_FALSE(res.completed);
+  EXPECT_EQ(res.deliveries, 0);
+  EXPECT_GT(res.suppressed_deliveries, 0);
+  EXPECT_GT(res.transmissions, 0);
+}
+
+TEST(FaultTest, LossOptionsValidated) {
+  EXPECT_THROW(fault::loss_model(fault::loss_options{-0.1}),
+               precondition_error);
+  EXPECT_THROW(fault::loss_model(fault::loss_options{1.01}),
+               precondition_error);
+}
+
+// ---------- jammer semantics ----------
+
+TEST(FaultTest, GreedyJammerWithHugeBudgetStallsBroadcast) {
+  graph g = test_graph();
+  const auto proto = make_protocol("decay", g.node_count() - 1);
+  fault::jammer_model jam(fault::jammer_options{
+      g.node_count(), fault::jam_strategy::greedy_frontier});
+  const run_result res = run_with(g, *proto, &jam, 13, 2'000);
+  // Budget ≥ n silences every reception: nobody beyond the source ever
+  // gets informed.
+  EXPECT_FALSE(res.completed);
+  EXPECT_EQ(res.deliveries, 0);
+  EXPECT_GT(res.suppressed_deliveries, 0);
+}
+
+TEST(FaultTest, ObliviousJammerSlowdownIsBudgetMonotone) {
+  const graph g = test_graph();
+  const auto proto = make_protocol("decay", g.node_count() - 1);
+  trial_options topts;
+  topts.trials = 10;
+  topts.base_seed = 3;
+  topts.max_steps = 50'000;
+  double previous = 0.0;
+  for (const int budget : {0, 16}) {
+    fault::jammer_model jam(fault::jammer_options{
+        budget, fault::jam_strategy::oblivious_random});
+    topts.faults = &jam;
+    const trial_set batch = run_trials(g, *proto, topts);
+    EXPECT_TRUE(batch.all_completed());
+    const std::vector<double> steps = batch.completion_steps();
+    double mean = 0.0;
+    for (const double s : steps) mean += s;
+    mean /= static_cast<double>(steps.size());
+    EXPECT_GT(mean, previous);
+    previous = mean;
+  }
+}
+
+TEST(FaultTest, JammerDeterministicPerSeed) {
+  const graph g = test_graph();
+  const auto proto = make_protocol("decay", g.node_count() - 1);
+  for (const auto strategy : {fault::jam_strategy::oblivious_random,
+                              fault::jam_strategy::greedy_frontier}) {
+    fault::jammer_model jam(fault::jammer_options{3, strategy});
+    const run_result a = run_with(g, *proto, &jam, 41);
+    const run_result b = run_with(g, *proto, &jam, 41);
+    expect_identical(a, b);
+  }
+}
+
+// ---------- churn semantics ----------
+
+TEST(FaultTest, ChurnRequiresUndirectedConnectedGraph) {
+  fault::churn_model churn(fault::churn_options{0.1});
+  rng gen(3);
+  graph directed = make_directed_layered({1, 2, 2}, 0.5, gen);
+  const auto proto = make_protocol("decay", 4);
+  EXPECT_THROW(run_with(directed, *proto, &churn), precondition_error);
+}
+
+TEST(FaultTest, ChurnNeverTouchesTreeEdgesOnATree) {
+  // On a tree every edge is a spanning-tree edge: churn has nothing to
+  // flap and the run is identical to fault-free.
+  rng gen(8);
+  graph tree = make_random_tree(32, gen);
+  const auto proto = make_protocol("decay", 31);
+  const run_result base = run_with(tree, *proto, nullptr);
+  fault::churn_model churn(fault::churn_options{0.9});
+  EXPECT_EQ(churn.eligible_edge_count(), 0u);  // before any run: empty
+  const run_result res = run_with(tree, *proto, &churn);
+  EXPECT_EQ(churn.eligible_edge_count(), 0u);
+  expect_identical(base, res);
+}
+
+TEST(FaultTest, ChurnTraceRecordsEdgeEvents) {
+  const graph g = test_graph();
+  const auto proto = make_protocol("decay", g.node_count() - 1);
+  fault::churn_model churn(fault::churn_options{0.08});
+  trace tr;
+  run_options opts;
+  opts.seed = 23;
+  opts.max_steps = 50'000;
+  opts.faults = &churn;
+  opts.sink = &tr;
+  const run_result res = run_broadcast(g, *proto, opts);
+  EXPECT_TRUE(res.completed);
+  const auto downs = tr.filter(trace_event::type::edge_down);
+  const auto ups = tr.filter(trace_event::type::edge_up);
+  EXPECT_EQ(res.churned_edges,
+            static_cast<std::int64_t>(downs.size() + ups.size()));
+  EXPECT_GT(downs.size(), 0u);
+}
+
+// ---------- trial batches as resilience curves ----------
+
+TEST(FaultTest, RunTrialsAccountsFaultsPerTrial) {
+  const graph g = test_graph();
+  const auto proto = make_protocol("decay", g.node_count() - 1);
+  fault::loss_model loss(fault::loss_options{0.25});
+  trial_options topts;
+  topts.trials = 4;
+  topts.base_seed = 100;
+  topts.max_steps = 50'000;
+  topts.faults = &loss;
+  const trial_set batch = run_trials(g, *proto, topts);
+  ASSERT_EQ(batch.trials.size(), 4u);
+  for (const trial_record& t : batch.trials) {
+    EXPECT_GT(t.suppressed_deliveries, 0);
+    EXPECT_EQ(t.crashed_nodes, 0);
+    EXPECT_EQ(t.churned_edges, 0);
+  }
+  // Different trial seeds draw different loss schedules.
+  EXPECT_FALSE(batch.trials[0].suppressed_deliveries ==
+                   batch.trials[1].suppressed_deliveries &&
+               batch.trials[1].suppressed_deliveries ==
+                   batch.trials[2].suppressed_deliveries &&
+               batch.trials[2].suppressed_deliveries ==
+                   batch.trials[3].suppressed_deliveries &&
+               batch.trials[0].steps == batch.trials[1].steps &&
+               batch.trials[1].steps == batch.trials[2].steps &&
+               batch.trials[2].steps == batch.trials[3].steps);
+}
+
+TEST(FaultTest, FaultMetricsSeriesAlignWithSteps) {
+  const graph g = test_graph();
+  const auto proto = make_protocol("decay", g.node_count() - 1);
+  fault::loss_model loss(fault::loss_options{0.2});
+  obs::metrics_registry metrics;
+  run_options opts;
+  opts.seed = 2;
+  opts.max_steps = 50'000;
+  opts.metrics = &metrics;
+  opts.faults = &loss;
+  const run_result res = run_broadcast(g, *proto, opts);
+  const obs::series* suppressed =
+      metrics.find_series("sim.fault.suppressed");
+  ASSERT_NE(suppressed, nullptr);
+  EXPECT_EQ(static_cast<std::int64_t>(suppressed->size()), res.steps);
+  std::int64_t total = 0;
+  for (const std::int64_t v : suppressed->values()) total += v;
+  EXPECT_EQ(total, res.suppressed_deliveries);
+}
+
+}  // namespace
+}  // namespace radiocast

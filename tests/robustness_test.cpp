@@ -7,6 +7,9 @@
 #include "core/echo.h"
 #include "core/runner.h"
 #include "core/universal_sequence.h"
+#include "fault/churn.h"
+#include "fault/crash.h"
+#include "fault/jammer.h"
 #include "graph/analysis.h"
 #include "graph/generators.h"
 #include "sim/simulator.h"
@@ -165,6 +168,71 @@ TEST(RobustnessTest, RunOptionsCapValidation) {
   run_options opts;
   opts.max_steps = 0;
   EXPECT_THROW(run_broadcast(g, *proto, opts), precondition_error);
+}
+
+TEST(RobustnessTest, CrashedSourceNeverCompletes) {
+  // With the source crash-stopped at step 0 nobody ever transmits; the
+  // run must time out (not complete vacuously) because uninformed live
+  // nodes remain.
+  rng gen(4);
+  graph g = make_gnp_connected(24, 0.2, gen);
+  const auto proto = make_protocol("decay", 23);
+  fault::crash_options copts;
+  copts.schedule = {{0, 0}};
+  fault::crash_model crash(copts);
+  run_options opts;
+  opts.max_steps = 2'000;
+  opts.faults = &crash;
+  const run_result res = run_broadcast(g, *proto, opts);
+  EXPECT_FALSE(res.completed);
+  EXPECT_EQ(res.crashed_nodes, 1);
+  EXPECT_EQ(res.transmissions, 0);
+  EXPECT_EQ(res.deliveries, 0);
+}
+
+TEST(RobustnessTest, JammerZeroBudgetIsNoOp) {
+  // Budget 0 must be bit-identical to the fault-free run for both
+  // strategies: every run_result field, including the per-node vectors.
+  rng gen(12);
+  graph g = make_gnp_connected(40, 0.15, gen);
+  const auto proto = make_protocol("decay", 39);
+  run_options opts;
+  opts.seed = 77;
+  opts.max_steps = 20'000;
+  const run_result base = run_broadcast(g, *proto, opts);
+  for (const auto strategy : {fault::jam_strategy::oblivious_random,
+                              fault::jam_strategy::greedy_frontier}) {
+    fault::jammer_model jam(fault::jammer_options{0, strategy});
+    opts.faults = &jam;
+    const run_result res = run_broadcast(g, *proto, opts);
+    EXPECT_EQ(res.completed, base.completed);
+    EXPECT_EQ(res.steps, base.steps);
+    EXPECT_EQ(res.informed_step, base.informed_step);
+    EXPECT_EQ(res.transmissions, base.transmissions);
+    EXPECT_EQ(res.collisions, base.collisions);
+    EXPECT_EQ(res.deliveries, base.deliveries);
+    EXPECT_EQ(res.informed_at, base.informed_at);
+    EXPECT_EQ(res.transmissions_per_node, base.transmissions_per_node);
+    EXPECT_EQ(res.suppressed_deliveries, 0);
+    EXPECT_EQ(jam.jammed_count(), 0);
+  }
+}
+
+TEST(RobustnessTest, ChurnPreservingConnectivityStillCompletes) {
+  // Aggressive flapping of every non-tree edge: the churn-exempt spanning
+  // tree keeps the broadcast solvable, so decay must still finish.
+  rng gen(9);
+  graph g = make_gnp_connected(32, 0.25, gen);
+  const auto proto = make_protocol("decay", 31);
+  fault::churn_model churn(fault::churn_options{0.3});
+  run_options opts;
+  opts.seed = 5;
+  opts.max_steps = 100'000;
+  opts.faults = &churn;
+  const run_result res = run_broadcast(g, *proto, opts);
+  EXPECT_TRUE(res.completed);
+  EXPECT_GT(res.churned_edges, 0);
+  EXPECT_GT(churn.eligible_edge_count(), 0u);
 }
 
 }  // namespace

@@ -265,5 +265,91 @@ TEST(SimTest, CompletionTimesThrowsOnNonCompletion) {
   EXPECT_THROW(completion_times(g, proto, 1, 1, 5), invariant_error);
 }
 
+// ---------- trial_set accounting ----------
+
+trial_record make_trial(std::uint64_t seed, bool completed,
+                        std::int64_t informed_step, double wall_ms) {
+  trial_record t;
+  t.seed = seed;
+  t.completed = completed;
+  t.steps = completed ? informed_step : 100;
+  t.informed_step = completed ? informed_step : -1;
+  t.wall_ms = wall_ms;
+  return t;
+}
+
+TEST(SimTest, TrialSetAccountingOnMixedBatch) {
+  trial_set batch;
+  batch.trials.push_back(make_trial(1, true, 40, 1.0));
+  batch.trials.push_back(make_trial(2, false, -1, 2.5));
+  batch.trials.push_back(make_trial(3, true, 60, 0.5));
+  batch.trials.push_back(make_trial(4, false, -1, 4.0));
+
+  EXPECT_EQ(batch.completed_count(), 2u);
+  EXPECT_FALSE(batch.all_completed());
+  EXPECT_DOUBLE_EQ(batch.timeout_rate(), 0.5);
+  // completion_steps: completed trials only, in trial order.
+  const std::vector<double> steps = batch.completion_steps();
+  ASSERT_EQ(steps.size(), 2u);
+  EXPECT_DOUBLE_EQ(steps[0], 40.0);
+  EXPECT_DOUBLE_EQ(steps[1], 60.0);
+  // wall-clock sums over ALL trials, timed-out ones included.
+  EXPECT_DOUBLE_EQ(batch.total_wall_ms(), 8.0);
+}
+
+TEST(SimTest, TrialSetAccountingEdgeCases) {
+  trial_set empty;
+  EXPECT_EQ(empty.completed_count(), 0u);
+  EXPECT_TRUE(empty.all_completed());  // vacuous
+  EXPECT_DOUBLE_EQ(empty.timeout_rate(), 0.0);
+  EXPECT_TRUE(empty.completion_steps().empty());
+
+  trial_set all_timeout;
+  all_timeout.trials.push_back(make_trial(1, false, -1, 1.0));
+  all_timeout.trials.push_back(make_trial(2, false, -1, 1.0));
+  EXPECT_EQ(all_timeout.completed_count(), 0u);
+  EXPECT_DOUBLE_EQ(all_timeout.timeout_rate(), 1.0);
+  EXPECT_TRUE(all_timeout.completion_steps().empty());
+}
+
+TEST(SimTest, RunTrialsRecordsTimeoutsAsData) {
+  // A source that transmits only at step 0 cannot inform a 4-path within
+  // the cap: every trial must time out, with no exception thrown.
+  graph g = make_path(4);
+  script_observer obs;
+  scripted_protocol proto({{0, {0}}}, &obs);
+  trial_options topts;
+  topts.trials = 3;
+  topts.base_seed = 7;
+  topts.max_steps = 10;
+  const trial_set batch = run_trials(g, proto, topts);
+  ASSERT_EQ(batch.trials.size(), 3u);
+  EXPECT_DOUBLE_EQ(batch.timeout_rate(), 1.0);
+  for (std::size_t t = 0; t < batch.trials.size(); ++t) {
+    EXPECT_EQ(batch.trials[t].seed, 7u + t);
+    EXPECT_FALSE(batch.trials[t].completed);
+    EXPECT_EQ(batch.trials[t].steps, 10);
+    EXPECT_EQ(batch.trials[t].informed_step, -1);
+    EXPECT_EQ(batch.trials[t].crashed_nodes, 0);
+    EXPECT_EQ(batch.trials[t].suppressed_deliveries, 0);
+    EXPECT_EQ(batch.trials[t].churned_edges, 0);
+  }
+}
+
+TEST(SimTest, CompletionTimesMatchesRunTrialsOnCompletion) {
+  // Star: the source transmits once, everyone is informed at step 0.
+  graph g = make_star(5);
+  script_observer obs;
+  scripted_protocol proto({{0, {0}}}, &obs);
+  trial_options topts;
+  topts.trials = 4;
+  topts.base_seed = 3;
+  topts.max_steps = 10;
+  const trial_set batch = run_trials(g, proto, topts);
+  EXPECT_TRUE(batch.all_completed());
+  const std::vector<double> direct = completion_times(g, proto, 4, 3, 10);
+  EXPECT_EQ(direct, batch.completion_steps());
+}
+
 }  // namespace
 }  // namespace radiocast

@@ -89,6 +89,13 @@ struct validator {
     }
   }
 
+  /// Type-checks `key` only when present: newer writers add keys that
+  /// older artifacts (committed BENCH_*.json) legitimately lack.
+  void optional(const json_value& obj, const std::string& where,
+                const std::string& key, json_value::kind k) {
+    if (obj.contains(key)) require(obj, where, key, k);
+  }
+
   void check_trial(const json_value& t, const std::string& where) {
     require(t, where, "seed", json_value::kind::integer);
     require(t, where, "completed", json_value::kind::boolean);
@@ -98,6 +105,10 @@ struct validator {
     require(t, where, "collisions", json_value::kind::integer);
     require(t, where, "deliveries", json_value::kind::integer);
     require(t, where, "wall_ms", json_value::kind::number);
+    // Fault accounting, added with the fault-injection subsystem.
+    optional(t, where, "crashed_nodes", json_value::kind::integer);
+    optional(t, where, "suppressed_deliveries", json_value::kind::integer);
+    optional(t, where, "churned_edges", json_value::kind::integer);
   }
 
   void check_case(const json_value& c, const std::string& where) {
