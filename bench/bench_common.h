@@ -17,8 +17,16 @@
 // `trial_count()` shrink every sweep to its first point and ≤ 2 trials so
 // CI can validate the telemetry pipeline in seconds (scripts/reproduce.sh
 // smoke).
+// Parallelism: trial batches go through parallel_run_trials, so every
+// bench shards its seeded trials across workers when asked to — via the
+// `--threads N` flag (see parse_threads_flag) or the RADIOCAST_THREADS
+// environment default. The default is 1 (serial); results are
+// bit-identical either way (docs/PARALLELISM.md). Each case's telemetry
+// records `threads`, the batch wall-clock (`batch_wall_ms`), and the
+// trial-throughput `speedup` (summed per-trial wall over batch wall).
 #pragma once
 
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
@@ -29,6 +37,8 @@
 #include <vector>
 
 #include "core/runner.h"
+#include "exec/parallel_trials.h"
+#include "exec/thread_pool.h"
 #include "graph/analysis.h"
 #include "graph/generators.h"
 #include "obs/json.h"
@@ -65,6 +75,32 @@ std::vector<T> sweep(std::initializer_list<T> full) {
 /// Trial count: `full` normally, at most 2 under smoke mode.
 inline int trial_count(int full) { return smoke() ? std::min(full, 2) : full; }
 
+/// The process-wide requested thread count for trial batches: 0 (the
+/// default) defers to the RADIOCAST_THREADS environment variable, anything
+/// positive was set explicitly (the --threads flag).
+inline int& requested_threads() {
+  static int value = 0;
+  return value;
+}
+
+/// Worker count every trial batch will actually use.
+inline int threads() { return exec::resolve_threads(requested_threads()); }
+
+/// Applies `--threads N` / `--threads=N` from a bench's command line (all
+/// other arguments are ignored, so google-benchmark flags pass through
+/// untouched). Call at the top of main, before constructing the reporter.
+inline void parse_threads_flag(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    if (arg.rfind("--threads=", 0) == 0) {
+      requested_threads() = std::max(1, std::atoi(arg.c_str() + 10));
+    } else if (arg == "--threads" && i + 1 < argc) {
+      requested_threads() = std::max(1, std::atoi(argv[i + 1]));
+      ++i;
+    }
+  }
+}
+
 /// Collects every measured case of one bench run and writes
 /// `BENCH_<name>.json` on destruction (schema "radiocast.bench.v1").
 /// Also installs a span profiler as the process-wide default for its
@@ -79,6 +115,7 @@ class reporter {
     root_.set("bench", name_);
     config_ = obs::json_value::object();
     config_.set("smoke", smoke());
+    config_.set("threads", static_cast<std::int64_t>(threads()));
     cases_ = obs::json_value::array();
   }
 
@@ -219,8 +256,21 @@ inline trial_set run_case(reporter& rep, const std::string& case_name,
   topts.max_steps = cap;
   topts.stop = stop;
   topts.faults = faults;
-  trial_set batch = run_trials(g, proto, topts);
+  topts.threads = threads();
+  const auto start = std::chrono::steady_clock::now();
+  trial_set batch = parallel_run_trials(g, proto, topts);
+  const double batch_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          std::chrono::steady_clock::now() - start)
+          .count();
   rep.add_case(case_name, std::move(params), batch);
+  rep.annotate("threads", static_cast<std::int64_t>(topts.threads));
+  rep.annotate("batch_wall_ms", batch_ms);
+  // Trial throughput gain over one core: total per-trial work over the
+  // batch's wall clock (≈1.0 serially, up to `threads` when sharding
+  // scales; also <1.0 when per-trial overhead dominates tiny batches).
+  rep.annotate("speedup",
+               batch_ms > 0.0 ? batch.total_wall_ms() / batch_ms : 1.0);
   return batch;
 }
 
@@ -243,7 +293,8 @@ inline double mean_time(const graph& g, const protocol& proto, int trials,
   topts.trials = trials;
   topts.base_seed = seed;
   topts.max_steps = cap;
-  return mean_steps(run_trials(g, proto, topts));
+  topts.threads = threads();
+  return mean_steps(parallel_run_trials(g, proto, topts));
 }
 
 /// Convenience for params objects: key/value pairs of heterogeneous

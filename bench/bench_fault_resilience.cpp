@@ -212,7 +212,8 @@ void run_bench(bench::reporter& rep) {
 }  // namespace
 }  // namespace radiocast
 
-int main() {
+int main(int argc, char** argv) {
+  radiocast::bench::parse_threads_flag(argc, argv);
   radiocast::bench::reporter rep("fault_resilience");
   radiocast::run_bench(rep);
   std::cout << "\nExpected shape: severity (timeout rate, then mean steps)"

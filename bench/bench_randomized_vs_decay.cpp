@@ -60,7 +60,8 @@ void run_family(bench::reporter& rep, const std::string& family) {
 }  // namespace
 }  // namespace radiocast
 
-int main() {
+int main(int argc, char** argv) {
+  radiocast::bench::parse_threads_flag(argc, argv);
   radiocast::bench::reporter rep("randomized_vs_decay");
   rep.config("experiment", "E1");
   rep.config("trials", radiocast::bench::trial_count(20));

@@ -139,10 +139,82 @@ void check_metrics_overhead(bench::reporter& rep) {
                "metrics-enabled: the null-check fast path has regressed");
 }
 
+// --------------------------------------------------------------------------
+// Parallel trial-throughput measurement.
+// --------------------------------------------------------------------------
+
+// Times the same seeded trial batch serially and sharded over 4 workers,
+// checks the shards are bit-identical to the serial records, and reports
+// the trial-throughput speedup in the telemetry. The speedup is a
+// MEASUREMENT, not an assertion: on a multi-core host it should reach ≥2×
+// at 4 threads; on a single-core host (hardware_threads() == 1) the best
+// possible value is ~1×, so the artifact records hardware_threads
+// alongside it for interpretation.
+void check_parallel_speedup(bench::reporter& rep) {
+  const node_id n = bench::smoke() ? 256 : 1024;
+  const int trials = bench::smoke() ? 8 : 48;
+  const int par_threads = 4;
+  graph g = make_complete_layered_uniform(n, 16);
+  const auto proto = make_protocol("decay", n - 1);
+
+  auto timed = [&](int threads, trial_set* out) {
+    trial_options topts;
+    topts.trials = trials;
+    topts.base_seed = 7;
+    topts.threads = threads;
+    const auto start = std::chrono::steady_clock::now();
+    *out = parallel_run_trials(g, *proto, topts);
+    return std::chrono::duration_cast<
+               std::chrono::duration<double, std::milli>>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+
+  trial_set warmup;
+  timed(par_threads, &warmup);  // touch caches, spawn-thread warm-up
+
+  trial_set serial, parallel;
+  const double serial_ms = timed(1, &serial);
+  const double parallel_ms = timed(par_threads, &parallel);
+
+  // The determinism contract, enforced where the speedup is measured.
+  RC_CHECK(serial.trials.size() == parallel.trials.size());
+  for (std::size_t i = 0; i < serial.trials.size(); ++i) {
+    const trial_record& a = serial.trials[i];
+    const trial_record& b = parallel.trials[i];
+    RC_CHECK_MSG(a.seed == b.seed && a.completed == b.completed &&
+                     a.steps == b.steps && a.informed_step == b.informed_step &&
+                     a.transmissions == b.transmissions &&
+                     a.collisions == b.collisions &&
+                     a.deliveries == b.deliveries,
+                 "parallel trial records diverged from serial ones");
+  }
+
+  const double speedup = parallel_ms > 0.0 ? serial_ms / parallel_ms : 1.0;
+  obs::json_value values = obs::json_value::object();
+  values.set("n", n);
+  values.set("trials", trials);
+  values.set("threads", par_threads);
+  values.set("hardware_threads", exec::hardware_threads());
+  values.set("serial_wall_ms", serial_ms);
+  values.set("parallel_wall_ms", parallel_ms);
+  values.set("speedup", speedup);
+  rep.add_analytic_case(
+      "parallel_trials/decay/n=" + std::to_string(n),
+      bench::params("n", n, "protocol", "decay", "threads", par_threads),
+      std::move(values), serial_ms + parallel_ms);
+
+  std::cout << "parallel trial throughput: serial=" << serial_ms
+            << "ms threads=" << par_threads << " parallel=" << parallel_ms
+            << "ms (speedup=" << speedup
+            << "x, hardware threads=" << exec::hardware_threads() << ")\n";
+}
+
 }  // namespace
 }  // namespace radiocast
 
 int main(int argc, char** argv) {
+  radiocast::bench::parse_threads_flag(argc, argv);
   std::vector<char*> args(argv, argv + argc);
   // Under smoke the google-benchmark pass shrinks to a token run; the
   // overhead guard below still executes in full.
@@ -156,5 +228,6 @@ int main(int argc, char** argv) {
   radiocast::bench::reporter rep("simulator_throughput");
   rep.config("kind", "microbenchmark");
   radiocast::check_metrics_overhead(rep);
+  radiocast::check_parallel_speedup(rep);
   return 0;
 }

@@ -58,7 +58,8 @@ void run() {
 }  // namespace
 }  // namespace radiocast
 
-int main() {
+int main(int argc, char** argv) {
+  radiocast::bench::parse_threads_flag(argc, argv);
   radiocast::run();
   return 0;
 }

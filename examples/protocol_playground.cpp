@@ -5,12 +5,18 @@
 //   ./protocol_playground --protocol decay --topology gnp --n 500 --p 0.02
 //   ./protocol_playground --list
 //   ./protocol_playground --protocol kp --topology layered --sweep-d
+//   ./protocol_playground --protocol decay --trials 64 --threads 4
 //
 // Topologies: path, cycle, star, complete, grid, tree, gnp, caterpillar,
 // layered (complete layered), layered-fat, random-layered.
+//
+// `--threads N` shards the seeded trials over N workers (default: the
+// RADIOCAST_THREADS environment variable, else serial); results are
+// bit-identical to a serial run — see docs/PARALLELISM.md.
 #include <iostream>
 
 #include "core/runner.h"
+#include "exec/parallel_trials.h"
 #include "graph/analysis.h"
 #include "graph/generators.h"
 #include "sim/simulator.h"
@@ -46,25 +52,21 @@ graph build_topology(const std::string& topology, node_id n, int d, double p,
 }
 
 void run_once(const std::string& proto_name, const graph& g, int d,
-              int trials) {
+              int trials, int threads) {
   const node_id n = g.node_count();
   const auto proto = make_protocol(proto_name, n - 1, d);
-  std::vector<double> times;
-  const int runs = proto->deterministic() ? 1 : trials;
-  run_result last;
-  for (int t = 0; t < runs; ++t) {
-    run_options opts;
-    opts.seed = 1 + static_cast<std::uint64_t>(t);
-    opts.max_steps = 100'000'000;
-    last = run_broadcast(g, *proto, opts);
-    RC_CHECK_MSG(last.completed, "broadcast did not complete");
-    times.push_back(static_cast<double>(last.informed_step));
-  }
-  const summary s = summarize(times);
+  trial_options topts;
+  topts.trials = proto->deterministic() ? 1 : trials;
+  topts.base_seed = 1;
+  topts.max_steps = 100'000'000;
+  topts.threads = threads;
+  const trial_set batch = parallel_run_trials(g, *proto, topts);
+  RC_CHECK_MSG(batch.all_completed(), "broadcast did not complete");
+  const summary s = summarize(batch.completion_steps());
   std::cout << proto->name() << " on n=" << n << " D=" << radius_from(g)
             << ": mean " << text_table::format_double(s.mean, 1)
             << " steps (min " << s.min << ", max " << s.max << "), "
-            << last.collisions << " collisions in the last run\n";
+            << batch.trials.back().collisions << " collisions in the last run\n";
 }
 
 }  // namespace
@@ -85,6 +87,8 @@ int main(int argc, char** argv) {
   const int d = static_cast<int>(args.get_int("d", 8));
   const double p = args.get_double("p", 0.05);
   const int trials = static_cast<int>(args.get_int("trials", 10));
+  // 0 = defer to the RADIOCAST_THREADS environment default (1 when unset).
+  const int threads = static_cast<int>(args.get_int("threads", 0));
   rng gen(static_cast<std::uint64_t>(args.get_int("seed", 1)));
 
   if (args.has("sweep-d")) {
@@ -107,6 +111,6 @@ int main(int argc, char** argv) {
   }
 
   graph g = build_topology(topology, n, d, p, gen);
-  run_once(proto_name, g, d, trials);
+  run_once(proto_name, g, d, trials, threads);
   return 0;
 }

@@ -1,12 +1,18 @@
 #!/usr/bin/env bash
-# Continuous-integration entry point: builds and tests the library in two
+# Continuous-integration entry point: builds and tests the library in three
 # configurations and smoke-validates the telemetry pipeline.
 #
 #   1. Release build (build/)           — cmake + ctest, the tier-1 gate.
 #   2. Sanitizer build (build-san/)     — address+undefined via
 #      -DRADIOCAST_SANITIZE=address,undefined, full ctest under
 #      instrumentation.
-#   3. Telemetry smoke (build/ci-smoke) — every bench with RADIOCAST_SMOKE=1
+#   3. Thread-sanitizer build (build-tsan/) — -DRADIOCAST_SANITIZE=thread;
+#      runs the parallel-execution and simulator suites with
+#      RADIOCAST_THREADS=4 so parallel_run_trials genuinely shards across
+#      workers under TSan on any host (the env default makes every
+#      threads=0 call site parallel, and determinism tests pass at any
+#      worker count by construction).
+#   4. Telemetry smoke (build/ci-smoke) — every bench with RADIOCAST_SMOKE=1
 #      (first sweep point, ≤2 trials), then `radiocast_inspect validate` on
 #      each emitted BENCH_*.json. Runs in a scratch directory so the
 #      committed full-run artifacts at the repository root are untouched.
@@ -15,17 +21,23 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "=== [1/3] Release build + tests ==="
+echo "=== [1/4] Release build + tests ==="
 cmake -B build -S .
 cmake --build build --parallel
 ctest --test-dir build --output-on-failure
 
-echo "=== [2/3] Sanitizer build + tests (address,undefined) ==="
+echo "=== [2/4] Sanitizer build + tests (address,undefined) ==="
 cmake -B build-san -S . -DRADIOCAST_SANITIZE=address,undefined
 cmake --build build-san --parallel
 ctest --test-dir build-san --output-on-failure
 
-echo "=== [3/3] Telemetry smoke + schema validation ==="
+echo "=== [3/4] Thread-sanitizer build + parallel tests ==="
+cmake -B build-tsan -S . -DRADIOCAST_SANITIZE=thread
+cmake --build build-tsan --parallel --target parallel_test sim_test
+RADIOCAST_THREADS=4 ctest --test-dir build-tsan --output-on-failure \
+  -R 'parallel_test|sim_test'
+
+echo "=== [4/4] Telemetry smoke + schema validation ==="
 smoke_dir=build/ci-smoke
 rm -rf "$smoke_dir"
 mkdir -p "$smoke_dir"
@@ -37,4 +49,4 @@ for b in build/bench/*; do
 done
 build/tools/radiocast_inspect validate "$smoke_dir"/BENCH_*.json
 
-echo "ci: all three stages passed"
+echo "ci: all four stages passed"

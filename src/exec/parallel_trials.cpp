@@ -1,0 +1,116 @@
+#include "exec/parallel_trials.h"
+
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "fault/fault_model.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "util/assert.h"
+
+namespace radiocast {
+
+namespace {
+
+/// One contiguous slice of the seed range, with the private observability
+/// and fault state its worker runs against.
+struct shard {
+  int first = 0;  ///< index of the shard's first trial within the batch
+  int count = 0;
+  std::unique_ptr<obs::metrics_registry> metrics;
+  std::unique_ptr<fault::fault_model> faults;
+  obs::span_profiler profiler;
+  trial_set result;
+};
+
+}  // namespace
+
+trial_set parallel_run_trials(const graph& g, const protocol& proto,
+                              const trial_options& opts) {
+  RC_REQUIRE(opts.trials >= 1);
+  const int threads = exec::resolve_threads(opts.threads);
+  if (threads <= 1 || opts.trials <= 1) {
+    return run_trials(g, proto, opts);  // the serial path, untouched
+  }
+
+  obs::span_profiler* profiler =
+      opts.profiler != nullptr ? opts.profiler : obs::global_profiler();
+  obs::scoped_span batch_span(profiler, "parallel_run_trials");
+
+  const int workers = std::min(threads, opts.trials);
+  // A few shards per worker so one slow seed does not serialize the tail;
+  // shards stay contiguous so the seed-order fold below reproduces the
+  // serial registry (series concatenate per trial, in seed order).
+  const int shard_count = std::min(opts.trials, workers * 4);
+  std::vector<shard> shards(static_cast<std::size_t>(shard_count));
+  {
+    const int base = opts.trials / shard_count;
+    const int rem = opts.trials % shard_count;
+    int offset = 0;
+    for (int i = 0; i < shard_count; ++i) {
+      shard& s = shards[static_cast<std::size_t>(i)];
+      s.first = offset;
+      s.count = base + (i < rem ? 1 : 0);
+      offset += s.count;
+      if (opts.metrics != nullptr) {
+        s.metrics = std::make_unique<obs::metrics_registry>();
+      }
+      if (opts.faults != nullptr) {
+        s.faults = opts.faults->clone();
+        RC_CHECK_MSG(s.faults != nullptr,
+                     "fault model \"" + opts.faults->name() +
+                         "\" does not support clone(); parallel trial "
+                         "batches need one model instance per worker — "
+                         "override fault_model::clone or run with threads=1");
+      }
+    }
+  }
+
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  {
+    exec::thread_pool pool(workers);
+    for (shard& s : shards) {
+      pool.submit([&g, &proto, &opts, &s, &error_mu, &first_error] {
+        try {
+          trial_options topts;
+          topts.trials = s.count;
+          topts.base_seed =
+              opts.base_seed + static_cast<std::uint64_t>(s.first);
+          topts.max_steps = opts.max_steps;
+          topts.stop = opts.stop;
+          topts.metrics = s.metrics.get();
+          // Never null: a worker must not fall back to the process-wide
+          // global_profiler, which is not thread-safe.
+          topts.profiler = &s.profiler;
+          topts.faults = s.faults.get();
+          s.result = run_trials(g, proto, topts);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error == nullptr) first_error = std::current_exception();
+        }
+      });
+    }
+    pool.wait_idle();
+  }  // joins the workers
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+
+  // Fold shards back in seed order — this ordering is what makes gauge
+  // last-write-wins and series concatenation match the serial pass.
+  trial_set out;
+  out.trials.reserve(static_cast<std::size_t>(opts.trials));
+  for (shard& s : shards) {
+    RC_CHECK(static_cast<int>(s.result.trials.size()) == s.count);
+    out.trials.insert(out.trials.end(), s.result.trials.begin(),
+                      s.result.trials.end());
+    if (opts.metrics != nullptr) opts.metrics->merge(*s.metrics);
+    if (profiler != nullptr) profiler->merge(s.profiler);
+  }
+  return out;
+}
+
+}  // namespace radiocast

@@ -44,6 +44,10 @@ class churn_model final : public fault_model {
   /// Up/down transitions emitted so far in the current run.
   std::int64_t toggle_count() const { return toggle_count_; }
 
+  std::unique_ptr<fault_model> clone() const override {
+    return std::make_unique<churn_model>(opts_);
+  }
+
  private:
   churn_options opts_;
   rng gen_{0};

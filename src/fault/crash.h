@@ -43,6 +43,10 @@ class crash_model final : public fault_model {
   /// Nodes this model has crashed so far in the current run.
   std::int64_t crashed_count() const { return crashed_count_; }
 
+  std::unique_ptr<fault_model> clone() const override {
+    return std::make_unique<crash_model>(opts_);
+  }
+
  private:
   crash_options opts_;
   rng gen_{0};

@@ -46,4 +46,20 @@ void composite_fault_model::filter_deliveries(
   for (fault_model* m : models_) m->filter_deliveries(view, candidates);
 }
 
+std::unique_ptr<fault_model> composite_fault_model::clone() const {
+  std::vector<std::unique_ptr<fault_model>> owned;
+  std::vector<fault_model*> raw;
+  owned.reserve(models_.size());
+  raw.reserve(models_.size());
+  for (const fault_model* m : models_) {
+    std::unique_ptr<fault_model> child = m->clone();
+    if (child == nullptr) return nullptr;
+    raw.push_back(child.get());
+    owned.push_back(std::move(child));
+  }
+  auto out = std::make_unique<composite_fault_model>(std::move(raw));
+  out->owned_ = std::move(owned);
+  return out;
+}
+
 }  // namespace radiocast::fault

@@ -33,6 +33,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -115,6 +116,15 @@ class fault_model {
     (void)view;
     (void)candidates;
   }
+
+  /// A fresh instance with the same CONFIGURATION and no run state, for
+  /// trial-parallel execution: parallel_run_trials (src/exec/) hands every
+  /// worker its own clone so no model state is shared across threads.
+  /// Because `begin_run` derives everything from the trial seed, a clone
+  /// produces bit-identical fault schedules to the original. The default
+  /// returns nullptr ("not cloneable"); such a model can only run serial
+  /// batches. All built-in models override this.
+  virtual std::unique_ptr<fault_model> clone() const { return nullptr; }
 };
 
 /// Deterministic seed derivation: every model mixes the run seed with its
@@ -137,9 +147,14 @@ class composite_fault_model final : public fault_model {
   void filter_deliveries(
       const step_view& view,
       std::vector<delivery_candidate>* candidates) override;
+  /// Deep clone: every child is cloned too (and owned by the clone, unlike
+  /// the original's borrowed children). Null if any child is not cloneable.
+  std::unique_ptr<fault_model> clone() const override;
 
  private:
   std::vector<fault_model*> models_;
+  /// Set only on clones: storage keeping the cloned children alive.
+  std::vector<std::unique_ptr<fault_model>> owned_;
 };
 
 }  // namespace radiocast::fault

@@ -48,6 +48,10 @@ class jammer_model final : public fault_model {
   /// Deliveries this model has silenced in the current run.
   std::int64_t jammed_count() const { return jammed_count_; }
 
+  std::unique_ptr<fault_model> clone() const override {
+    return std::make_unique<jammer_model>(opts_);
+  }
+
  private:
   jammer_options opts_;
   rng gen_{0};

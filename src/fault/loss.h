@@ -34,6 +34,10 @@ class loss_model final : public fault_model {
   /// Deliveries this model has suppressed in the current run.
   std::int64_t dropped_count() const { return dropped_count_; }
 
+  std::unique_ptr<fault_model> clone() const override {
+    return std::make_unique<loss_model>(opts_);
+  }
+
  private:
   loss_options opts_;
   rng gen_{0};

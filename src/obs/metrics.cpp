@@ -27,6 +27,20 @@ void histogram::observe(std::int64_t v) {
   ++buckets_[bucket_index(v)];
 }
 
+void histogram::merge_from(const histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
 std::int64_t histogram::percentile_bound(double pct) const {
   if (count_ == 0) return 0;
   const double target = pct / 100.0 * static_cast<double>(count_);
@@ -92,6 +106,13 @@ const histogram* metrics_registry::find_histogram(
 const series* metrics_registry::find_series(const std::string& name,
                                             const std::string& label) const {
   return find_in(series_, key(name, label));
+}
+
+void metrics_registry::merge(const metrics_registry& other) {
+  for (const auto& [k, c] : other.counters_) counters_[k].merge_from(c);
+  for (const auto& [k, g] : other.gauges_) gauges_[k].merge_from(g);
+  for (const auto& [k, h] : other.histograms_) histograms_[k].merge_from(h);
+  for (const auto& [k, s] : other.series_) series_[k].append_from(s);
 }
 
 void metrics_registry::clear() {

@@ -26,6 +26,12 @@
 // labels for phase markers, e.g. counter("kp.stage_tx", "2").
 //
 // Not thread-safe: one registry per run (the simulator is single-threaded).
+// Parallel trial execution (src/exec/parallel_trials.h) follows from this:
+// every worker owns a private registry and the shards are combined
+// afterwards with `metrics_registry::merge`, whose semantics are defined so
+// that merging per-shard registries in seed order reproduces the registry a
+// serial run would have produced bit for bit (counters/histograms add,
+// gauges keep the last written value, series concatenate).
 #pragma once
 
 #include <cstdint>
@@ -43,6 +49,9 @@ class counter {
   void add(std::int64_t n = 1) { value_ += n; }
   std::int64_t value() const { return value_; }
 
+  /// Accumulates another counter (merge = addition; order-independent).
+  void merge_from(const counter& other) { value_ += other.value_; }
+
  private:
   std::int64_t value_ = 0;
 };
@@ -56,6 +65,14 @@ class gauge {
   }
   std::int64_t value() const { return value_; }
   std::int64_t writes() const { return writes_; }
+
+  /// Merges a LATER gauge into this one: `other`'s value wins iff it was
+  /// ever written (last-write-wins composes left to right), and write
+  /// counts add. Merging shards in seed order reproduces the serial value.
+  void merge_from(const gauge& other) {
+    if (other.writes_ > 0) value_ = other.value_;
+    writes_ += other.writes_;
+  }
 
  private:
   std::int64_t value_ = 0;
@@ -90,6 +107,10 @@ class histogram {
   /// recorded distribution (an upper estimate, as buckets are coarse).
   std::int64_t percentile_bound(double pct) const;
 
+  /// Accumulates another histogram: buckets, count and sum add; min/max
+  /// combine. Order-independent.
+  void merge_from(const histogram& other);
+
  private:
   std::int64_t buckets_[kBuckets] = {};
   std::int64_t count_ = 0;
@@ -106,6 +127,12 @@ class series {
   void reserve(std::size_t n) { values_.reserve(n); }
   const std::vector<std::int64_t>& values() const { return values_; }
   std::size_t size() const { return values_.size(); }
+
+  /// Appends another series' values after this one's. Merging shards in
+  /// seed order reproduces the concatenation a serial batch would push.
+  void append_from(const series& other) {
+    values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  }
 
  private:
   std::vector<std::int64_t> values_;
@@ -146,6 +173,15 @@ class metrics_registry {
 
   /// Drops every instrument.
   void clear();
+
+  /// Merges `other` into this registry, instrument by instrument (matched
+  /// by export key; missing instruments are created). Counters and
+  /// histograms add, gauges take `other`'s value when it was written,
+  /// series concatenate — so folding per-shard registries **in seed
+  /// order** over an empty registry yields a registry bit-identical to the
+  /// one a serial pass over the same trials would fill. The workhorse of
+  /// parallel_run_trials (src/exec/parallel_trials.h).
+  void merge(const metrics_registry& other);
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {...},
   ///  "series": {...}} with sorted keys. Histograms export count/sum/min/

@@ -90,6 +90,36 @@ void span_profiler::clear() {
   root_->children.clear();
 }
 
+namespace {
+
+void merge_children(span_stats* dst, const span_stats& src) {
+  for (const auto& from : src.children) {
+    span_stats* into = nullptr;
+    for (const auto& child : dst->children) {
+      if (child->name == from->name) {
+        into = child.get();
+        break;
+      }
+    }
+    if (into == nullptr) {
+      dst->children.push_back(std::make_unique<span_stats>());
+      into = dst->children.back().get();
+      into->name = from->name;
+    }
+    into->total_ns += from->total_ns;
+    into->count += from->count;
+    merge_children(into, *from);
+  }
+}
+
+}  // namespace
+
+void span_profiler::merge(const span_profiler& other) {
+  RC_REQUIRE_MSG(other.open_.empty(), "merge() of a profiler with open spans");
+  span_stats* dst = open_.empty() ? root_.get() : open_.back().node;
+  merge_children(dst, *other.root_);
+}
+
 json_value span_profiler::to_json() const { return spans_to_json(*root_); }
 
 std::string span_profiler::report() const {

@@ -60,6 +60,14 @@ class span_profiler {
   /// Drops all recorded spans (open spans must be closed first).
   void clear();
 
+  /// Merges another profiler's span tree into this one, under the
+  /// innermost currently-open span (the root when none is open). Nodes
+  /// match by name and position, as if `other`'s spans had been recorded
+  /// here: totals and counts accumulate, unseen names append in `other`'s
+  /// order. `other` must have no open spans. Parallel trial execution uses
+  /// this to fold per-worker profilers back into the caller's tree.
+  void merge(const span_profiler& other);
+
   /// Nested array form: [{"name", "total_ms", "count", "children": [...]}].
   json_value to_json() const;
 

@@ -116,6 +116,14 @@ struct trial_options {
   /// per trial through fault_model::begin_run (trial t runs with seed
   /// base_seed + t), so each trial draws an independent fault schedule.
   fault::fault_model* faults = nullptr;
+  /// Worker threads for parallel_run_trials (src/exec/parallel_trials.h):
+  /// 0 = the RADIOCAST_THREADS environment default (1 when unset), 1 =
+  /// serial, N ≥ 2 = shard the seed range over N workers. run_trials
+  /// ignores this field — it is ALWAYS serial; parallel_run_trials with a
+  /// resolved count ≤ 1 takes that serial path untouched, and with more
+  /// threads produces bit-identical trial records and merged metrics
+  /// (wall_ms aside; see docs/PARALLELISM.md).
+  int threads = 0;
 };
 
 /// Outcome of one trial, the unit record of bench telemetry.

@@ -1,0 +1,377 @@
+// Differential tests: every protocol vs an independent replay of the radio
+// model.
+//
+// Each run records a full event trace (the ring buffer from sim/trace.h,
+// sized so nothing is evicted) and this suite replays it against the
+// paper's §1 communication rules, reimplemented here from the graph alone:
+//
+//   * a node hears a message in step s iff EXACTLY ONE of its in-neighbors
+//     transmits in s and it does not transmit itself;
+//   * ≥ 2 transmitting in-neighbors ⇒ a collision, indistinguishable from
+//     silence;
+//   * no spontaneous transmissions: every transmitter except the source
+//     must have received some message in an earlier step;
+//   * under fault injection, a would-be delivery may instead surface as a
+//     `drop` event (loss/jamming) and crashed nodes fall silent forever.
+//
+// The simulator's aggregate counters (transmissions, deliveries,
+// collisions, suppressed_deliveries, informed_at) must equal what the
+// replay derives, and on completion every surviving node must be informed.
+// Any divergence between the step loop and the model definition —
+// miscounted arrivals, deliveries through the wrong phase, events at the
+// wrong step — fails here even if the protocol still happens to complete.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/runner.h"
+#include "fault/crash.h"
+#include "fault/fault_model.h"
+#include "fault/loss.h"
+#include "graph/analysis.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace radiocast {
+namespace {
+
+// Events of one step, bucketed by type for the replay.
+struct step_events {
+  std::set<node_id> transmit;
+  std::map<node_id, message> receive;  // listener → delivered frame
+  std::set<node_id> collision;
+  std::set<node_id> informed;
+  std::set<node_id> crash;
+  std::set<node_id> drop;
+  bool edge_churn = false;  // any edge_down/edge_up (unsupported here)
+};
+
+std::map<std::int64_t, step_events> bucket_by_step(const trace& tr) {
+  std::map<std::int64_t, step_events> steps;
+  for (const trace_event& e : tr.events()) {
+    step_events& s = steps[e.step];
+    switch (e.what) {
+      case trace_event::type::transmit:
+        EXPECT_TRUE(s.transmit.insert(e.node).second)
+            << "node " << e.node << " transmitted twice in step " << e.step;
+        break;
+      case trace_event::type::receive:
+        EXPECT_TRUE(s.receive.emplace(e.node, e.msg).second)
+            << "node " << e.node << " received twice in step " << e.step;
+        break;
+      case trace_event::type::collision:
+        EXPECT_TRUE(s.collision.insert(e.node).second);
+        break;
+      case trace_event::type::informed:
+        EXPECT_TRUE(s.informed.insert(e.node).second);
+        break;
+      case trace_event::type::crash:
+        EXPECT_TRUE(s.crash.insert(e.node).second);
+        break;
+      case trace_event::type::drop:
+        // Exactly-one-transmitter ⇒ at most one candidate per listener,
+        // so drops cannot repeat within a step either.
+        EXPECT_TRUE(s.drop.insert(e.node).second);
+        break;
+      case trace_event::type::edge_down:
+      case trace_event::type::edge_up:
+        s.edge_churn = true;
+        break;
+    }
+  }
+  return steps;
+}
+
+// Replays the trace against the radio rule and cross-checks run_result.
+// `faults_allowed` admits crash and drop events (still no churn: a down
+// edge changes the effective topology and this oracle reads the static
+// graph).
+void verify_against_radio_rule(const graph& g, const trace& tr,
+                               const run_result& r, bool faults_allowed,
+                               const std::string& what) {
+  ASSERT_EQ(tr.dropped(), 0u)
+      << what << ": ring evicted events; grow the capacity";
+  const node_id n = g.node_count();
+  const auto steps = bucket_by_step(tr);
+
+  std::set<node_id> crashed;
+  std::vector<bool> has_received(static_cast<std::size_t>(n), false);
+  std::vector<std::int64_t> first_informed(static_cast<std::size_t>(n), -1);
+  std::int64_t transmissions = 0, deliveries = 0, collisions = 0, drops = 0;
+
+  for (const auto& [step, ev] : steps) {
+    const std::string where = what + ", step " + std::to_string(step);
+    EXPECT_FALSE(ev.edge_churn) << where << ": unexpected churn event";
+    if (!faults_allowed) {
+      EXPECT_TRUE(ev.crash.empty() && ev.drop.empty())
+          << where << ": fault events in a fault-free run";
+    }
+    // Crashes land at the top of the step, before transmit decisions.
+    crashed.insert(ev.crash.begin(), ev.crash.end());
+
+    transmissions += static_cast<std::int64_t>(ev.transmit.size());
+    deliveries += static_cast<std::int64_t>(ev.receive.size());
+    collisions += static_cast<std::int64_t>(ev.collision.size());
+    drops += static_cast<std::int64_t>(ev.drop.size());
+
+    for (node_id t : ev.transmit) {
+      EXPECT_EQ(crashed.count(t), 0u) << where << ": crashed " << t
+                                      << " transmitted";
+      EXPECT_TRUE(t == 0 || has_received[static_cast<std::size_t>(t)])
+          << where << ": spontaneous transmission by " << t;
+    }
+
+    // The radio rule, node by node, from the graph and the transmitter set.
+    for (node_id v = 0; v < n; ++v) {
+      const bool is_tx = ev.transmit.count(v) != 0;
+      const bool is_crashed = crashed.count(v) != 0;
+      int arriving = 0;
+      node_id lone_sender = -1;
+      for (node_id u : g.in_neighbors(v)) {
+        if (ev.transmit.count(u) != 0) {
+          ++arriving;
+          lone_sender = u;
+        }
+      }
+      const bool got = ev.receive.count(v) != 0;
+      const bool collided = ev.collision.count(v) != 0;
+      const bool dropped = ev.drop.count(v) != 0;
+      if (is_tx || is_crashed) {
+        // Busy transmitting (or gone): hears nothing, collides with
+        // nothing, loses nothing.
+        EXPECT_FALSE(got || collided || dropped)
+            << where << ": events at " << (is_tx ? "transmitter " : "crashed ")
+            << v;
+        continue;
+      }
+      if (arriving >= 2) {
+        EXPECT_TRUE(collided) << where << ": missing collision at " << v;
+        EXPECT_FALSE(got || dropped) << where << ": delivery through a "
+                                     << arriving << "-collision at " << v;
+      } else if (arriving == 1) {
+        EXPECT_FALSE(collided) << where << ": phantom collision at " << v;
+        if (faults_allowed) {
+          EXPECT_TRUE(got != dropped)
+              << where << ": lone transmission to " << v
+              << " must surface as exactly one of receive/drop";
+        } else {
+          EXPECT_TRUE(got) << where << ": missing delivery to " << v;
+          EXPECT_FALSE(dropped) << where;
+        }
+        if (got) {
+          // The frame must come from the unique transmitting in-neighbor
+          // (labels are the identity here).
+          EXPECT_EQ(ev.receive.at(v).from, lone_sender) << where;
+        }
+      } else {
+        EXPECT_FALSE(got || collided || dropped)
+            << where << ": silence violated at " << v;
+      }
+      if (got) has_received[static_cast<std::size_t>(v)] = true;
+    }
+
+    for (node_id v : ev.informed) {
+      EXPECT_NE(v, 0) << where << ": source re-informed";
+      EXPECT_NE(ev.receive.count(v), 0u)
+          << where << ": informed event without a delivery at " << v;
+      EXPECT_EQ(first_informed[static_cast<std::size_t>(v)], -1)
+          << where << ": node " << v << " informed twice";
+      first_informed[static_cast<std::size_t>(v)] = step;
+    }
+  }
+
+  // Aggregate counters must match the replay exactly.
+  EXPECT_EQ(r.transmissions, transmissions) << what;
+  EXPECT_EQ(r.deliveries, deliveries) << what;
+  EXPECT_EQ(r.collisions, collisions) << what;
+  EXPECT_EQ(r.suppressed_deliveries, drops) << what;
+  EXPECT_EQ(r.crashed_nodes, static_cast<std::int64_t>(crashed.size()))
+      << what;
+
+  // informed_at agrees with the informed events (source is step 0 by
+  // definition and never gets an event).
+  ASSERT_EQ(r.informed_at.size(), static_cast<std::size_t>(n)) << what;
+  EXPECT_EQ(r.informed_at[0], 0) << what;
+  for (node_id v = 1; v < n; ++v) {
+    EXPECT_EQ(r.informed_at[static_cast<std::size_t>(v)],
+              first_informed[static_cast<std::size_t>(v)])
+        << what << ": informed_at mismatch at " << v;
+  }
+
+  // Completion means every surviving node is informed.
+  if (r.completed) {
+    for (node_id v = 0; v < n; ++v) {
+      if (crashed.count(v) != 0) continue;
+      EXPECT_NE(r.informed_at[static_cast<std::size_t>(v)], -1)
+          << what << ": completed with uninformed survivor " << v;
+    }
+  }
+}
+
+run_result run_traced(const graph& g, const protocol& proto,
+                      std::uint64_t seed, trace* tr,
+                      fault::fault_model* faults = nullptr) {
+  run_options opts;
+  opts.seed = seed;
+  opts.max_steps = 1'000'000;
+  opts.sink = tr;
+  opts.faults = faults;
+  return run_broadcast(g, proto, opts);
+}
+
+// Protocols applicable to arbitrary connected undirected graphs, with the
+// knowledge parameter each one needs.
+std::vector<std::pair<std::string, int>> general_protocols(const graph& g) {
+  const int d = radius_from(g);
+  return {{"decay", -1},
+          {"kp", d},
+          {"kp-doubling", -1},
+          {"round-robin", -1},
+          {"select-and-send", -1},
+          {"interleaved", -1},
+          {"selective", max_degree(g) + 1}};
+}
+
+TEST(DifferentialTest, AllProtocolsObeyRadioRuleOnRandomGraphs) {
+  rng topo_gen(71);
+  std::vector<std::pair<std::string, graph>> graphs;
+  graphs.emplace_back("gnp20", make_gnp_connected(20, 0.2, topo_gen));
+  graphs.emplace_back("gnp28", make_gnp_connected(28, 0.12, topo_gen));
+  graphs.emplace_back("tree24", make_random_tree(24, topo_gen));
+  graphs.emplace_back("layered27", make_complete_layered_uniform(27, 4));
+
+  for (const auto& [gtag, g] : graphs) {
+    for (const auto& [proto_name, known_d] : general_protocols(g)) {
+      const auto proto =
+          make_protocol(proto_name, g.node_count() - 1, known_d);
+      for (std::uint64_t seed : {1u, 2u, 3u}) {
+        const std::string what =
+            gtag + "/" + proto_name + "/seed" + std::to_string(seed);
+        trace tr(2'000'000);
+        const run_result r = run_traced(g, *proto, seed, &tr);
+        EXPECT_TRUE(r.completed) << what;
+        verify_against_radio_rule(g, tr, r, /*faults_allowed=*/false, what);
+      }
+    }
+  }
+}
+
+TEST(DifferentialTest, CompleteLayeredProtocolOnItsOwnFamily) {
+  // The structure-aware baseline only runs on its own topology family.
+  for (int d : {2, 5}) {
+    const graph g = make_complete_layered_uniform(25, d);
+    const auto proto = make_protocol("complete-layered", g.node_count() - 1);
+    const std::string what = "layered25/d" + std::to_string(d);
+    trace tr(2'000'000);
+    const run_result r = run_traced(g, *proto, 1, &tr);
+    EXPECT_TRUE(r.completed) << what;
+    verify_against_radio_rule(g, tr, r, /*faults_allowed=*/false, what);
+  }
+}
+
+TEST(DifferentialTest, SparseLabelsDoNotBendTheRule) {
+  // Under a sparse labeling the schedules stretch, but the per-step radio
+  // rule is label-independent — the oracle only needs `from` remapped.
+  rng gen(101);
+  const graph g = make_gnp_connected(18, 0.22, gen);
+  const node_id r_bound = 3 * g.node_count();
+  const std::vector<node_id> labels =
+      sparse_labels(g.node_count(), r_bound, gen);
+  for (const std::string proto_name : {"decay", "round-robin"}) {
+    const auto proto = make_protocol(proto_name, r_bound, -1);
+    run_options opts;
+    opts.seed = 4;
+    opts.max_steps = 1'000'000;
+    opts.labels = labels;
+    trace tr(2'000'000);
+    opts.sink = &tr;
+    const run_result r = run_broadcast_with_r(g, *proto, r_bound, opts);
+    const std::string what = "sparse/" + proto_name;
+    EXPECT_TRUE(r.completed) << what;
+    ASSERT_EQ(tr.dropped(), 0u) << what;
+    // Labeled variant of the delivery check: frames carry labels[sender].
+    const auto steps = bucket_by_step(tr);
+    for (const auto& [step, ev] : steps) {
+      for (const auto& [v, msg] : ev.receive) {
+        int arriving = 0;
+        node_id lone_sender = -1;
+        for (node_id u : g.in_neighbors(v)) {
+          if (ev.transmit.count(u) != 0) {
+            ++arriving;
+            lone_sender = u;
+          }
+        }
+        ASSERT_EQ(arriving, 1) << what << ", step " << step;
+        EXPECT_EQ(msg.from,
+                  labels[static_cast<std::size_t>(lone_sender)])
+            << what << ", step " << step;
+      }
+    }
+  }
+}
+
+TEST(DifferentialTest, FaultedRunsStayConsistent) {
+  rng topo_gen(83);
+  std::vector<std::pair<std::string, graph>> graphs;
+  graphs.emplace_back("gnp22", make_gnp_connected(22, 0.25, topo_gen));
+  graphs.emplace_back("layered24", make_complete_layered_uniform(24, 3));
+
+  for (const auto& [gtag, g] : graphs) {
+    for (const std::string proto_name : {"decay", "kp-doubling"}) {
+      const auto proto = make_protocol(proto_name, g.node_count() - 1);
+      for (std::uint64_t seed : {5u, 6u, 7u}) {
+        const std::string what =
+            gtag + "/" + proto_name + "/faulted/seed" + std::to_string(seed);
+        fault::crash_options copts;
+        copts.crash_probability = 0.0005;
+        copts.spare_source = true;
+        fault::crash_model crash(copts);
+        fault::loss_model loss(fault::loss_options{0.2});
+        std::vector<fault::fault_model*> parts{&crash, &loss};
+        fault::composite_fault_model faults(parts);
+        trace tr(2'000'000);
+        const run_result r = run_traced(g, *proto, seed, &tr, &faults);
+        // Completion under faults is data, not a guarantee; consistency
+        // of whatever happened is the invariant.
+        verify_against_radio_rule(g, tr, r, /*faults_allowed=*/true, what);
+      }
+    }
+  }
+}
+
+TEST(DifferentialTest, TrialRecordsMatchTracedReruns) {
+  // run_trials must be exactly "run_broadcast per seed": re-running any
+  // trial's seed with a trace reproduces its record, and the trace totals
+  // equal the record's counters.
+  rng topo_gen(91);
+  const graph g = make_gnp_connected(20, 0.2, topo_gen);
+  const auto proto = make_protocol("decay", g.node_count() - 1);
+  trial_options topts;
+  topts.trials = 5;
+  topts.base_seed = 11;
+  const trial_set batch = run_trials(g, *proto, topts);
+  ASSERT_EQ(batch.trials.size(), 5u);
+  for (const trial_record& t : batch.trials) {
+    const std::string what = "trial seed " + std::to_string(t.seed);
+    trace tr(2'000'000);
+    const run_result r = run_traced(g, *proto, t.seed, &tr);
+    EXPECT_EQ(r.completed, t.completed) << what;
+    EXPECT_EQ(r.steps, t.steps) << what;
+    EXPECT_EQ(r.informed_step, t.informed_step) << what;
+    EXPECT_EQ(r.transmissions, t.transmissions) << what;
+    EXPECT_EQ(r.collisions, t.collisions) << what;
+    EXPECT_EQ(r.deliveries, t.deliveries) << what;
+    verify_against_radio_rule(g, tr, r, /*faults_allowed=*/false, what);
+  }
+}
+
+}  // namespace
+}  // namespace radiocast

@@ -118,6 +118,11 @@ struct validator {
     require(c, where, "timeout_rate", json_value::kind::number);
     require(c, where, "wall_ms", json_value::kind::number);
     require(c, where, "steps", json_value::kind::object);
+    // Parallel-execution telemetry, added with src/exec/: worker count,
+    // whole-batch wall clock, and trial-throughput speedup.
+    optional(c, where, "threads", json_value::kind::integer);
+    optional(c, where, "batch_wall_ms", json_value::kind::number);
+    optional(c, where, "speedup", json_value::kind::number);
     const json_value* trials = c.find("trials");
     if (trials != nullptr && trials->is_array()) {
       for (std::size_t i = 0; i < trials->items().size(); ++i) {
@@ -155,6 +160,10 @@ struct validator {
     require(doc, "root", "config", json_value::kind::object);
     require(doc, "root", "cases", json_value::kind::array);
     require(doc, "root", "spans", json_value::kind::array);
+    const json_value* config = doc.find("config");
+    if (config != nullptr && config->is_object()) {
+      optional(*config, "config", "threads", json_value::kind::integer);
+    }
     const json_value* cases = doc.find("cases");
     if (cases != nullptr && cases->is_array()) {
       if (cases->items().empty()) fail("cases array is empty");
