@@ -1,8 +1,18 @@
 #!/usr/bin/env bash
-# Continuous-integration entry point: builds and tests the library in three
-# configurations and smoke-validates the telemetry pipeline.
+# Continuous-integration entry point: static analysis first, then builds and
+# tests in three configurations, then a telemetry smoke pass.
 #
+#   0. Static analysis                  — builds only radiocast_lint (plus
+#      its deps) and runs the determinism lint over src/ bench/ tests/
+#      tools/ examples/ BEFORE any other compile stage; a wall-clock seed or
+#      raw std::mt19937 fails CI in seconds, not after a full build. Also
+#      runs clang-tidy (config pinned in .clang-tidy) over the library
+#      sources via the exported compile_commands.json when clang-tidy is
+#      installed, and skips it gracefully otherwise.
 #   1. Release build (build/)           — cmake + ctest, the tier-1 gate.
+#      RADIOCAST_WERROR=ON (the default) promotes the hardened warning set
+#      (-Wshadow -Wconversion -Wsign-conversion -Wextra-semi -Wpedantic)
+#      to errors.
 #   2. Sanitizer build (build-san/)     — address+undefined via
 #      -DRADIOCAST_SANITIZE=address,undefined, full ctest under
 #      instrumentation.
@@ -14,30 +24,45 @@
 #      worker count by construction).
 #   4. Telemetry smoke (build/ci-smoke) — every bench with RADIOCAST_SMOKE=1
 #      (first sweep point, ≤2 trials), then `radiocast_inspect validate` on
-#      each emitted BENCH_*.json. Runs in a scratch directory so the
-#      committed full-run artifacts at the repository root are untouched.
+#      each emitted BENCH_*.json plus the lint report from stage 0. Runs in
+#      a scratch directory so the committed full-run artifacts at the
+#      repository root are untouched.
+#
+# Every ctest invocation carries --timeout 300 so a hung test (deadlocked
+# pool, runaway adversary) fails the stage instead of wedging CI.
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "=== [1/4] Release build + tests ==="
+echo "=== [0/5] Static analysis (determinism lint + clang-tidy) ==="
 cmake -B build -S .
-cmake --build build --parallel
-ctest --test-dir build --output-on-failure
+cmake --build build --parallel --target radiocast_lint radiocast_inspect
+build/tools/radiocast_lint --root . --json build/lint-report.json
+build/tools/radiocast_inspect validate build/lint-report.json
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "--- clang-tidy (checks pinned in .clang-tidy) ---"
+  clang-tidy -p build --quiet src/*/*.cpp tools/*.cpp tools/lint/*.cpp
+else
+  echo "clang-tidy not installed; skipping (lint stage still gates)"
+fi
 
-echo "=== [2/4] Sanitizer build + tests (address,undefined) ==="
+echo "=== [1/5] Release build + tests ==="
+cmake --build build --parallel
+ctest --test-dir build --output-on-failure --timeout 300
+
+echo "=== [2/5] Sanitizer build + tests (address,undefined) ==="
 cmake -B build-san -S . -DRADIOCAST_SANITIZE=address,undefined
 cmake --build build-san --parallel
-ctest --test-dir build-san --output-on-failure
+ctest --test-dir build-san --output-on-failure --timeout 300
 
-echo "=== [3/4] Thread-sanitizer build + parallel tests ==="
+echo "=== [3/5] Thread-sanitizer build + parallel tests ==="
 cmake -B build-tsan -S . -DRADIOCAST_SANITIZE=thread
 cmake --build build-tsan --parallel --target parallel_test sim_test
 RADIOCAST_THREADS=4 ctest --test-dir build-tsan --output-on-failure \
-  -R 'parallel_test|sim_test'
+  --timeout 300 -R 'parallel_test|sim_test'
 
-echo "=== [4/4] Telemetry smoke + schema validation ==="
+echo "=== [4/5] Telemetry smoke + schema validation ==="
 smoke_dir=build/ci-smoke
 rm -rf "$smoke_dir"
 mkdir -p "$smoke_dir"
@@ -49,4 +74,4 @@ for b in build/bench/*; do
 done
 build/tools/radiocast_inspect validate "$smoke_dir"/BENCH_*.json
 
-echo "ci: all four stages passed"
+echo "ci: all five stages passed"

@@ -1,7 +1,6 @@
 #include "adversary/jamming.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "util/assert.h"
 
@@ -27,10 +26,16 @@ jamming::jamming(std::vector<node_id> pool, int k) : k_(k), pool_(pool) {
 
 jamming::outcome jamming::step(const std::vector<node_id>& y) {
   ++steps_;
-  std::unordered_set<node_id> in_y(y.begin(), y.end());
+  // Sorted fold of Y: membership via binary search, so the adversary's
+  // decisions cannot depend on hash iteration order (determinism lint R3).
+  std::vector<node_id> in_y(y);
+  std::sort(in_y.begin(), in_y.end());
+  auto hit = [&](node_id v) {
+    return std::binary_search(in_y.begin(), in_y.end(), v);
+  };
   auto intersection_size = [&](const std::vector<node_id>& block) {
     int count = 0;
-    for (node_id v : block) count += in_y.count(v) ? 1 : 0;
+    for (node_id v : block) count += hit(v) ? 1 : 0;
     return count;
   };
   auto truncate_if_small = [&](std::vector<node_id>& block) {
@@ -48,9 +53,10 @@ jamming::outcome jamming::step(const std::vector<node_id>& y) {
       std::vector<node_id> kept;
       kept.reserve(static_cast<std::size_t>(hits));
       for (node_id v : block) {
-        if (in_y.count(v)) kept.push_back(v);
+        if (hit(v)) kept.push_back(v);
       }
-      RC_CHECK(kept.size() >= 2);
+      RC_CHECK_MSG(kept.size() >= 2,
+                   "jamming case A must keep ≥ 2 candidates after shrinking");
       block = std::move(kept);
       truncate_if_small(block);
       return outcome{outcome::kind::collision, -1};
@@ -60,8 +66,10 @@ jamming::outcome jamming::step(const std::vector<node_id>& y) {
   // Case B: every large block loses its transmitters…
   for (auto& block : blocks_) {
     if (!is_large(block)) continue;
-    std::erase_if(block, [&](node_id v) { return in_y.count(v) != 0; });
-    RC_CHECK(block.size() >= 2);  // ≥ (1 − 2/k)·k = k − 2 ≥ 2 for k ≥ 4
+    std::erase_if(block, [&](node_id v) { return hit(v); });
+    // ≥ (1 − 2/k)·k = k − 2 ≥ 2 for k ≥ 4
+    RC_CHECK_MSG(block.size() >= 2,
+                 "jamming case B left a large block with < 2 candidates");
     truncate_if_small(block);
   }
   // …and the answer is read off the small blocks.
@@ -70,7 +78,7 @@ jamming::outcome jamming::step(const std::vector<node_id>& y) {
   for (const auto& block : blocks_) {
     if (is_large(block)) continue;
     for (node_id v : block) {
-      if (in_y.count(v)) {
+      if (hit(v)) {
         unique = v;
         if (++seen >= 2) return outcome{outcome::kind::collision, -1};
       }
@@ -93,14 +101,17 @@ jamming::layer_choice jamming::pick_layer() const {
   layer_choice choice;
   for (std::size_t p = 0; p < blocks_.size(); ++p) {
     if (p == p_star) continue;
-    RC_CHECK(blocks_[p].size() >= 2);
+    RC_CHECK_MSG(blocks_[p].size() >= 2,
+                 "jamming block invariant (≥ 2 candidates) broken in "
+                 "pick_layer");
     choice.layer.push_back(blocks_[p][0]);
     choice.layer.push_back(blocks_[p][1]);
   }
   const auto& star_block = blocks_[p_star];
   const std::size_t star_size =
       std::min<std::size_t>(static_cast<std::size_t>(k_), star_block.size());
-  RC_CHECK(star_size >= 2);
+  RC_CHECK_MSG(star_size >= 2,
+               "star block must contribute ≥ 2 candidates to the layer");
   choice.star.assign(star_block.begin(),
                      star_block.begin() + static_cast<std::ptrdiff_t>(star_size));
   choice.layer.insert(choice.layer.end(), choice.star.begin(),
@@ -109,16 +120,23 @@ jamming::layer_choice jamming::pick_layer() const {
 }
 
 bool jamming::invariant_holds() const {
-  std::unordered_set<node_id> pool_set(pool_.begin(), pool_.end());
-  std::unordered_set<node_id> seen;
+  // Sorted folds instead of hash sets: membership via binary search, block
+  // disjointness via one sort + adjacent_find (determinism lint R3).
+  std::vector<node_id> pool_sorted(pool_);
+  std::sort(pool_sorted.begin(), pool_sorted.end());
+  std::vector<node_id> seen;
   for (const auto& block : blocks_) {
     if (block.size() < 2) return false;
     for (node_id v : block) {
-      if (!pool_set.count(v)) return false;
-      if (!seen.insert(v).second) return false;  // blocks must be disjoint
+      if (!std::binary_search(pool_sorted.begin(), pool_sorted.end(), v)) {
+        return false;
+      }
+      seen.push_back(v);
     }
   }
-  return true;
+  std::sort(seen.begin(), seen.end());
+  // Blocks must be pairwise disjoint: no value may appear twice.
+  return std::adjacent_find(seen.begin(), seen.end()) == seen.end();
 }
 
 }  // namespace radiocast

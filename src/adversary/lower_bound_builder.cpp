@@ -38,7 +38,8 @@ class builder {
     odd_layer_of_.assign(static_cast<std::size_t>(n), -1);
     in_star_.assign(static_cast<std::size_t>(n), false);
     for (node_id v = 0; v < n; ++v) {
-      gens_.emplace_back(0x5eed0000ULL + static_cast<std::uint64_t>(v));
+      gens_.emplace_back(std::uint64_t{0x5eed0000} +
+                         static_cast<std::uint64_t>(v));
       nodes_[static_cast<std::size_t>(v)] = proto.make_node(v, params_);
     }
     informed_[0] = true;  // the source
@@ -236,7 +237,8 @@ class builder {
   }
 
   void deliver(node_id to, node_id sender) {
-    RC_CHECK(transmitted(sender));
+    RC_CHECK_MSG(transmitted(sender),
+                 "delivery from a node that did not transmit this step");
     node_context ctx{step_, &gens_[static_cast<std::size_t>(to)]};
     nodes_[static_cast<std::size_t>(to)]->on_receive(
         ctx, tx_msg_[static_cast<std::size_t>(sender)]);
@@ -305,7 +307,7 @@ class builder {
       next_pool.push_back(c);
       nodes_[static_cast<std::size_t>(c)] = proto_.make_node(c, params_);
       gens_[static_cast<std::size_t>(c)] =
-          rng(0x5eed0000ULL + static_cast<std::uint64_t>(c));
+          rng(std::uint64_t{0x5eed0000} + static_cast<std::uint64_t>(c));
       informed_[static_cast<std::size_t>(c)] = false;
       if (first_tx_.size() > static_cast<std::size_t>(c)) {
         first_tx_[static_cast<std::size_t>(c)] = -1;

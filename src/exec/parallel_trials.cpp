@@ -104,7 +104,8 @@ trial_set parallel_run_trials(const graph& g, const protocol& proto,
   trial_set out;
   out.trials.reserve(static_cast<std::size_t>(opts.trials));
   for (shard& s : shards) {
-    RC_CHECK(static_cast<int>(s.result.trials.size()) == s.count);
+    RC_CHECK_MSG(static_cast<int>(s.result.trials.size()) == s.count,
+                 "worker shard returned a partial trial batch");
     out.trials.insert(out.trials.end(), s.result.trials.begin(),
                       s.result.trials.end());
     if (opts.metrics != nullptr) opts.metrics->merge(*s.metrics);

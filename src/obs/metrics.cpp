@@ -7,7 +7,7 @@ namespace radiocast::obs {
 int histogram::bucket_index(std::int64_t v) {
   if (v <= 1) return 0;
   // i with 2^{i-1} < v ≤ 2^i  ⇔  i = bit_width(v - 1).
-  return std::bit_width(static_cast<std::uint64_t>(v - 1));
+  return static_cast<int>(std::bit_width(static_cast<std::uint64_t>(v - 1)));
 }
 
 std::int64_t histogram::bucket_upper_bound(int i) {

@@ -127,6 +127,8 @@ run_result run_broadcast_with_r(const graph& g, const protocol& proto,
   // loop never pays a virtual call per node or per edge.
   fault::fault_model* const faults = opts.faults;
   std::vector<std::uint8_t> crashed;
+  // radiocast-lint: allow(unordered-iter) -- membership-only (insert/erase/
+  // count/size); nothing ever iterates it, so hash order cannot reach results
   std::unordered_set<std::uint64_t> down_edges;
   fault::step_faults step_faults_buf;
   std::vector<fault::delivery_candidate> pending;
@@ -404,8 +406,12 @@ trial_set run_trials(const graph& g, const protocol& proto,
     ropts.metrics = opts.metrics;
     ropts.profiler = opts.profiler;
     ropts.faults = opts.faults;  // re-seeded per trial by begin_run
+    // radiocast-lint: allow(wall-clock) -- wall_ms is reporting-only and
+    // explicitly excluded from the serial/parallel bit-identity contract
     const auto start = std::chrono::steady_clock::now();
     const run_result r = run_broadcast(g, proto, ropts);
+    // radiocast-lint: allow(wall-clock) -- wall_ms is reporting-only and
+    // explicitly excluded from the serial/parallel bit-identity contract
     const auto end = std::chrono::steady_clock::now();
 
     trial_record rec;

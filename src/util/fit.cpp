@@ -1,5 +1,6 @@
 #include "util/fit.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/assert.h"
@@ -13,13 +14,24 @@ namespace {
 std::vector<double> solve(std::vector<std::vector<double>> a,
                           std::vector<double> b) {
   const std::size_t k = b.size();
+  // Singularity threshold relative to the matrix magnitude: an absolute
+  // cutoff misclassifies both ways once features are rescaled — a
+  // well-conditioned system of tiny values (entries ~1e-14) trips it, and
+  // an ill-conditioned system of large values (rank-deficient up to
+  // rounding, entries ~1e16) sails past it and emits garbage coefficients.
+  double scale = 0.0;
+  for (const auto& row : a) {
+    for (double v : row) scale = std::max(scale, std::fabs(v));
+  }
+  const double tol = scale > 0.0 ? scale * 1e-12 : 1e-12;
   for (std::size_t col = 0; col < k; ++col) {
     std::size_t pivot = col;
     for (std::size_t row = col + 1; row < k; ++row) {
       if (std::fabs(a[row][col]) > std::fabs(a[pivot][col])) pivot = row;
     }
-    RC_CHECK_MSG(std::fabs(a[pivot][col]) > 1e-12,
-                 "singular normal equations in least-squares fit");
+    RC_CHECK_MSG(std::fabs(a[pivot][col]) > tol,
+                 "singular or ill-conditioned normal equations in "
+                 "least-squares fit");
     std::swap(a[col], a[pivot]);
     std::swap(b[col], b[pivot]);
     for (std::size_t row = col + 1; row < k; ++row) {

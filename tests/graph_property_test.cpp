@@ -109,7 +109,9 @@ void expect_simple_graph(const graph& g, const std::string& what) {
 
 void expect_connected_from_source(const graph& g, const std::string& what) {
   EXPECT_TRUE(all_reachable(g)) << what;
-  if (!g.is_directed()) EXPECT_TRUE(is_connected(g)) << what;
+  if (!g.is_directed()) {
+    EXPECT_TRUE(is_connected(g)) << what;
+  }
   // Library BFS against the oracle, every node.
   const std::vector<int> lib = bfs_distances(g, 0);
   const std::vector<int> oracle = oracle_distances(g, 0);
@@ -306,7 +308,9 @@ TEST(GraphPropertyTest, RandomLayered) {
             << what;
       }
       // p = 1 must coincide with the complete layered network.
-      if (p == 1.0) EXPECT_TRUE(is_complete_layered(g)) << what;
+      if (p == 1.0) {
+        EXPECT_TRUE(is_complete_layered(g)) << what;
+      }
     }
   }
 }

@@ -177,7 +177,7 @@ TEST_P(GeneratorSizes, CompleteInvariants) {
   const node_id n = GetParam();
   graph g = make_complete(n);
   EXPECT_EQ(g.edge_count(),
-            static_cast<std::size_t>(n) * (n - 1) / 2);
+            static_cast<std::size_t>(n) * static_cast<std::size_t>(n - 1) / 2);
   EXPECT_EQ(radius_from(g), 1);
 }
 

@@ -73,8 +73,8 @@ INSTANTIATE_TEST_SUITE_P(AllProtocols, EveryProtocolEveryTopology,
                          ::testing::Values("decay", "kp", "kp-doubling",
                                            "round-robin", "select-and-send",
                                            "complete-layered", "interleaved"),
-                         [](const auto& info) {
-                           std::string name = info.param;
+                         [](const auto& suite_info) {
+                           std::string name = suite_info.param;
                            for (char& c : name) {
                              if (c == '-') c = '_';
                            }

@@ -1,0 +1,401 @@
+// Tests for the determinism lint rule engine (tools/lint/).
+//
+// Each rule R1–R5 is exercised on inline fixture snippets: a seeded
+// violation must fire, the path-based scoping must exempt the designated
+// directories, every suppression form must suppress (and be justified),
+// and the radiocast.lint.v1 JSON report must round-trip through the
+// project's own JSON parser (src/obs/json.h).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+#include "obs/json.h"
+
+namespace radiocast {
+namespace {
+
+using lint::finding;
+using lint::lint_file;
+
+/// Unsuppressed findings for one rule.
+int fired(const std::vector<finding>& fs, const std::string& rule) {
+  return static_cast<int>(
+      std::count_if(fs.begin(), fs.end(), [&](const finding& f) {
+        return f.rule == rule && !f.suppressed;
+      }));
+}
+
+int suppressed(const std::vector<finding>& fs, const std::string& rule) {
+  return static_cast<int>(
+      std::count_if(fs.begin(), fs.end(), [&](const finding& f) {
+        return f.rule == rule && f.suppressed;
+      }));
+}
+
+// ---------- R1: no-raw-random ----------
+
+TEST(LintTest, R1FiresOnRawRandomness) {
+  EXPECT_EQ(fired(lint_file("src/core/foo.cpp", R"cpp(
+    int x = rand();
+  )cpp"),
+                  "no-raw-random"),
+            1);
+  EXPECT_EQ(fired(lint_file("src/core/foo.cpp", R"cpp(
+    std::mt19937 gen(42);
+  )cpp"),
+                  "no-raw-random"),
+            1);
+  EXPECT_EQ(fired(lint_file("tests/foo_test.cpp", R"cpp(
+    std::random_device rd;
+  )cpp"),
+                  "no-raw-random"),
+            1);
+  EXPECT_EQ(fired(lint_file("bench/bench_foo.cpp", R"cpp(
+    srand(7);
+  )cpp"),
+                  "no-raw-random"),
+            1);
+}
+
+TEST(LintTest, R1ExemptsTheRngImplementation) {
+  const char* snippet = R"cpp(
+    std::mt19937 reference(42);  // cross-checked against xoshiro
+  )cpp";
+  EXPECT_EQ(fired(lint_file("src/util/rng.cpp", snippet), "no-raw-random"),
+            0);
+  EXPECT_EQ(fired(lint_file("src/core/foo.cpp", snippet), "no-raw-random"),
+            1);
+}
+
+TEST(LintTest, R1IgnoresCommentsAndStrings) {
+  EXPECT_EQ(fired(lint_file("src/core/foo.cpp", R"cpp(
+    // std::mt19937 would be wrong here
+    const char* msg = "never call rand() directly";
+  )cpp"),
+                  "no-raw-random"),
+            0);
+}
+
+TEST(LintTest, R1IgnoresLongerIdentifiers) {
+  // `rand` must match as a whole token, not as a substring.
+  EXPECT_EQ(fired(lint_file("src/core/foo.cpp", R"cpp(
+    int randomized_rounds = operand + rand_like;
+  )cpp"),
+                  "no-raw-random"),
+            0);
+}
+
+// ---------- R2: wall-clock ----------
+
+TEST(LintTest, R2FiresOnWallClockOutsideTimingSites) {
+  EXPECT_EQ(fired(lint_file("src/core/foo.cpp", R"cpp(
+    auto t = std::chrono::steady_clock::now();
+  )cpp"),
+                  "wall-clock"),
+            1);
+  EXPECT_EQ(fired(lint_file("src/sim/foo.cpp", R"cpp(
+    auto seed = time(nullptr);
+  )cpp"),
+                  "wall-clock"),
+            1);
+  EXPECT_EQ(fired(lint_file("tools/foo.cpp", R"cpp(
+    auto t = std::chrono::system_clock::now();
+  )cpp"),
+                  "wall-clock"),
+            1);
+}
+
+TEST(LintTest, R2ExemptsDesignatedTimingSites) {
+  const char* snippet = R"cpp(
+    auto t = std::chrono::steady_clock::now();
+  )cpp";
+  EXPECT_EQ(fired(lint_file("bench/bench_common.h", snippet), "wall-clock"),
+            0);
+  EXPECT_EQ(fired(lint_file("src/exec/parallel_trials.cpp", snippet),
+                  "wall-clock"),
+            0);
+}
+
+TEST(LintTest, R2MatchesTimeOnlyAsACall) {
+  // `time(` is banned; `time_point`, `wall_time(...)` and members named
+  // time are not wall-clock reads.
+  EXPECT_EQ(fired(lint_file("src/core/foo.cpp", R"cpp(
+    std::chrono::steady_clock::time_point tp;
+  )cpp"),
+                  "wall-clock"),
+            1);  // steady_clock itself still fires, time_point does not
+  EXPECT_EQ(fired(lint_file("src/core/foo.cpp", R"cpp(
+    double w = wall_time(run);
+    duration time_budget = limit;
+  )cpp"),
+                  "wall-clock"),
+            0);
+  EXPECT_EQ(fired(lint_file("src/core/foo.cpp", R"cpp(
+    auto now = time (nullptr);
+  )cpp"),
+                  "wall-clock"),
+            1);
+}
+
+// ---------- R3: unordered-iter ----------
+
+TEST(LintTest, R3FiresOnUnorderedContainersInSrc) {
+  EXPECT_EQ(fired(lint_file("src/core/foo.cpp", R"cpp(
+    std::unordered_map<int, int> cache;
+  )cpp"),
+                  "unordered-iter"),
+            1);
+  EXPECT_EQ(fired(lint_file("src/fault/foo.cpp", R"cpp(
+    std::unordered_set<node_id> seen;
+  )cpp"),
+                  "unordered-iter"),
+            1);
+}
+
+TEST(LintTest, R3ScopedToLibraryCode) {
+  const char* snippet = R"cpp(
+    std::unordered_set<int> seen;
+  )cpp";
+  EXPECT_EQ(fired(lint_file("tests/foo_test.cpp", snippet),
+                  "unordered-iter"),
+            0);
+  EXPECT_EQ(fired(lint_file("tools/foo.cpp", snippet), "unordered-iter"), 0);
+}
+
+TEST(LintTest, R3IgnoresTheIncludeItself) {
+  EXPECT_EQ(fired(lint_file("src/core/foo.cpp", R"cpp(
+#include <unordered_set>
+  )cpp"),
+                  "unordered-iter"),
+            0);
+}
+
+// ---------- R4: check-msg ----------
+
+TEST(LintTest, R4FiresOnBareCheckInAdversaryAndExec) {
+  const char* snippet = R"cpp(
+    RC_CHECK(block.size() >= 2);
+  )cpp";
+  EXPECT_EQ(fired(lint_file("src/adversary/foo.cpp", snippet), "check-msg"),
+            1);
+  EXPECT_EQ(fired(lint_file("src/exec/foo.cpp", snippet), "check-msg"), 1);
+  // Other subsystems may use the short form.
+  EXPECT_EQ(fired(lint_file("src/core/foo.cpp", snippet), "check-msg"), 0);
+}
+
+TEST(LintTest, R4AcceptsCheckWithMessage) {
+  EXPECT_EQ(fired(lint_file("src/adversary/foo.cpp", R"cpp(
+    RC_CHECK_MSG(block.size() >= 2, "block invariant broken");
+    RC_CHECK (ok);
+  )cpp"),
+                  "check-msg"),
+            1);  // only the bare (space-separated) RC_CHECK fires
+}
+
+// ---------- R5: iostream ----------
+
+TEST(LintTest, R5FiresOnIostreamInSrc) {
+  EXPECT_EQ(fired(lint_file("src/core/foo.cpp", R"cpp(
+#include <iostream>
+  )cpp"),
+                  "iostream"),
+            1);
+  EXPECT_EQ(fired(lint_file("src/core/foo.cpp", R"cpp(
+  #  include   <iostream>
+  )cpp"),
+                  "iostream"),
+            1);
+}
+
+TEST(LintTest, R5ScopedToLibraryCode) {
+  const char* snippet = R"cpp(
+#include <iostream>
+  )cpp";
+  EXPECT_EQ(fired(lint_file("tools/foo.cpp", snippet), "iostream"), 0);
+  EXPECT_EQ(fired(lint_file("examples/foo.cpp", snippet), "iostream"), 0);
+  // Near-miss headers stay legal.
+  EXPECT_EQ(fired(lint_file("src/core/foo.cpp", R"cpp(
+#include <iosfwd>
+  )cpp"),
+                  "iostream"),
+            0);
+}
+
+// ---------- suppressions ----------
+
+TEST(LintTest, TrailingAllowSuppresses) {
+  const auto fs = lint_file("src/core/foo.cpp", R"cpp(
+    std::unordered_set<int> seen;  // radiocast-lint: allow(unordered-iter) -- membership only
+  )cpp");
+  EXPECT_EQ(fired(fs, "unordered-iter"), 0);
+  EXPECT_EQ(suppressed(fs, "unordered-iter"), 1);
+  ASSERT_FALSE(fs.empty());
+  EXPECT_EQ(fs[0].justification, "membership only");
+}
+
+TEST(LintTest, PrecedingLineAllowSuppresses) {
+  const auto fs = lint_file("src/core/foo.cpp", R"cpp(
+    // radiocast-lint: allow(unordered-iter) -- membership-only set; the
+    // continuation of this justification spans comment lines
+    std::unordered_set<int> seen;
+  )cpp");
+  EXPECT_EQ(fired(fs, "unordered-iter"), 0);
+  EXPECT_EQ(suppressed(fs, "unordered-iter"), 1);
+}
+
+TEST(LintTest, AllowWithoutJustificationIsAFinding) {
+  const auto fs = lint_file("src/core/foo.cpp", R"cpp(
+    std::unordered_set<int> seen;  // radiocast-lint: allow(unordered-iter)
+  )cpp");
+  // The bare allow() is rejected, so it also fails to suppress.
+  EXPECT_EQ(fired(fs, "lint-annotation"), 1);
+  EXPECT_EQ(fired(fs, "unordered-iter"), 1);
+}
+
+TEST(LintTest, AllowForUnknownRuleIsAFinding) {
+  const auto fs = lint_file("src/core/foo.cpp", R"cpp(
+    // radiocast-lint: allow(made-up-rule) -- because
+    std::unordered_set<int> seen;
+  )cpp");
+  EXPECT_EQ(fired(fs, "lint-annotation"), 1);
+  EXPECT_EQ(fired(fs, "unordered-iter"), 1);
+}
+
+TEST(LintTest, AllowForDifferentRuleDoesNotSuppress) {
+  const auto fs = lint_file("src/core/foo.cpp", R"cpp(
+    auto t = std::chrono::steady_clock::now();  // radiocast-lint: allow(unordered-iter) -- wrong rule
+  )cpp");
+  EXPECT_EQ(fired(fs, "wall-clock"), 1);
+  // ...and the mismatched suppression is flagged as unused.
+  EXPECT_EQ(fired(fs, "lint-annotation"), 1);
+}
+
+TEST(LintTest, UnusedAllowIsAFinding) {
+  const auto fs = lint_file("src/core/foo.cpp", R"cpp(
+    // radiocast-lint: allow(wall-clock) -- stale justification
+    int x = 1;
+  )cpp");
+  EXPECT_EQ(fired(fs, "lint-annotation"), 1);
+}
+
+TEST(LintTest, ProseMentioningTheMarkerIsNotAnAnnotation) {
+  const auto fs = lint_file("src/core/foo.cpp", R"cpp(
+    // See the radiocast-lint docs for the allow() syntax.
+    int x = 1;
+  )cpp");
+  EXPECT_TRUE(fs.empty());
+}
+
+// ---------- lexer corner cases ----------
+
+TEST(LintTest, RawStringContentsAreInvisible) {
+  EXPECT_EQ(fired(lint_file("src/core/foo.cpp",
+                            "const char* f = R\"fix(\n"
+                            "  std::mt19937 gen; rand();\n"
+                            ")fix\";\n"),
+                  "no-raw-random"),
+            0);
+}
+
+TEST(LintTest, BlockCommentsSpanningLinesAreStripped) {
+  EXPECT_EQ(fired(lint_file("src/core/foo.cpp", R"cpp(
+    /* a block comment mentioning
+       std::mt19937 and rand() across lines */
+    int x = 1;
+  )cpp"),
+                  "no-raw-random"),
+            0);
+}
+
+TEST(LintTest, DigitSeparatorsDoNotConfuseTheLexer) {
+  EXPECT_EQ(fired(lint_file("src/core/foo.cpp", R"cpp(
+    const std::int64_t big = 1'000'000;
+    std::mt19937 gen;
+  )cpp"),
+                  "no-raw-random"),
+            1);  // the separator line parses; the violation still fires
+}
+
+TEST(LintTest, FindingCarriesLineAndSnippet) {
+  const auto fs = lint_file("src/core/foo.cpp",
+                            "int a;\nint b = rand();\nint c;\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "no-raw-random");
+  EXPECT_EQ(fs[0].line, 2);
+  EXPECT_EQ(fs[0].snippet, "int b = rand();");
+  EXPECT_EQ(fs[0].path, "src/core/foo.cpp");
+}
+
+// ---------- every rule is documented ----------
+
+TEST(LintTest, RuleTableCoversR1ToR5) {
+  std::vector<std::string> ids;
+  for (const lint::rule_info& r : lint::rules()) ids.push_back(r.id);
+  const std::vector<std::string> expected = {
+      "no-raw-random", "wall-clock", "unordered-iter", "check-msg",
+      "iostream"};
+  EXPECT_EQ(ids, expected);
+  for (const std::string& id : expected) {
+    EXPECT_TRUE(lint::is_known_rule(id)) << id;
+  }
+  EXPECT_FALSE(lint::is_known_rule("made-up"));
+}
+
+// ---------- JSON report ----------
+
+TEST(LintTest, ReportRoundTripsThroughTheProjectJsonParser) {
+  lint::report rep;
+  rep.files_scanned = 3;
+  auto add = [&](const std::string& path, const std::string& text) {
+    auto fs = lint_file(path, text);
+    rep.findings.insert(rep.findings.end(), fs.begin(), fs.end());
+  };
+  add("src/core/foo.cpp", R"cpp(
+    int seed = rand();
+  )cpp");
+  add("src/core/bar.cpp", R"cpp(
+    std::unordered_set<int> seen;  // radiocast-lint: allow(unordered-iter) -- membership only
+  )cpp");
+  ASSERT_EQ(rep.unsuppressed_count(), 1);
+  ASSERT_EQ(rep.suppressed_count(), 1);
+
+  const std::string dumped = lint::report_to_json(rep).dump(2);
+  std::string error;
+  std::optional<obs::json_value> doc = obs::json_parse(dumped, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+
+  EXPECT_EQ(doc->find("schema")->as_string(), "radiocast.lint.v1");
+  EXPECT_EQ(doc->find("tool")->as_string(), "radiocast_lint");
+  EXPECT_EQ(doc->find("files_scanned")->as_int(), 3);
+  ASSERT_EQ(doc->find("findings")->items().size(), 1u);
+  ASSERT_EQ(doc->find("suppressed")->items().size(), 1u);
+  EXPECT_EQ(doc->find("rules")->items().size(), lint::rules().size());
+
+  const obs::json_value& f = doc->find("findings")->items()[0];
+  EXPECT_EQ(f.find("rule")->as_string(), "no-raw-random");
+  EXPECT_EQ(f.find("path")->as_string(), "src/core/foo.cpp");
+  EXPECT_EQ(f.find("line")->as_int(), 2);
+  EXPECT_EQ(f.find("snippet")->as_string(), "int seed = rand();");
+
+  const obs::json_value& s = doc->find("suppressed")->items()[0];
+  EXPECT_EQ(s.find("justification")->as_string(), "membership only");
+
+  EXPECT_EQ(doc->find_path("summary.findings")->as_int(), 1);
+  EXPECT_EQ(doc->find_path("summary.suppressed")->as_int(), 1);
+  EXPECT_FALSE(doc->find_path("summary.clean")->as_bool());
+}
+
+TEST(LintTest, CleanReportIsClean) {
+  lint::report rep;
+  rep.files_scanned = 1;
+  const std::string dumped = lint::report_to_json(rep).dump();
+  std::optional<obs::json_value> doc = obs::json_parse(dumped);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_TRUE(doc->find_path("summary.clean")->as_bool());
+}
+
+}  // namespace
+}  // namespace radiocast

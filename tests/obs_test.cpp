@@ -51,7 +51,9 @@ TEST(MetricsTest, ReferencesStayStableAcrossInsertions) {
   obs::metrics_registry reg;
   obs::counter& first = reg.get_counter("a");
   for (int i = 0; i < 100; ++i) {
-    reg.get_counter("c" + std::to_string(i)).add();
+    std::string name = "c";
+    name += std::to_string(i);
+    reg.get_counter(name).add();
   }
   first.add(9);
   EXPECT_EQ(reg.get_counter("a").value(), 9);

@@ -37,6 +37,51 @@ TEST(AssertTest, MessageContainsContext) {
   }
 }
 
+TEST(AssertTest, CheckEvaluatesExpressionExactlyOnce) {
+  // The macros must expand their argument a single time — an expression
+  // with side effects (e.g. an rng draw inside a check) would otherwise
+  // perturb downstream state and break replay determinism.
+  int evals = 0;
+  RC_CHECK(++evals == 1);
+  EXPECT_EQ(evals, 1);
+
+  evals = 0;
+  RC_CHECK_MSG(++evals == 1, "once");
+  EXPECT_EQ(evals, 1);
+
+  evals = 0;
+  RC_REQUIRE(++evals == 1);
+  EXPECT_EQ(evals, 1);
+
+  evals = 0;
+  RC_REQUIRE_MSG(++evals == 1, "once");
+  EXPECT_EQ(evals, 1);
+}
+
+TEST(AssertTest, CheckEvaluatesExpressionOnceOnFailureToo) {
+  int evals = 0;
+  EXPECT_THROW(RC_CHECK(++evals == 0), invariant_error);
+  EXPECT_EQ(evals, 1);
+
+  evals = 0;
+  EXPECT_THROW(RC_REQUIRE_MSG(++evals == 0, "boom"), precondition_error);
+  EXPECT_EQ(evals, 1);
+}
+
+TEST(AssertTest, MessageBuiltOnlyOnFailure) {
+  // The message argument is lazily evaluated: building it may allocate or
+  // format, which the hot path must never pay for a passing check.
+  int msg_evals = 0;
+  auto message = [&msg_evals] {
+    ++msg_evals;
+    return std::string("expensive context");
+  };
+  RC_CHECK_MSG(true, message());
+  EXPECT_EQ(msg_evals, 0);
+  EXPECT_THROW(RC_CHECK_MSG(false, message()), invariant_error);
+  EXPECT_EQ(msg_evals, 1);
+}
+
 // ---------- math ----------
 
 TEST(MathTest, IsPow2) {
@@ -287,6 +332,52 @@ TEST(FitTest, RejectsMismatchedInputs) {
   EXPECT_THROW(fit_scaled({1, 2}, {1}, [](double x) { return x; }),
                precondition_error);
   EXPECT_THROW(fit_features({}, {}), precondition_error);
+}
+
+TEST(FitTest, TinyMagnitudeWellConditionedFitSucceeds) {
+  // Regression for the pivot tolerance: with an absolute 1e-12 cutoff a
+  // perfectly well-conditioned system whose features are ~1e-14 (normal
+  // equation entries ~1e-27) was rejected as "singular". The tolerance is
+  // now relative to the matrix magnitude.
+  std::vector<double> xs, ys;
+  for (double x = 1; x <= 8; x += 1) {
+    xs.push_back(x);
+    ys.push_back(3.0 * (1e-14 * x) + 2.0 * 1e-14);
+  }
+  const fit_result f = fit_linear(
+      xs, ys,
+      {[](double x) { return 1e-14 * x; }, [](double) { return 1e-14; }});
+  ASSERT_EQ(f.coefficients.size(), 2u);
+  EXPECT_NEAR(f.coefficients[0], 3.0, 1e-6);
+  EXPECT_NEAR(f.coefficients[1], 2.0, 1e-6);
+  EXPECT_NEAR(f.r_squared, 1.0, 1e-9);
+}
+
+TEST(FitTest, IllConditionedLargeMagnitudeFitThrows) {
+  // The other direction: two nearly linearly dependent basis functions at
+  // magnitude ~1e8 leave an eliminated pivot around 1e-9 — far above an
+  // absolute 1e-12 cutoff (which silently returned garbage coefficients),
+  // far below the magnitude-relative one (entries ~1e18 ⇒ tol ~1e6).
+  std::vector<double> xs, ys;
+  for (double x = 1; x <= 8; x += 1) {
+    xs.push_back(x);
+    ys.push_back(1e8 * x);
+  }
+  EXPECT_THROW(
+      fit_linear(xs, ys,
+                 {[](double x) { return 1e8 * x; },
+                  [](double x) { return 1e8 * x + 1e-5 * x * x; }}),
+      invariant_error);
+}
+
+TEST(FitTest, ExactlySingularStillThrows) {
+  // Duplicate basis columns stay detected after the tolerance rework.
+  std::vector<double> xs{1, 2, 3, 4};
+  std::vector<double> ys{1, 2, 3, 4};
+  EXPECT_THROW(fit_linear(xs, ys,
+                          {[](double x) { return x; },
+                           [](double x) { return x; }}),
+               invariant_error);
 }
 
 // ---------- table ----------

@@ -1,0 +1,498 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <map>
+#include <utility>
+
+namespace radiocast::lint {
+
+namespace {
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+std::string trim(const std::string& s) {
+  const std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  const std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Lexical scrub: split into lines, blank out string/char literal contents,
+// and separate comment text (where suppression annotations live) from code.
+// ---------------------------------------------------------------------------
+
+struct scrubbed {
+  std::vector<std::string> code;     ///< literals blanked, comments removed
+  std::vector<std::string> comment;  ///< comment text only
+};
+
+/// True when `code` ends in a raw-string prefix (R, uR, UR, LR, u8R) that
+/// is not the tail of a longer identifier.
+bool ends_with_raw_prefix(const std::string& code) {
+  const std::size_t n = code.size();
+  if (n == 0 || code[n - 1] != 'R') return false;
+  std::size_t start = n - 1;  // first char of the candidate prefix
+  if (start >= 1 && (code[start - 1] == 'u' || code[start - 1] == 'U' ||
+                     code[start - 1] == 'L')) {
+    --start;
+    if (start >= 1 && code[start] == 'u' && code[start - 1] == 'u') {
+      // not a prefix; "uu" cannot start one
+    } else if (start >= 1 && code[start - 1] == '8' && start >= 2 &&
+               code[start - 2] == 'u') {
+      start -= 2;  // u8R
+    }
+  }
+  return start == 0 || !is_ident_char(code[start - 1]);
+}
+
+scrubbed scrub(const std::string& text) {
+  scrubbed out;
+  out.code.emplace_back();
+  out.comment.emplace_back();
+  enum class state { code, line_comment, block_comment, string, chr, raw };
+  state st = state::code;
+  std::string raw_end;  // ")delim\"" closing the active raw string
+  const std::size_t n = text.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      if (st == state::line_comment) st = state::code;
+      // Unterminated ordinary literal: recover at end of line so one bad
+      // line cannot swallow the rest of the file.
+      if (st == state::string || st == state::chr) st = state::code;
+      out.code.emplace_back();
+      out.comment.emplace_back();
+      continue;
+    }
+    std::string& code = out.code.back();
+    std::string& comment = out.comment.back();
+    switch (st) {
+      case state::code:
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+          st = state::line_comment;
+          ++i;
+        } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+          st = state::block_comment;
+          ++i;
+        } else if (c == '"' && ends_with_raw_prefix(code)) {
+          raw_end.clear();
+          raw_end.push_back(')');
+          std::size_t j = i + 1;
+          while (j < n && text[j] != '(' && text[j] != '\n') {
+            raw_end.push_back(text[j]);
+            ++j;
+          }
+          raw_end.push_back('"');
+          i = j;  // at '(' (or recover at newline-1)
+          if (j < n && text[j] == '\n') --i;
+          st = state::raw;
+          code.push_back('"');
+        } else if (c == '"') {
+          st = state::string;
+          code.push_back('"');
+        } else if (c == '\'' && !code.empty() && is_digit(code.back())) {
+          code.push_back(c);  // digit separator, e.g. 1'000'000
+        } else if (c == '\'') {
+          st = state::chr;
+          code.push_back('\'');
+        } else {
+          code.push_back(c);
+        }
+        break;
+      case state::line_comment:
+        comment.push_back(c);
+        break;
+      case state::block_comment:
+        if (c == '*' && i + 1 < n && text[i + 1] == '/') {
+          st = state::code;
+          ++i;
+        } else {
+          comment.push_back(c);
+        }
+        break;
+      case state::string:
+        if (c == '\\' && i + 1 < n && text[i + 1] != '\n') {
+          ++i;
+        } else if (c == '"') {
+          st = state::code;
+          code.push_back('"');
+        }
+        break;
+      case state::chr:
+        if (c == '\\' && i + 1 < n && text[i + 1] != '\n') {
+          ++i;
+        } else if (c == '\'') {
+          st = state::code;
+          code.push_back('\'');
+        }
+        break;
+      case state::raw:
+        if (text.compare(i, raw_end.size(), raw_end) == 0) {
+          i += raw_end.size() - 1;
+          st = state::code;
+          code.push_back('"');
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Suppression annotations
+// ---------------------------------------------------------------------------
+
+constexpr char kMarker[] = "radiocast-lint";
+
+struct allow_entry {
+  std::string rule;
+  std::string justification;
+  int annotation_line;  // 1-based, where the annotation itself sits
+  bool used = false;
+};
+
+// ---------------------------------------------------------------------------
+// Rule tables
+// ---------------------------------------------------------------------------
+
+constexpr std::array<const char*, 16> kRandomTokens = {
+    "rand",          "srand",         "drand48",
+    "lrand48",       "random_device", "mt19937",
+    "mt19937_64",    "minstd_rand",   "minstd_rand0",
+    "ranlux24_base", "ranlux48_base", "ranlux24",
+    "ranlux48",      "knuth_b",       "default_random_engine",
+    "random_shuffle"};
+
+constexpr std::array<const char*, 9> kClockTokens = {
+    "system_clock", "steady_clock", "high_resolution_clock",
+    "utc_clock",    "file_clock",   "gettimeofday",
+    "clock_gettime", "timespec_get", "ftime"};
+
+// Banned only as calls: `time(...)`/`clock(...)`, not `time_point` etc.
+constexpr std::array<const char*, 2> kClockCallTokens = {"time", "clock"};
+
+constexpr std::array<const char*, 4> kUnorderedTokens = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+template <std::size_t N>
+bool in_table(const std::array<const char*, N>& table,
+              const std::string& tok) {
+  return std::find(table.begin(), table.end(), tok) != table.end();
+}
+
+/// Which rules apply to a file, decided by its repo-relative path.
+struct rule_scope {
+  bool no_raw_random = false;
+  bool wall_clock = false;
+  bool unordered_iter = false;
+  bool check_msg = false;
+  bool iostream = false;
+};
+
+rule_scope scope_for(const std::string& path) {
+  rule_scope s;
+  const bool in_src = starts_with(path, "src/");
+  // R1: everywhere; util/rng.{h,cpp} is the one sanctioned implementation.
+  s.no_raw_random =
+      path != "src/util/rng.cpp" && path != "src/util/rng.h";
+  // R2: bench/ harness timing and src/exec/ wall-clock accounting are the
+  // designated timing sites; anywhere else needs an annotation.
+  s.wall_clock =
+      !starts_with(path, "bench/") && !starts_with(path, "src/exec/");
+  // R3 + R5: library code only.
+  s.unordered_iter = in_src;
+  s.iostream = in_src;
+  // R4: the subsystems whose invariants encode paper-level claims.
+  s.check_msg =
+      starts_with(path, "src/adversary/") || starts_with(path, "src/exec/");
+  return s;
+}
+
+bool next_nonspace_is_paren(const std::string& code, std::size_t from) {
+  for (std::size_t i = from; i < code.size(); ++i) {
+    if (code[i] == ' ' || code[i] == '\t') continue;
+    return code[i] == '(';
+  }
+  return false;
+}
+
+}  // namespace
+
+const std::vector<rule_info>& rules() {
+  static const std::vector<rule_info> kRules = {
+      {"no-raw-random",
+       "all randomness flows through util/rng.h; std::rand, "
+       "std::random_device, and direct std::mt19937 are banned"},
+      {"wall-clock",
+       "no wall-clock APIs outside the designated timing sites in bench/ "
+       "and src/exec/"},
+      {"unordered-iter",
+       "no std::unordered_map/set use in src/ without an annotated "
+       "justification; iteration order can leak into results"},
+      {"check-msg",
+       "RC_CHECK in src/adversary/ and src/exec/ must carry a message "
+       "(use RC_CHECK_MSG)"},
+      {"iostream", "no <iostream> in src/ library code"},
+  };
+  return kRules;
+}
+
+bool is_known_rule(const std::string& id) {
+  for (const rule_info& r : rules()) {
+    if (id == r.id) return true;
+  }
+  return false;
+}
+
+std::vector<finding> lint_file(const std::string& path,
+                               const std::string& text) {
+  const scrubbed src = scrub(text);
+  const auto line_count = static_cast<int>(src.code.size());
+  std::vector<finding> out;
+
+  auto raw_line = [&](int line) {  // 1-based; original text for snippets
+    std::size_t begin = 0;
+    for (int l = 1; l < line; ++l) {
+      const std::size_t nl = text.find('\n', begin);
+      if (nl == std::string::npos) return std::string();
+      begin = nl + 1;
+    }
+    const std::size_t end = text.find('\n', begin);
+    return trim(text.substr(
+        begin, end == std::string::npos ? std::string::npos : end - begin));
+  };
+
+  // Pass 1: collect suppression annotations (and lint the annotations
+  // themselves — they are part of the contract, not free-form comments).
+  std::map<int, std::vector<allow_entry>> allows;  // target line → entries
+  for (int ln = 1; ln <= line_count; ++ln) {
+    // An annotation must open its comment (`// radiocast-lint: ...`);
+    // prose that merely mentions the marker mid-comment is not one.
+    const std::string comment =
+        trim(src.comment[static_cast<std::size_t>(ln - 1)]);
+    if (!starts_with(comment, kMarker)) continue;
+    auto bad = [&](const std::string& why) {
+      out.push_back({"lint-annotation", path, ln, why, raw_line(ln), false,
+                     ""});
+    };
+    std::string rest = trim(comment.substr(sizeof(kMarker) - 1));
+    if (!rest.empty() && rest.front() == ':') rest = trim(rest.substr(1));
+    if (!starts_with(rest, "allow(")) {
+      bad("malformed annotation; expected "
+          "`radiocast-lint: allow(<rule>) -- <justification>`");
+      continue;
+    }
+    const std::size_t close = rest.find(')');
+    if (close == std::string::npos) {
+      bad("malformed annotation; unterminated allow(");
+      continue;
+    }
+    std::vector<std::string> ids;
+    std::string id_list = rest.substr(6, close - 6);
+    std::size_t pos = 0;
+    while (pos <= id_list.size()) {
+      const std::size_t comma = id_list.find(',', pos);
+      ids.push_back(trim(id_list.substr(
+          pos, comma == std::string::npos ? std::string::npos : comma - pos)));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    std::string tail = trim(rest.substr(close + 1));
+    std::string justification;
+    if (starts_with(tail, "--")) justification = trim(tail.substr(2));
+    if (justification.empty()) {
+      bad("suppression needs a justification: "
+          "`allow(<rule>) -- <why this cannot affect results>`");
+      continue;
+    }
+    bool ok = true;
+    for (const std::string& id : ids) {
+      if (!is_known_rule(id)) {
+        bad("unknown rule '" + id + "' in allow()");
+        ok = false;
+      }
+    }
+    if (!ok) continue;
+    // A trailing annotation covers its own line; an annotation in a pure
+    // comment covers the next line that has code (the justification may
+    // continue over several comment lines).
+    const bool pure_comment =
+        trim(src.code[static_cast<std::size_t>(ln - 1)]).empty();
+    int target = ln;
+    if (pure_comment) {
+      target = ln + 1;
+      while (target <= line_count &&
+             trim(src.code[static_cast<std::size_t>(target - 1)]).empty()) {
+        ++target;
+      }
+    }
+    for (const std::string& id : ids) {
+      allows[target].push_back({id, justification, ln, false});
+    }
+  }
+
+  auto emit = [&](const std::string& rule, int ln, std::string message) {
+    finding f{rule, path, ln, std::move(message), raw_line(ln), false, ""};
+    auto it = allows.find(ln);
+    if (it != allows.end()) {
+      for (allow_entry& a : it->second) {
+        if (a.rule == rule) {
+          a.used = true;
+          f.suppressed = true;
+          f.justification = a.justification;
+          break;
+        }
+      }
+    }
+    out.push_back(std::move(f));
+  };
+
+  // Pass 2: the rules.
+  const rule_scope scope = scope_for(path);
+  for (int ln = 1; ln <= line_count; ++ln) {
+    const std::string& code = src.code[static_cast<std::size_t>(ln - 1)];
+    const std::string stripped = trim(code);
+    if (stripped.empty()) continue;
+    if (stripped.front() == '#') {
+      // Preprocessor line: only the include-hygiene rule applies.
+      if (scope.iostream) {
+        std::string squeezed;
+        for (char c : stripped) {
+          if (c != ' ' && c != '\t') squeezed.push_back(c);
+        }
+        if (starts_with(squeezed, "#include<iostream>")) {
+          emit("iostream", ln,
+               "#include <iostream> in library code — src/ must not own "
+               "streams; report through return values or obs/");
+        }
+      }
+      continue;
+    }
+    // Identifier token walk.
+    std::size_t i = 0;
+    while (i < code.size()) {
+      if (!is_ident_char(code[i]) || is_digit(code[i])) {
+        ++i;
+        continue;
+      }
+      const std::size_t start = i;
+      while (i < code.size() && is_ident_char(code[i])) ++i;
+      const std::string tok = code.substr(start, i - start);
+      if (scope.no_raw_random && in_table(kRandomTokens, tok)) {
+        emit("no-raw-random", ln,
+             "direct use of '" + tok +
+                 "' — all randomness must flow through util/rng.h so runs "
+                 "replay bit-identically");
+      }
+      if (scope.wall_clock &&
+          (in_table(kClockTokens, tok) ||
+           (in_table(kClockCallTokens, tok) &&
+            next_nonspace_is_paren(code, i)))) {
+        emit("wall-clock", ln,
+             "wall-clock API '" + tok +
+                 "' outside bench/ and src/exec/ — wall time must never "
+                 "reach results");
+      }
+      if (scope.unordered_iter && in_table(kUnorderedTokens, tok)) {
+        emit("unordered-iter", ln,
+             "'std::" + tok +
+                 "' in src/ — iteration order can leak into results; use a "
+                 "sorted std::vector, or annotate why membership-only use "
+                 "is safe");
+      }
+      if (scope.check_msg && tok == "RC_CHECK" &&
+          next_nonspace_is_paren(code, i)) {
+        emit("check-msg", ln,
+             "RC_CHECK without a message — use RC_CHECK_MSG so an "
+             "adversary/exec invariant failure is actionable");
+      }
+    }
+  }
+
+  // Pass 3: stale suppressions are findings too — an allow() that matches
+  // nothing no longer documents anything and must be deleted.
+  for (const auto& [target, entries] : allows) {
+    (void)target;
+    for (const allow_entry& a : entries) {
+      if (!a.used) {
+        out.push_back({"lint-annotation", path, a.annotation_line,
+                       "unused suppression: no '" + a.rule +
+                           "' finding on the annotated line",
+                       raw_line(a.annotation_line), false, ""});
+      }
+    }
+  }
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const finding& a, const finding& b) {
+                     return a.line < b.line;
+                   });
+  return out;
+}
+
+int report::unsuppressed_count() const {
+  return static_cast<int>(
+      std::count_if(findings.begin(), findings.end(),
+                    [](const finding& f) { return !f.suppressed; }));
+}
+
+int report::suppressed_count() const {
+  return static_cast<int>(findings.size()) - unsuppressed_count();
+}
+
+obs::json_value report_to_json(const report& rep) {
+  using obs::json_value;
+  json_value doc = json_value::object();
+  doc.set("schema", kSchema);
+  doc.set("tool", "radiocast_lint");
+  doc.set("files_scanned", rep.files_scanned);
+
+  json_value rule_table = json_value::array();
+  for (const rule_info& r : rules()) {
+    json_value entry = json_value::object();
+    entry.set("id", r.id);
+    entry.set("summary", r.summary);
+    rule_table.push_back(std::move(entry));
+  }
+  doc.set("rules", std::move(rule_table));
+
+  json_value open = json_value::array();
+  json_value suppressed = json_value::array();
+  for (const finding& f : rep.findings) {
+    json_value entry = json_value::object();
+    entry.set("rule", f.rule);
+    entry.set("path", f.path);
+    entry.set("line", f.line);
+    entry.set("message", f.message);
+    entry.set("snippet", f.snippet);
+    if (f.suppressed) {
+      entry.set("justification", f.justification);
+      suppressed.push_back(std::move(entry));
+    } else {
+      open.push_back(std::move(entry));
+    }
+  }
+  doc.set("findings", std::move(open));
+  doc.set("suppressed", std::move(suppressed));
+
+  json_value summary = json_value::object();
+  summary.set("findings", rep.unsuppressed_count());
+  summary.set("suppressed", rep.suppressed_count());
+  summary.set("clean", rep.unsuppressed_count() == 0);
+  doc.set("summary", std::move(summary));
+  return doc;
+}
+
+}  // namespace radiocast::lint

@@ -1,0 +1,82 @@
+// radiocast_lint — project-specific determinism lint (rule engine).
+//
+// The simulator's load-bearing guarantee is bit-identical results across
+// serial and parallel trial execution and across fault replays. That
+// guarantee is easy to break silently: one wall-clock seed, one direct
+// std::mt19937, or one result-affecting iteration over an unordered
+// container is enough. This engine enforces the project rules statically
+// (docs/STATIC_ANALYSIS.md):
+//
+//   R1 no-raw-random   all randomness flows through util/rng.h
+//   R2 wall-clock      no wall-clock APIs outside bench/ and src/exec/
+//   R3 unordered-iter  no std::unordered_{map,set} use in src/ without an
+//                      annotated justification
+//   R4 check-msg       RC_CHECK in src/adversary/ and src/exec/ must carry
+//                      a message (RC_CHECK_MSG)
+//   R5 iostream        no <iostream> in src/ library code
+//
+// Findings are suppressed per line with
+//   // radiocast-lint: allow(<rule>) -- <justification>
+// either trailing the offending line or on the line directly above it.
+// The justification is mandatory; a bare allow() is itself a finding.
+//
+// The engine is deliberately dependency-free and text-based (a lexer that
+// strips comments, string/char literals, and raw strings, then matches
+// identifier tokens) so it builds in seconds and runs before any compile
+// stage in scripts/ci.sh. It is a tripwire, not a type checker: rules are
+// scoped by path prefix, and tests feed it synthetic paths plus inline
+// snippets (tests/lint_test.cpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace radiocast::lint {
+
+/// Schema tag of the JSON report; radiocast_inspect validates it.
+inline constexpr char kSchema[] = "radiocast.lint.v1";
+
+/// One rule, for the report's rule table and the CLI's --rules listing.
+struct rule_info {
+  const char* id;       ///< annotation name, e.g. "unordered-iter"
+  const char* summary;  ///< one-line description
+};
+
+/// The five project rules R1–R5, in order.
+const std::vector<rule_info>& rules();
+
+/// True iff `id` names a known rule.
+bool is_known_rule(const std::string& id);
+
+/// One diagnostic. `suppressed` findings carry the annotation's
+/// justification and do not affect the exit status.
+struct finding {
+  std::string rule;
+  std::string path;
+  int line = 0;
+  std::string message;
+  std::string snippet;        ///< offending source line, whitespace-trimmed
+  bool suppressed = false;
+  std::string justification;  ///< annotation text after "--"
+};
+
+/// Lints one file. `path` must be repo-relative with forward slashes
+/// ("src/core/decay.cpp"); the path prefix decides which rules apply.
+std::vector<finding> lint_file(const std::string& path,
+                               const std::string& text);
+
+/// Aggregated result over a scan.
+struct report {
+  std::vector<finding> findings;
+  int files_scanned = 0;
+
+  int unsuppressed_count() const;
+  int suppressed_count() const;
+};
+
+/// Serializes `rep` as a radiocast.lint.v1 document.
+obs::json_value report_to_json(const report& rep);
+
+}  // namespace radiocast::lint

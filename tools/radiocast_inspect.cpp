@@ -1,9 +1,11 @@
-// radiocast_inspect — reads the BENCH_<name>.json telemetry artifacts the
-// bench harnesses emit (schema "radiocast.bench.v1"; see
-// docs/OBSERVABILITY.md).
+// radiocast_inspect — reads the JSON artifacts this repository's tooling
+// emits: BENCH_<name>.json bench telemetry (schema "radiocast.bench.v1";
+// see docs/OBSERVABILITY.md) and radiocast_lint reports (schema
+// "radiocast.lint.v1"; see docs/STATIC_ANALYSIS.md).
 //
 //   radiocast_inspect print    FILE        human-readable summary
 //   radiocast_inspect validate FILE...     schema check; exit 1 on failure
+//                                          (dispatches on the "schema" key)
 //   radiocast_inspect diff     OLD NEW     per-case comparison of two runs
 //
 // `validate` is what scripts/reproduce.sh's smoke target runs against every
@@ -149,11 +151,79 @@ struct validator {
     }
   }
 
+  /// radiocast.lint.v1: the report radiocast_lint --json writes.
+  void check_lint_finding(const json_value& f, const std::string& where,
+                          bool suppressed) {
+    require(f, where, "rule", json_value::kind::string);
+    require(f, where, "path", json_value::kind::string);
+    require(f, where, "line", json_value::kind::integer);
+    require(f, where, "message", json_value::kind::string);
+    require(f, where, "snippet", json_value::kind::string);
+    if (suppressed) {
+      require(f, where, "justification", json_value::kind::string);
+    }
+  }
+
+  bool run_lint(const json_value& doc) {
+    require(doc, "root", "tool", json_value::kind::string);
+    require(doc, "root", "files_scanned", json_value::kind::integer);
+    require(doc, "root", "rules", json_value::kind::array);
+    require(doc, "root", "findings", json_value::kind::array);
+    require(doc, "root", "suppressed", json_value::kind::array);
+    require(doc, "root", "summary", json_value::kind::object);
+    const json_value* rule_table = doc.find("rules");
+    if (rule_table != nullptr && rule_table->is_array()) {
+      if (rule_table->items().empty()) fail("rules array is empty");
+      for (std::size_t i = 0; i < rule_table->items().size(); ++i) {
+        const std::string where = "rules[" + std::to_string(i) + "]";
+        require(rule_table->items()[i], where, "id",
+                json_value::kind::string);
+        require(rule_table->items()[i], where, "summary",
+                json_value::kind::string);
+      }
+    }
+    for (const char* key : {"findings", "suppressed"}) {
+      const json_value* arr = doc.find(key);
+      if (arr == nullptr || !arr->is_array()) continue;
+      for (std::size_t i = 0; i < arr->items().size(); ++i) {
+        check_lint_finding(
+            arr->items()[i],
+            std::string(key) + "[" + std::to_string(i) + "]",
+            std::string(key) == "suppressed");
+      }
+    }
+    const json_value* summary = doc.find("summary");
+    if (summary != nullptr && summary->is_object()) {
+      require(*summary, "summary", "findings", json_value::kind::integer);
+      require(*summary, "summary", "suppressed", json_value::kind::integer);
+      require(*summary, "summary", "clean", json_value::kind::boolean);
+      // The counts must agree with the arrays they summarize.
+      const json_value* open = doc.find("findings");
+      const json_value* supp = doc.find("suppressed");
+      const json_value* n_open = summary->find("findings");
+      const json_value* n_supp = summary->find("suppressed");
+      if (open != nullptr && open->is_array() && n_open != nullptr &&
+          n_open->as_int() !=
+              static_cast<std::int64_t>(open->items().size())) {
+        fail("summary.findings disagrees with the findings array");
+      }
+      if (supp != nullptr && supp->is_array() && n_supp != nullptr &&
+          n_supp->as_int() !=
+              static_cast<std::int64_t>(supp->items().size())) {
+        fail("summary.suppressed disagrees with the suppressed array");
+      }
+    }
+    return failures == 0;
+  }
+
   bool run(const json_value& doc) {
     const json_value* schema = doc.find("schema");
     if (schema == nullptr || !schema->is_string()) {
       fail("missing required key \"schema\"");
-    } else if (schema->as_string() != "radiocast.bench.v1") {
+      return false;
+    }
+    if (schema->as_string() == "radiocast.lint.v1") return run_lint(doc);
+    if (schema->as_string() != "radiocast.bench.v1") {
       fail("unknown schema \"" + schema->as_string() + "\"");
     }
     require(doc, "root", "bench", json_value::kind::string);
@@ -185,8 +255,16 @@ int cmd_validate(const std::vector<std::string>& files) {
     }
     validator v{file};
     if (v.run(doc)) {
-      std::cout << file << ": OK ("
-                << doc.find("cases")->items().size() << " cases)\n";
+      const json_value* cases = doc.find("cases");
+      if (cases != nullptr) {
+        std::cout << file << ": OK (" << cases->items().size()
+                  << " cases)\n";
+      } else {
+        const json_value* findings = doc.find("findings");
+        std::cout << file << ": OK ("
+                  << (findings != nullptr ? findings->items().size() : 0)
+                  << " findings)\n";
+      }
     } else {
       std::cerr << file << ": FAILED (" << v.failures << " problems)\n";
       ++bad;

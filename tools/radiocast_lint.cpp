@@ -1,0 +1,145 @@
+// radiocast_lint — determinism lint CLI (rule engine in tools/lint/).
+//
+//   radiocast_lint [--root DIR] [--json FILE] [--rules] [PATH...]
+//
+// Scans PATH... (default: src bench tests tools examples, relative to
+// --root, default ".") for .h/.cpp files, applies the project rules R1–R5
+// (docs/STATIC_ANALYSIS.md), prints diagnostics, and optionally writes a
+// radiocast.lint.v1 JSON report that `radiocast_inspect validate` checks.
+//
+// Exit status: 0 clean, 1 unsuppressed findings, 2 usage or I/O error.
+//
+// scripts/ci.sh runs this as stage 0, before any build stage.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace radiocast {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool read_file(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+int usage() {
+  std::cerr << "usage: radiocast_lint [--root DIR] [--json FILE] [--rules]"
+               " [PATH...]\n"
+               "  PATH... default: src bench tests tools examples\n";
+  return 2;
+}
+
+int run(const std::vector<std::string>& args) {
+  std::string root = ".";
+  std::string json_out;
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--root" && i + 1 < args.size()) {
+      root = args[++i];
+    } else if (args[i] == "--json" && i + 1 < args.size()) {
+      json_out = args[++i];
+    } else if (args[i] == "--rules") {
+      for (const lint::rule_info& r : lint::rules()) {
+        std::cout << r.id << "\n    " << r.summary << "\n";
+      }
+      return 0;
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      return usage();
+    } else {
+      paths.push_back(args[i]);
+    }
+  }
+  if (paths.empty()) paths = {"src", "bench", "tests", "tools", "examples"};
+
+  // Collect files, sorted by repo-relative path so diagnostics and the
+  // JSON report are deterministic across filesystems.
+  std::vector<std::string> files;
+  const fs::path root_path(root);
+  for (const std::string& p : paths) {
+    const fs::path full = root_path / p;
+    std::error_code ec;
+    if (fs::is_regular_file(full, ec)) {
+      if (lintable(full)) files.push_back(p);
+      continue;
+    }
+    if (!fs::is_directory(full, ec)) {
+      std::cerr << "radiocast_lint: error: no such file or directory: "
+                << full.string() << "\n";
+      return 2;
+    }
+    for (fs::recursive_directory_iterator it(full, ec), end;
+         it != end && !ec; it.increment(ec)) {
+      if (it->is_regular_file() && lintable(it->path())) {
+        files.push_back(
+            it->path().lexically_relative(root_path).generic_string());
+      }
+    }
+    if (ec) {
+      std::cerr << "radiocast_lint: error walking " << full.string() << ": "
+                << ec.message() << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  lint::report rep;
+  for (const std::string& rel : files) {
+    std::string text;
+    if (!read_file(root_path / rel, &text)) {
+      std::cerr << "radiocast_lint: error: cannot read " << rel << "\n";
+      return 2;
+    }
+    std::vector<lint::finding> found = lint::lint_file(rel, text);
+    rep.findings.insert(rep.findings.end(),
+                        std::make_move_iterator(found.begin()),
+                        std::make_move_iterator(found.end()));
+    ++rep.files_scanned;
+  }
+
+  for (const lint::finding& f : rep.findings) {
+    if (f.suppressed) continue;
+    std::cout << f.path << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+    if (!f.snippet.empty()) std::cout << "    " << f.snippet << "\n";
+  }
+  std::cout << "radiocast_lint: " << rep.files_scanned << " files, "
+            << rep.unsuppressed_count() << " findings, "
+            << rep.suppressed_count() << " suppressed\n";
+
+  if (!json_out.empty()) {
+    std::ofstream out(json_out, std::ios::binary);
+    if (!out) {
+      std::cerr << "radiocast_lint: error: cannot write " << json_out
+                << "\n";
+      return 2;
+    }
+    lint::report_to_json(rep).write(out, 2);
+    out << "\n";
+  }
+  return rep.unsuppressed_count() == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace radiocast
+
+int main(int argc, char** argv) {
+  return radiocast::run({argv + 1, argv + argc});
+}
