@@ -60,6 +60,7 @@ graph make_district(node_id blocks, node_id per_block, rng& gen) {
     const auto b2 = b1 + blocks / 2;
     g.add_edge(device(b1, 0), device(b2 % blocks, 0));
   }
+  g.finalize();
   return g;
 }
 

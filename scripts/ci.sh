@@ -73,5 +73,15 @@ for b in build/bench/*; do
   fi
 done
 build/tools/radiocast_inspect validate "$smoke_dir"/BENCH_*.json
+# The throughput bench carries the frontier-engine speedup gate (the bench
+# itself RC_CHECKs frontier > reference and bit-identical results); make
+# its artifact's presence and schema an explicit CI requirement rather
+# than a side effect of the wildcard above.
+if [ ! -f "$smoke_dir"/BENCH_simulator_throughput.json ]; then
+  echo "ci: BENCH_simulator_throughput.json missing from smoke run" >&2
+  exit 1
+fi
+build/tools/radiocast_inspect validate \
+  "$smoke_dir"/BENCH_simulator_throughput.json
 
 echo "ci: all five stages passed"

@@ -346,6 +346,7 @@ class builder {
         g.add_edge_unchecked(w, u);
       }
     }
+    g.finalize();
     return g;
   }
 

@@ -88,6 +88,8 @@ trial_set parallel_run_trials(const graph& g, const protocol& proto,
           // global_profiler, which is not thread-safe.
           topts.profiler = &s.profiler;
           topts.faults = s.faults.get();
+          topts.engine = opts.engine;
+          topts.verify_sleepers = opts.verify_sleepers;
           s.result = run_trials(g, proto, topts);
         } catch (...) {
           const std::lock_guard<std::mutex> lock(error_mu);

@@ -11,6 +11,7 @@ graph make_path(node_id n) {
   RC_REQUIRE(n >= 1);
   graph g = graph::undirected(n);
   for (node_id v = 0; v + 1 < n; ++v) g.add_edge_unchecked(v, v + 1);
+  g.finalize();
   return g;
 }
 
@@ -19,6 +20,7 @@ graph make_cycle(node_id n) {
   graph g = graph::undirected(n);
   for (node_id v = 0; v + 1 < n; ++v) g.add_edge_unchecked(v, v + 1);
   g.add_edge_unchecked(n - 1, 0);
+  g.finalize();
   return g;
 }
 
@@ -26,6 +28,7 @@ graph make_star(node_id n) {
   RC_REQUIRE(n >= 2);
   graph g = graph::undirected(n);
   for (node_id v = 1; v < n; ++v) g.add_edge_unchecked(0, v);
+  g.finalize();
   return g;
 }
 
@@ -35,6 +38,7 @@ graph make_complete(node_id n) {
   for (node_id u = 0; u < n; ++u) {
     for (node_id v = u + 1; v < n; ++v) g.add_edge_unchecked(u, v);
   }
+  g.finalize();
   return g;
 }
 
@@ -48,6 +52,7 @@ graph make_grid(node_id rows, node_id cols) {
       if (r + 1 < rows) g.add_edge_unchecked(id(r, c), id(r + 1, c));
     }
   }
+  g.finalize();
   return g;
 }
 
@@ -59,6 +64,7 @@ graph make_random_tree(node_id n, rng& gen) {
         gen.below(static_cast<std::uint64_t>(v)));
     g.add_edge_unchecked(v, parent);
   }
+  g.finalize();
   return g;
 }
 
@@ -84,6 +90,7 @@ graph make_bounded_degree_tree(node_id n, node_id max_degree, rng& gen) {
     }
     if (dv < max_degree) open.push_back(v);
   }
+  g.finalize();
   return g;
 }
 
@@ -127,6 +134,7 @@ graph make_gnp_connected(node_id n, double p, rng& gen) {
       parent[static_cast<std::size_t>(find(v))] = find(target);
     }
   }
+  g.finalize();
   return g;
 }
 
@@ -143,6 +151,7 @@ graph make_caterpillar(node_id spine, node_id legs) {
     }
   }
   RC_CHECK(next == n);
+  g.finalize();
   return g;
 }
 
@@ -167,6 +176,7 @@ graph make_complete_layered(const std::vector<node_id>& layer_sizes) {
     }
     layer_start = next_start;
   }
+  g.finalize();
   return g;
 }
 
@@ -231,6 +241,7 @@ graph make_random_layered(const std::vector<node_id>& layer_sizes, double p,
     }
     layer_start = next_start;
   }
+  g.finalize();
   return g;
 }
 
@@ -278,6 +289,7 @@ graph make_directed_layered(const std::vector<node_id>& layer_sizes,
     }
     layer_start = next_start;
   }
+  g.finalize();
   return g;
 }
 
@@ -355,6 +367,7 @@ graph make_random_geometric(
     if (best_in == -1) break;  // connected
     g.add_edge(best_in, best_out);
   }
+  g.finalize();
   return g;
 }
 
@@ -377,6 +390,7 @@ graph permute_labels(const graph& g, const std::vector<node_id>& perm) {
                                 perm[static_cast<std::size_t>(v)]);
     }
   }
+  result.finalize();
   return result;
 }
 

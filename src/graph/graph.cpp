@@ -6,9 +6,10 @@
 namespace radiocast {
 
 graph::graph(node_id n, bool directed)
-    : directed_(directed),
-      out_(static_cast<std::size_t>(n)),
-      in_(static_cast<std::size_t>(n)) {
+    : n_(n),
+      directed_(directed),
+      build_out_(static_cast<std::size_t>(n)),
+      build_in_(directed ? static_cast<std::size_t>(n) : 0) {
   RC_REQUIRE(n >= 1);
 }
 
@@ -16,33 +17,83 @@ graph graph::undirected(node_id n) { return graph(n, /*directed=*/false); }
 
 graph graph::directed(node_id n) { return graph(n, /*directed=*/true); }
 
-void graph::add_edge(node_id u, node_id v) {
-  RC_REQUIRE(valid(u) && valid(v));
-  if (has_edge(u, v)) return;
-  add_edge_unchecked(u, v);
-}
+void graph::add_edge(node_id u, node_id v) { add_edge_unchecked(u, v); }
 
 void graph::add_edge_unchecked(node_id u, node_id v) {
+  RC_REQUIRE_MSG(!finalized_, "graph is finalized; no further edges");
   RC_REQUIRE(valid(u) && valid(v));
   RC_REQUIRE_MSG(u != v, "self-loops are not allowed");
-  out_[static_cast<std::size_t>(u)].push_back(v);
-  in_[static_cast<std::size_t>(v)].push_back(u);
-  if (!directed_) {
-    out_[static_cast<std::size_t>(v)].push_back(u);
-    in_[static_cast<std::size_t>(u)].push_back(v);
+  build_out_[static_cast<std::size_t>(u)].push_back(v);
+  if (directed_) {
+    build_in_[static_cast<std::size_t>(v)].push_back(u);
+  } else {
+    build_out_[static_cast<std::size_t>(v)].push_back(u);
   }
   ++edge_count_;
 }
 
 bool graph::has_edge(node_id u, node_id v) const {
   RC_REQUIRE(valid(u) && valid(v));
-  const auto& adj = out_[static_cast<std::size_t>(u)];
+  const auto adj = out_neighbors(u);
   return std::find(adj.begin(), adj.end(), v) != adj.end();
 }
 
+void graph::finalize() {
+  if (finalized_) return;
+  const auto n = static_cast<std::size_t>(n_);
+  // Per-row dedup via a stamp array: mark[v] == u means v was already kept
+  // in row u. First occurrence wins, reproducing exactly the adjacency the
+  // old per-add duplicate scan built — finalize changes nothing but cost.
+  std::vector<node_id> mark(n, -1);
+  const auto flatten = [&mark, n](std::vector<std::vector<node_id>>& rows,
+                                  std::vector<std::size_t>& off,
+                                  std::vector<node_id>& adj) {
+    std::size_t total = 0;
+    for (const auto& row : rows) total += row.size();
+    off.assign(n + 1, 0);
+    adj.clear();
+    adj.reserve(total);
+    std::fill(mark.begin(), mark.end(), -1);
+    for (std::size_t u = 0; u < n; ++u) {
+      off[u] = adj.size();
+      for (const node_id v : rows[u]) {
+        auto& m = mark[static_cast<std::size_t>(v)];
+        if (m == static_cast<node_id>(u)) continue;  // duplicate in row u
+        m = static_cast<node_id>(u);
+        adj.push_back(v);
+      }
+    }
+    off[n] = adj.size();
+    rows.clear();
+    rows.shrink_to_fit();
+  };
+  flatten(build_out_, out_off_, out_adj_);
+  if (directed_) {
+    flatten(build_in_, in_off_, in_adj_);
+    RC_CHECK(in_adj_.size() == out_adj_.size());
+    edge_count_ = out_adj_.size();
+  } else {
+    RC_CHECK(out_adj_.size() % 2 == 0);
+    edge_count_ = out_adj_.size() / 2;
+  }
+  finalized_ = true;
+}
+
 void graph::sort_adjacency() {
-  for (auto& adj : out_) std::sort(adj.begin(), adj.end());
-  for (auto& adj : in_) std::sort(adj.begin(), adj.end());
+  if (finalized_) {
+    const auto n = static_cast<std::size_t>(n_);
+    for (std::size_t v = 0; v < n; ++v) {
+      std::sort(out_adj_.begin() + static_cast<std::ptrdiff_t>(out_off_[v]),
+                out_adj_.begin() + static_cast<std::ptrdiff_t>(out_off_[v + 1]));
+      if (directed_) {
+        std::sort(in_adj_.begin() + static_cast<std::ptrdiff_t>(in_off_[v]),
+                  in_adj_.begin() + static_cast<std::ptrdiff_t>(in_off_[v + 1]));
+      }
+    }
+    return;
+  }
+  for (auto& adj : build_out_) std::sort(adj.begin(), adj.end());
+  for (auto& adj : build_in_) std::sort(adj.begin(), adj.end());
 }
 
 graph graph::as_directed() const {
@@ -51,6 +102,7 @@ graph graph::as_directed() const {
   for (node_id u = 0; u < node_count(); ++u) {
     for (node_id v : out_neighbors(u)) g.add_edge(u, v);
   }
+  g.finalize();
   return g;
 }
 
@@ -86,6 +138,7 @@ graph graph::from_edge_list(node_id n, const std::string& text,
   node_id u = 0;
   node_id v = 0;
   while (is >> u >> v) g.add_edge(u, v);
+  g.finalize();
   return g;
 }
 

@@ -4,6 +4,18 @@
 // from {0, …, r} with r linear in n, node 0 is the broadcast source, and the
 // topology is a connected graph (undirected in general; Section 2 of the
 // paper additionally analyzes directed graphs, which we support as well).
+//
+// Storage is two-phase (see docs/PERFORMANCE.md):
+//   * building — edges accumulate in per-node vectors; duplicates are
+//     tolerated and all accessors work, so generators can query the
+//     partial graph while constructing it;
+//   * finalized — finalize() dedupes every adjacency list (keeping first-
+//     occurrence order, exactly what the old per-add duplicate scan
+//     produced) and flattens it into compressed-sparse-row form: one flat
+//     node_id buffer plus an offset table per direction. A transmitter's
+//     out-neighborhood is then a contiguous slice, so the simulator's
+//     reception sweep walks memory sequentially.
+// The simulator requires a finalized graph; every generator returns one.
 #pragma once
 
 #include <cstdint>
@@ -18,11 +30,10 @@ namespace radiocast {
 /// Node identifier; doubles as the node's label in the paper's model.
 using node_id = std::int32_t;
 
-/// A simple graph (no self-loops, no parallel edges) stored as adjacency
-/// lists, with both out- and in-neighborhoods materialized so the radio
-/// simulator can resolve receptions in O(in-degree).
-///
-/// For undirected graphs the two neighborhoods coincide.
+/// A simple graph (no self-loops, no parallel edges) with both out- and
+/// in-neighborhoods materialized so the radio simulator can resolve
+/// receptions in O(in-degree). For undirected graphs the two neighborhoods
+/// coincide (and share storage once finalized).
 class graph {
  public:
   /// Creates an undirected graph on nodes {0, …, n−1}.
@@ -31,35 +42,55 @@ class graph {
   /// Creates a directed graph on nodes {0, …, n−1}.
   static graph directed(node_id n);
 
-  node_id node_count() const noexcept {
-    return static_cast<node_id>(out_.size());
-  }
+  node_id node_count() const noexcept { return n_; }
 
-  /// Number of edges (each undirected edge counted once).
+  /// Number of edges (each undirected edge counted once). Before
+  /// finalize(), duplicate add_edge calls are still counted; the value is
+  /// exact once the graph is finalized.
   std::size_t edge_count() const noexcept { return edge_count_; }
 
   bool is_directed() const noexcept { return directed_; }
 
-  /// Adds edge u→v (and v→u when undirected). Ignores duplicates;
-  /// rejects self-loops and out-of-range endpoints.
+  /// Adds edge u→v (and v→u when undirected); rejects self-loops,
+  /// out-of-range endpoints, and finalized graphs. Duplicates are
+  /// tolerated here and removed by finalize() — there is no per-add
+  /// duplicate scan, so dense construction is linear in adds, not
+  /// quadratic in degree.
   void add_edge(node_id u, node_id v);
 
-  /// Adds edge u→v without the O(degree) duplicate scan. For generators
-  /// that can prove each edge is added once (e.g. complete layered
-  /// networks); adding a duplicate through this entry is a caller bug.
+  /// As add_edge, for callers that can prove each edge is added once
+  /// (e.g. complete layered networks). Adding a duplicate through this
+  /// entry is a caller bug; finalize() silently repairs it.
   void add_edge_unchecked(node_id u, node_id v);
 
   /// True iff u→v is an edge (O(out-degree of u)).
   bool has_edge(node_id u, node_id v) const;
 
+  /// Dedupes adjacency lists (first occurrence wins), recomputes
+  /// edge_count(), and flattens storage into CSR form. Further add_edge
+  /// calls throw. Idempotent. Every generator calls this before
+  /// returning; hand-built graphs must call it before simulation.
+  void finalize();
+
+  bool finalized() const noexcept { return finalized_; }
+
   std::span<const node_id> out_neighbors(node_id v) const {
     RC_REQUIRE(valid(v));
-    return out_[static_cast<std::size_t>(v)];
+    const auto i = static_cast<std::size_t>(v);
+    if (finalized_) {
+      return {out_adj_.data() + out_off_[i], out_off_[i + 1] - out_off_[i]};
+    }
+    return build_out_[i];
   }
 
   std::span<const node_id> in_neighbors(node_id v) const {
+    if (!directed_) return out_neighbors(v);
     RC_REQUIRE(valid(v));
-    return in_[static_cast<std::size_t>(v)];
+    const auto i = static_cast<std::size_t>(v);
+    if (finalized_) {
+      return {in_adj_.data() + in_off_[i], in_off_[i + 1] - in_off_[i]};
+    }
+    return build_in_[i];
   }
 
   node_id out_degree(node_id v) const {
@@ -71,12 +102,14 @@ class graph {
   }
 
   /// Sorts all adjacency lists ascending (useful for deterministic output
-  /// and binary-searchable membership). Idempotent.
+  /// and binary-searchable membership). Idempotent; works in either
+  /// storage phase.
   void sort_adjacency();
 
   /// Returns the directed view of this graph: undirected graphs are
   /// reinterpreted with each edge replaced by two opposite arcs (this is
   /// exactly the reduction used at the start of the paper's Section 2).
+  /// The returned graph is finalized.
   graph as_directed() const;
 
   /// Renders the graph in Graphviz DOT format (for the examples).
@@ -85,21 +118,29 @@ class graph {
   /// Serializes as "u v" edge lines, one per edge.
   std::string to_edge_list() const;
 
-  /// Parses the edge-list format produced by to_edge_list().
+  /// Parses the edge-list format produced by to_edge_list(). The returned
+  /// graph is finalized.
   static graph from_edge_list(node_id n, const std::string& text,
                               bool directed_edges = false);
 
  private:
   explicit graph(node_id n, bool directed);
 
-  bool valid(node_id v) const noexcept {
-    return v >= 0 && v < node_count();
-  }
+  bool valid(node_id v) const noexcept { return v >= 0 && v < n_; }
 
+  node_id n_ = 0;
   bool directed_ = false;
+  bool finalized_ = false;
   std::size_t edge_count_ = 0;
-  std::vector<std::vector<node_id>> out_;
-  std::vector<std::vector<node_id>> in_;
+  // Building phase: per-node adjacency (build_in_ only for directed
+  // graphs — undirected in-neighborhoods equal the out-neighborhoods).
+  std::vector<std::vector<node_id>> build_out_;
+  std::vector<std::vector<node_id>> build_in_;
+  // Finalized phase: CSR — row v of `*_adj_` is [*_off_[v], *_off_[v+1]).
+  std::vector<std::size_t> out_off_;
+  std::vector<std::size_t> in_off_;
+  std::vector<node_id> out_adj_;
+  std::vector<node_id> in_adj_;
 };
 
 }  // namespace radiocast

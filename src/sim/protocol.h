@@ -11,11 +11,22 @@
 // Randomized-Broadcasting(D)) receive it through `protocol_params::d_hint`;
 // the top-level algorithms leave it at −1.
 //
-// CONTRACT (no spontaneous transmissions): a node other than the source that
-// has never received a message MUST return std::nullopt from on_step,
-// regardless of how many steps have elapsed. The simulator enforces this,
-// and the lower-bound adversary relies on it to keep dormant candidate nodes
-// fresh. Equivalently: an uninformed node's behavior is independent of time.
+// CONTRACT (dormant nodes are pure no-ops): a node other than the source
+// that has never received a message MUST, from on_step, (a) return
+// std::nullopt — no spontaneous transmissions, (b) draw NOTHING from
+// ctx.gen, and (c) mutate no internal state. Equivalently: an uninformed
+// node's behavior is independent of time, and calling — or not calling —
+// on_step on it is unobservable. The frontier-driven simulator relies on
+// this to skip dormant nodes entirely (docs/PERFORMANCE.md): phase 1
+// iterates only the awake set (source + every node that has received at
+// least one message), which is bit-identical to stepping all n nodes
+// exactly because dormant on_step is a no-op. The contract is enforced
+// three ways: the reference engine's spontaneous-transmission check, the
+// run_options::verify_sleepers sweep (calls dormant on_step and RC_CHECKs
+// nullopt + untouched rng state), and the reference-vs-frontier
+// differential suite (any dormant state mutation diverges there). The
+// lower-bound adversary also relies on it to keep dormant candidate nodes
+// fresh.
 #pragma once
 
 #include <cstdint>

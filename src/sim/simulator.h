@@ -37,14 +37,29 @@ enum class stop_condition {
   all_halted,    ///< stop once every node reports halted() (token protocols)
 };
 
+/// Which step loop runs the broadcast (see docs/PERFORMANCE.md).
+enum class step_engine {
+  /// Frontier-driven: phase 1 iterates only the awake set (source + every
+  /// node that has received at least one message; crashed nodes leave it),
+  /// making per-step cost O(|awake|) instead of O(n). Bit-identical to
+  /// `reference` by the dormant-node contract in sim/protocol.h — trial
+  /// records, metrics dumps, and traces all match. The default.
+  frontier,
+  /// The pre-frontier loop, retained as the differential-testing oracle:
+  /// phase 1 calls on_step on all n nodes every step.
+  reference,
+};
+
 struct run_options {
   std::int64_t max_steps = 1'000'000;  ///< hard cap; hitting it ⇒ incomplete
   stop_condition stop = stop_condition::all_informed;
   std::uint64_t seed = 1;      ///< root seed; split per node
   trace* sink = nullptr;       ///< optional event recording
   /// Optional metrics collection (see src/obs/metrics.h). When set, the
-  /// simulator records per-step series — informed-frontier size,
-  /// transmissions, deliveries, collisions, idle listeners — under
+  /// simulator records per-step series — informed-frontier size, awake-set
+  /// size (`sim.awake`: source + nodes that have received at least one
+  /// message, minus crashed), transmissions, deliveries, collisions, idle
+  /// listeners — under
   /// `sim.*`, and protocols receive the registry through node_context to
   /// tag per-phase counters. Null ⇒ the step loop's only overhead is one
   /// branch per instrumentation site.
@@ -69,6 +84,15 @@ struct run_options {
   /// slots, presence announcements, binary selection) genuinely slow down
   /// under sparse labels — see experiment E14.
   std::vector<node_id> labels;
+  /// Step-loop implementation. `frontier` (default) skips dormant nodes;
+  /// `reference` steps every node, serving as the differential oracle.
+  step_engine engine = step_engine::frontier;
+  /// Debug sweep (frontier engine only): every step, call on_step on every
+  /// dormant node anyway and RC_CHECK that it returns std::nullopt and
+  /// leaves its rng untouched — the dormant-node contract of
+  /// sim/protocol.h, verified rather than assumed. Restores O(n) per-step
+  /// cost; for tests, not production runs.
+  bool verify_sleepers = false;
 };
 
 struct run_result {
@@ -124,6 +148,10 @@ struct trial_options {
   /// threads produces bit-identical trial records and merged metrics
   /// (wall_ms aside; see docs/PARALLELISM.md).
   int threads = 0;
+  /// Step-loop implementation for every trial (see run_options::engine).
+  step_engine engine = step_engine::frontier;
+  /// Per-trial dormant-node contract sweep (see run_options::verify_sleepers).
+  bool verify_sleepers = false;
 };
 
 /// Outcome of one trial, the unit record of bench telemetry.

@@ -50,6 +50,11 @@ class rng {
   /// Coin flip: true with probability 1/2.
   bool flip() noexcept { return (next() >> 63) != 0; }
 
+  /// State equality — two generators compare equal iff they will produce
+  /// identical streams. The simulator's sleeper sweep (run_options::
+  /// verify_sleepers) uses this to prove a dormant node drew no randomness.
+  friend bool operator==(const rng& a, const rng& b) noexcept = default;
+
  private:
   std::array<std::uint64_t, 4> state_;
 };

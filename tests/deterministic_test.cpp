@@ -302,6 +302,7 @@ TEST(InterleavedTest, BeatsSelectAndSendOnShallowGraphs) {
   for (node_id v = 1; v <= m; ++v) g.add_edge(0, v);  // leaves 1..m
   g.add_edge(m, m + 1);                               // tail entrance
   g.add_edge(m + 1, m + 2);                           // tail end
+  g.finalize();
   const interleaved_protocol inter;
   const select_and_send_protocol sas;
   const auto t_inter = run_broadcast(g, inter, capped(8'000'000)).informed_step;

@@ -23,15 +23,21 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/runner.h"
+#include "exec/parallel_trials.h"
+#include "fault/churn.h"
 #include "fault/crash.h"
 #include "fault/fault_model.h"
 #include "fault/loss.h"
+#include "obs/metrics.h"
 #include "graph/analysis.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
@@ -371,6 +377,168 @@ TEST(DifferentialTest, TrialRecordsMatchTracedReruns) {
     EXPECT_EQ(r.deliveries, t.deliveries) << what;
     verify_against_radio_rule(g, tr, r, /*faults_allowed=*/false, what);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Engine differential: frontier vs reference.
+//
+// The frontier engine (docs/PERFORMANCE.md) skips dormant nodes in phase 1
+// and hoists the fault branches out of phase 2. Its contract is BIT
+// IDENTITY with the retained reference engine — not statistical agreement:
+// trial records, full metrics dumps, and event-for-event trace NDJSON must
+// all be byte-equal, across protocols, graph families, fault models, and
+// the serial/parallel executors. verify_sleepers rides along on every
+// frontier run, so the dormant-node contract is checked live, not assumed.
+// ---------------------------------------------------------------------------
+
+/// Everything observable from one run under a given engine.
+struct engine_observation {
+  trial_set records;
+  std::string metrics_dump;
+  std::string trace_ndjson;
+};
+
+/// Factory so each engine gets a fresh, identically-configured model.
+using fault_factory = std::function<std::unique_ptr<fault::fault_model>()>;
+
+engine_observation observe(const graph& g, const protocol& proto,
+                           step_engine engine, const fault_factory& faults,
+                           int threads) {
+  engine_observation out;
+
+  // Trial batch with metrics, through the requested executor.
+  obs::metrics_registry metrics;
+  std::unique_ptr<fault::fault_model> model =
+      faults ? faults() : nullptr;
+  trial_options topts;
+  topts.trials = 4;
+  topts.base_seed = 101;
+  topts.max_steps = 200'000;
+  topts.metrics = &metrics;
+  topts.faults = model.get();
+  topts.engine = engine;
+  topts.verify_sleepers = engine == step_engine::frontier;
+  topts.threads = threads;
+  out.records = threads == 0 ? run_trials(g, proto, topts)
+                             : parallel_run_trials(g, proto, topts);
+  out.metrics_dump = metrics.to_json().dump();
+
+  // One traced single run (separate from the batch so the trace covers a
+  // known seed regardless of executor sharding).
+  trace tr(2'000'000);
+  run_options ropts;
+  ropts.seed = 101;
+  ropts.max_steps = 200'000;
+  ropts.sink = &tr;
+  std::unique_ptr<fault::fault_model> trace_model =
+      faults ? faults() : nullptr;
+  ropts.faults = trace_model.get();
+  ropts.engine = engine;
+  ropts.verify_sleepers = engine == step_engine::frontier;
+  run_broadcast(g, proto, ropts);
+  std::ostringstream os;
+  tr.to_ndjson(os);
+  out.trace_ndjson = os.str();
+  return out;
+}
+
+void expect_engines_agree(const graph& g, const protocol& proto,
+                          const fault_factory& faults, int threads,
+                          const std::string& what) {
+  const engine_observation ref =
+      observe(g, proto, step_engine::reference, faults, threads);
+  const engine_observation fro =
+      observe(g, proto, step_engine::frontier, faults, threads);
+
+  ASSERT_EQ(ref.records.trials.size(), fro.records.trials.size()) << what;
+  for (std::size_t i = 0; i < ref.records.trials.size(); ++i) {
+    const trial_record& a = ref.records.trials[i];
+    const trial_record& b = fro.records.trials[i];
+    const std::string tag = what + " trial " + std::to_string(i);
+    EXPECT_EQ(a.seed, b.seed) << tag;
+    EXPECT_EQ(a.completed, b.completed) << tag;
+    EXPECT_EQ(a.steps, b.steps) << tag;
+    EXPECT_EQ(a.informed_step, b.informed_step) << tag;
+    EXPECT_EQ(a.transmissions, b.transmissions) << tag;
+    EXPECT_EQ(a.collisions, b.collisions) << tag;
+    EXPECT_EQ(a.deliveries, b.deliveries) << tag;
+    EXPECT_EQ(a.crashed_nodes, b.crashed_nodes) << tag;
+    EXPECT_EQ(a.suppressed_deliveries, b.suppressed_deliveries) << tag;
+    EXPECT_EQ(a.churned_edges, b.churned_edges) << tag;
+    // wall_ms is reporting-only and excluded from the contract.
+  }
+  EXPECT_EQ(ref.metrics_dump, fro.metrics_dump) << what << ": metrics dump";
+  EXPECT_EQ(ref.trace_ndjson, fro.trace_ndjson) << what << ": trace";
+}
+
+TEST(EngineDifferentialTest, AllProtocolsAllGraphFamilies) {
+  rng topo_gen(303);
+  std::vector<std::pair<std::string, graph>> graphs;
+  graphs.emplace_back("gnp24", make_gnp_connected(24, 0.15, topo_gen));
+  graphs.emplace_back("tree20", make_random_tree(20, topo_gen));
+  graphs.emplace_back("layered30", make_complete_layered_uniform(30, 5));
+  graphs.emplace_back("grid", make_grid(5, 5));
+
+  for (const auto& [gtag, g] : graphs) {
+    for (const auto& [proto_name, known_d] : general_protocols(g)) {
+      const auto proto =
+          make_protocol(proto_name, g.node_count() - 1, known_d);
+      expect_engines_agree(g, *proto, nullptr, 0, gtag + "/" + proto_name);
+    }
+  }
+}
+
+TEST(EngineDifferentialTest, DirectedGraphs) {
+  rng topo_gen(307);
+  const graph g = make_directed_layered({1, 5, 5, 5, 4}, 0.5, topo_gen);
+  for (const std::string proto_name : {"decay", "kp-doubling"}) {
+    const auto proto = make_protocol(proto_name, g.node_count() - 1);
+    expect_engines_agree(g, *proto, nullptr, 0, "directed/" + proto_name);
+  }
+}
+
+TEST(EngineDifferentialTest, UnderEveryFaultModel) {
+  rng topo_gen(311);
+  const graph g = make_gnp_connected(26, 0.15, topo_gen);
+  const std::vector<std::pair<std::string, fault_factory>> models = {
+      {"crash",
+       [] {
+         fault::crash_options o;
+         o.crash_probability = 0.002;
+         return std::make_unique<fault::crash_model>(o);
+       }},
+      {"loss",
+       [] {
+         return std::make_unique<fault::loss_model>(
+             fault::loss_options{0.15});
+       }},
+      {"churn",
+       [] {
+         return std::make_unique<fault::churn_model>(
+             fault::churn_options{0.02});
+       }},
+  };
+  for (const auto& [ftag, factory] : models) {
+    for (const std::string proto_name : {"decay", "round-robin"}) {
+      const auto proto = make_protocol(proto_name, g.node_count() - 1);
+      expect_engines_agree(g, *proto, factory, 0, ftag + "/" + proto_name);
+    }
+  }
+}
+
+TEST(EngineDifferentialTest, AcrossParallelExecutor) {
+  // The engine choice must thread through parallel_run_trials' shard
+  // workers: 4-thread frontier == 4-thread reference == serial reference.
+  rng topo_gen(313);
+  const graph g = make_gnp_connected(24, 0.15, topo_gen);
+  const auto proto = make_protocol("decay", g.node_count() - 1);
+  const fault_factory crash = [] {
+    fault::crash_options o;
+    o.crash_probability = 0.002;
+    return std::make_unique<fault::crash_model>(o);
+  };
+  expect_engines_agree(g, *proto, nullptr, 4, "parallel4/faultfree");
+  expect_engines_agree(g, *proto, crash, 4, "parallel4/crash");
 }
 
 }  // namespace

@@ -120,6 +120,9 @@ void expect_connected_from_source(const graph& g, const std::string& what) {
 
 void expect_all(const graph& g, node_id n, const std::string& what) {
   ASSERT_EQ(g.node_count(), n) << what;
+  // Every generator must hand back CSR storage, ready for the simulator.
+  EXPECT_TRUE(g.finalized()) << what << ": generator returned an "
+                                        "unfinalized graph";
   expect_simple_graph(g, what);
   expect_connected_from_source(g, what);
   EXPECT_EQ(radius_from(g), oracle_radius(g))
@@ -483,6 +486,88 @@ TEST(GraphPropertyTest, SparseLabels) {
       }
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// CSR finalize vs the old per-add duplicate scan.
+// ---------------------------------------------------------------------------
+
+TEST(GraphPropertyTest, FinalizeDedupMatchesPerAddScanOracle) {
+  // finalize() dedupes adjacency in one pass; the contract is that the
+  // result is IDENTICAL (order included) to what the pre-CSR graph built
+  // by scanning for duplicates on every add_edge. Replay a dup-heavy
+  // random edge stream into both and compare row by row.
+  rng gen(401);
+  for (const node_id n : {5, 17, 60}) {
+    const std::string what = "dedup n=" + std::to_string(n);
+    graph g = graph::undirected(n);
+    std::vector<std::vector<node_id>> oracle(static_cast<std::size_t>(n));
+    const auto oracle_add = [&oracle](node_id u, node_id v) {
+      auto& row = oracle[static_cast<std::size_t>(u)];
+      if (std::find(row.begin(), row.end(), v) == row.end()) {
+        row.push_back(v);
+      }
+    };
+    const int adds = static_cast<int>(n) * 8;  // dense in dups by design
+    for (int i = 0; i < adds; ++i) {
+      const auto u = static_cast<node_id>(gen.below(
+          static_cast<std::uint64_t>(n)));
+      const auto v = static_cast<node_id>(gen.below(
+          static_cast<std::uint64_t>(n)));
+      if (u == v) continue;
+      g.add_edge(u, v);
+      oracle_add(u, v);
+      oracle_add(v, u);
+    }
+    g.finalize();
+    std::size_t oracle_arcs = 0;
+    for (node_id u = 0; u < n; ++u) {
+      const auto row = g.out_neighbors(u);
+      const auto& want = oracle[static_cast<std::size_t>(u)];
+      oracle_arcs += want.size();
+      ASSERT_EQ(row.size(), want.size()) << what << " node " << u;
+      EXPECT_TRUE(std::equal(row.begin(), row.end(), want.begin()))
+          << what << ": adjacency order differs at node " << u;
+    }
+    EXPECT_EQ(2 * g.edge_count(), oracle_arcs) << what;
+  }
+}
+
+TEST(GraphPropertyTest, FinalizeDedupMatchesPerAddScanOracleDirected) {
+  rng gen(409);
+  const node_id n = 24;
+  graph g = graph::directed(n);
+  std::vector<std::vector<node_id>> out_oracle(static_cast<std::size_t>(n));
+  std::vector<std::vector<node_id>> in_oracle(static_cast<std::size_t>(n));
+  const auto scan_add = [](std::vector<node_id>& row, node_id v) {
+    if (std::find(row.begin(), row.end(), v) == row.end()) row.push_back(v);
+  };
+  for (int i = 0; i < 200; ++i) {
+    const auto u = static_cast<node_id>(gen.below(
+        static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<node_id>(gen.below(
+        static_cast<std::uint64_t>(n)));
+    if (u == v) continue;
+    g.add_edge(u, v);
+    scan_add(out_oracle[static_cast<std::size_t>(u)], v);
+    scan_add(in_oracle[static_cast<std::size_t>(v)], u);
+  }
+  g.finalize();
+  std::size_t arcs = 0;
+  for (node_id u = 0; u < n; ++u) {
+    const auto out = g.out_neighbors(u);
+    const auto& want_out = out_oracle[static_cast<std::size_t>(u)];
+    ASSERT_EQ(out.size(), want_out.size()) << "node " << u;
+    EXPECT_TRUE(std::equal(out.begin(), out.end(), want_out.begin()))
+        << "out order differs at node " << u;
+    const auto in = g.in_neighbors(u);
+    const auto& want_in = in_oracle[static_cast<std::size_t>(u)];
+    ASSERT_EQ(in.size(), want_in.size()) << "node " << u;
+    EXPECT_TRUE(std::equal(in.begin(), in.end(), want_in.begin()))
+        << "in order differs at node " << u;
+    arcs += out.size();
+  }
+  EXPECT_EQ(g.edge_count(), arcs);
 }
 
 }  // namespace

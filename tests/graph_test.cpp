@@ -19,6 +19,7 @@ TEST(GraphTest, UndirectedEdgesAreSymmetric) {
   graph g = graph::undirected(4);
   g.add_edge(0, 1);
   g.add_edge(1, 2);
+  g.finalize();
   EXPECT_TRUE(g.has_edge(0, 1));
   EXPECT_TRUE(g.has_edge(1, 0));
   EXPECT_EQ(g.edge_count(), 2u);
@@ -29,6 +30,7 @@ TEST(GraphTest, UndirectedEdgesAreSymmetric) {
 TEST(GraphTest, DirectedEdgesAreOneWay) {
   graph g = graph::directed(3);
   g.add_edge(0, 1);
+  g.finalize();
   EXPECT_TRUE(g.has_edge(0, 1));
   EXPECT_FALSE(g.has_edge(1, 0));
   EXPECT_EQ(g.out_degree(0), 1);
@@ -36,13 +38,64 @@ TEST(GraphTest, DirectedEdgesAreOneWay) {
   EXPECT_EQ(g.in_degree(0), 0);
 }
 
-TEST(GraphTest, DuplicateEdgesIgnored) {
+TEST(GraphTest, DuplicateEdgesDedupedAtFinalize) {
   graph g = graph::undirected(3);
   g.add_edge(0, 1);
   g.add_edge(0, 1);
   g.add_edge(1, 0);
+  g.finalize();
   EXPECT_EQ(g.edge_count(), 1u);
   EXPECT_EQ(g.out_degree(0), 1);
+  EXPECT_EQ(g.out_degree(1), 1);
+}
+
+TEST(GraphTest, FinalizeKeepsFirstOccurrenceOrder) {
+  // The dedup at finalize() must reproduce exactly what a per-add
+  // duplicate scan would have built: first occurrence wins, insertion
+  // order otherwise preserved.
+  graph g = graph::undirected(5);
+  g.add_edge(0, 3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 3);  // duplicate — dropped, position of the first kept
+  g.add_edge(0, 4);
+  g.add_edge(0, 1);  // duplicate
+  g.finalize();
+  const auto nbrs = g.out_neighbors(0);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 3);
+  EXPECT_EQ(nbrs[1], 1);
+  EXPECT_EQ(nbrs[2], 4);
+}
+
+TEST(GraphTest, FinalizeIsIdempotent) {
+  graph g = graph::undirected(3);
+  g.add_edge(0, 1);
+  g.finalize();
+  EXPECT_TRUE(g.finalized());
+  g.finalize();  // no-op
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.out_degree(0), 1);
+}
+
+TEST(GraphTest, AddAfterFinalizeRejected) {
+  graph g = graph::undirected(3);
+  g.add_edge(0, 1);
+  g.finalize();
+  EXPECT_THROW(g.add_edge(1, 2), precondition_error);
+  EXPECT_THROW(g.add_edge_unchecked(1, 2), precondition_error);
+}
+
+TEST(GraphTest, AccessorsWorkWhileBuilding) {
+  // Generators query the partial graph mid-construction (union-find
+  // seeding, BFS connectivity checks) — the building phase must answer.
+  graph g = graph::undirected(4);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(g.finalized());
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_EQ(g.out_degree(0), 1);
+  g.add_edge(1, 2);
+  g.finalize();
+  EXPECT_EQ(g.edge_count(), 2u);
 }
 
 TEST(GraphTest, SelfLoopsRejected) {
@@ -67,13 +120,23 @@ TEST(GraphTest, AsDirectedDoublesArcs) {
 }
 
 TEST(GraphTest, SortAdjacency) {
+  // Works in both storage phases: on the building rows and on CSR slices.
   graph g = graph::undirected(4);
   g.add_edge(0, 3);
   g.add_edge(0, 1);
   g.add_edge(0, 2);
   g.sort_adjacency();
-  const auto nbrs = g.out_neighbors(0);
-  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  const auto building = g.out_neighbors(0);
+  EXPECT_TRUE(std::is_sorted(building.begin(), building.end()));
+
+  graph h = graph::undirected(4);
+  h.add_edge(0, 3);
+  h.add_edge(0, 1);
+  h.add_edge(0, 2);
+  h.finalize();
+  h.sort_adjacency();
+  const auto csr = h.out_neighbors(0);
+  EXPECT_TRUE(std::is_sorted(csr.begin(), csr.end()));
 }
 
 TEST(GraphTest, EdgeListRoundTrip) {

@@ -107,6 +107,7 @@ TEST(SimTest, TwoTransmittersCollideIntoSilence) {
   graph g = graph::undirected(3);
   g.add_edge(1, 0);
   g.add_edge(2, 0);
+  g.finalize();
   script_observer obs;
   // step 0: source wakes 1 and 2; step 1: both reply simultaneously.
   scripted_protocol proto({{0, {0}}, {1, {1}}, {2, {1}}}, &obs);
@@ -124,6 +125,7 @@ TEST(SimTest, CollisionOnlyAffectsCommonNeighbor) {
   g.add_edge(0, 1);
   g.add_edge(0, 2);
   g.add_edge(2, 3);
+  g.finalize();
   script_observer obs;
   scripted_protocol proto({{0, {0}}, {2, {1}}, {1, {2}}, {3, {2}}}, &obs);
   const run_result r = run_broadcast(g, proto, capped_full(4));
@@ -161,9 +163,57 @@ TEST(SimTest, ThreeTransmittersStillSilence) {
 TEST(SimTest, SpontaneousTransmissionIsRejected) {
   graph g = make_path(3);
   script_observer obs;
-  // Node 2 tries to transmit at step 0 without ever having received.
+  // Node 2 tries to transmit at step 0 without ever having received. The
+  // reference engine steps every node and rejects it directly.
   scripted_protocol proto({{2, {0}}}, &obs);
-  EXPECT_THROW(run_broadcast(g, proto, capped(2)), invariant_error);
+  run_options opts = capped(2);
+  opts.engine = step_engine::reference;
+  EXPECT_THROW(run_broadcast(g, proto, opts), invariant_error);
+}
+
+TEST(SimTest, SleeperSweepCatchesSpontaneousTransmission) {
+  graph g = make_path(3);
+  script_observer obs;
+  // Under the frontier engine a dormant node is never stepped, so a script
+  // that violates the dormant-node contract goes unnoticed — unless
+  // verify_sleepers sweeps it.
+  scripted_protocol proto({{2, {0}}}, &obs);
+  run_options opts = capped(2);
+  opts.verify_sleepers = true;
+  EXPECT_THROW(run_broadcast(g, proto, opts), invariant_error);
+}
+
+TEST(SimTest, SleeperSweepAcceptsContractAbidingProtocol) {
+  graph g = make_path(3);
+  script_observer obs;
+  scripted_protocol proto({{0, {0}}, {1, {1}}}, &obs);
+  run_options opts = capped_full(4);
+  opts.verify_sleepers = true;
+  EXPECT_NO_THROW(run_broadcast(g, proto, opts));
+  EXPECT_EQ(obs.received[2].size(), 1u);
+}
+
+TEST(SimTest, UnfinalizedGraphIsRejected) {
+  graph g = graph::undirected(2);
+  g.add_edge(0, 1);
+  script_observer obs;
+  scripted_protocol proto({{0, {0}}}, &obs);
+  EXPECT_THROW(run_broadcast(g, proto, capped(2)), precondition_error);
+}
+
+TEST(SimTest, EnginesAgreeOnScriptedRun) {
+  graph g = make_star(6);
+  for (const auto engine : {step_engine::frontier, step_engine::reference}) {
+    script_observer obs;
+    scripted_protocol proto({{0, {0}}, {1, {1}}, {2, {2}}}, &obs);
+    run_options opts = capped_full(4);
+    opts.engine = engine;
+    // Step 0: the center informs all 5 leaves; steps 1 and 2: one leaf
+    // each replies to the center (a leaf's only neighbor).
+    const run_result r = run_broadcast(g, proto, opts);
+    EXPECT_EQ(r.deliveries, 5 + 1 + 1) << "engine differs";
+    EXPECT_EQ(obs.received[0].size(), 2u);
+  }
 }
 
 TEST(SimTest, SourceMayTransmitImmediately) {
@@ -177,6 +227,7 @@ TEST(SimTest, DirectedEdgesDeliverOneWay) {
   graph g = graph::directed(3);
   g.add_edge(0, 1);  // 0 → 1
   g.add_edge(2, 1);  // 2 → 1 (2 unreachable from 0; it stays silent)
+  g.finalize();
   script_observer obs;
   scripted_protocol proto({{0, {0, 1}}}, &obs);
   run_broadcast(g, proto, capped_full(3));
@@ -192,6 +243,7 @@ TEST(SimTest, DirectedCollisionUsesInNeighbors) {
   g.add_edge(0, 2);
   g.add_edge(1, 2);
   g.add_edge(0, 1);
+  g.finalize();
   script_observer obs;
   scripted_protocol proto({{0, {0, 1}}, {1, {1}}}, &obs);
   run_broadcast(g, proto, capped_full(3));

@@ -125,6 +125,21 @@ struct validator {
     optional(c, where, "threads", json_value::kind::integer);
     optional(c, where, "batch_wall_ms", json_value::kind::number);
     optional(c, where, "speedup", json_value::kind::number);
+    // Step-engine telemetry, added with the frontier engine: the
+    // frontier_speedup analytic case records per-engine wall clock and
+    // throughput (see bench_simulator_throughput.cpp).
+    const json_value* values = c.find("values");
+    if (values != nullptr && values->is_object()) {
+      const std::string vwhere = where + ".values";
+      optional(*values, vwhere, "reference_min_ms", json_value::kind::number);
+      optional(*values, vwhere, "frontier_min_ms", json_value::kind::number);
+      optional(*values, vwhere, "steps_per_sec_reference",
+               json_value::kind::number);
+      optional(*values, vwhere, "steps_per_sec_frontier",
+               json_value::kind::number);
+      optional(*values, vwhere, "speedup", json_value::kind::number);
+      optional(*values, vwhere, "steps", json_value::kind::integer);
+    }
     const json_value* trials = c.find("trials");
     if (trials != nullptr && trials->is_array()) {
       for (std::size_t i = 0; i < trials->items().size(); ++i) {
