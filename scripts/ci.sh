@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Continuous-integration entry point: static analysis first, then builds and
-# tests in three configurations, then a telemetry smoke pass.
+# tests in three configurations, then a telemetry smoke pass, then the
+# campaign interruption drill and the perf-regression gate.
 #
 #   0. Static analysis                  — builds only radiocast_lint (plus
 #      its deps) and runs the determinism lint over src/ bench/ tests/
@@ -27,6 +28,14 @@
 #      each emitted BENCH_*.json plus the lint report from stage 0. Runs in
 #      a scratch directory so the committed full-run artifacts at the
 #      repository root are untouched.
+#   5. Campaign smoke + regression gate (build/ci-campaign) — the
+#      interruption drill: runs a 4-shard campaign, stops it after 2 shards
+#      (--stop-after), resumes it, merges, validates the merged artifact,
+#      and diffs it against an uninterrupted single-pass merge — the two
+#      must be bit-identical outside wall-clock keys. Then the
+#      perf-regression gate: `radiocast_inspect regress` compares stage 4's
+#      fresh smoke artifacts against the committed bench/baselines/ and
+#      fails CI on any gated drop (see scripts/update_baselines.sh).
 #
 # Every ctest invocation carries --timeout 300 so a hung test (deadlocked
 # pool, runaway adversary) fails the stage instead of wedging CI.
@@ -35,7 +44,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "=== [0/5] Static analysis (determinism lint + clang-tidy) ==="
+echo "=== [0/6] Static analysis (determinism lint + clang-tidy) ==="
 cmake -B build -S .
 cmake --build build --parallel --target radiocast_lint radiocast_inspect
 build/tools/radiocast_lint --root . --json build/lint-report.json
@@ -47,22 +56,22 @@ else
   echo "clang-tidy not installed; skipping (lint stage still gates)"
 fi
 
-echo "=== [1/5] Release build + tests ==="
+echo "=== [1/6] Release build + tests ==="
 cmake --build build --parallel
 ctest --test-dir build --output-on-failure --timeout 300
 
-echo "=== [2/5] Sanitizer build + tests (address,undefined) ==="
+echo "=== [2/6] Sanitizer build + tests (address,undefined) ==="
 cmake -B build-san -S . -DRADIOCAST_SANITIZE=address,undefined
 cmake --build build-san --parallel
 ctest --test-dir build-san --output-on-failure --timeout 300
 
-echo "=== [3/5] Thread-sanitizer build + parallel tests ==="
+echo "=== [3/6] Thread-sanitizer build + parallel tests ==="
 cmake -B build-tsan -S . -DRADIOCAST_SANITIZE=thread
 cmake --build build-tsan --parallel --target parallel_test sim_test
 RADIOCAST_THREADS=4 ctest --test-dir build-tsan --output-on-failure \
   --timeout 300 -R 'parallel_test|sim_test'
 
-echo "=== [4/5] Telemetry smoke + schema validation ==="
+echo "=== [4/6] Telemetry smoke + schema validation ==="
 smoke_dir=build/ci-smoke
 rm -rf "$smoke_dir"
 mkdir -p "$smoke_dir"
@@ -84,4 +93,62 @@ fi
 build/tools/radiocast_inspect validate \
   "$smoke_dir"/BENCH_simulator_throughput.json
 
-echo "ci: all five stages passed"
+echo "=== [5/6] Campaign smoke (interrupt/resume/merge) + regression gate ==="
+campaign_dir=build/ci-campaign
+rm -rf "$campaign_dir"
+mkdir -p "$campaign_dir"
+cmake --build build --parallel --target radiocast_campaign
+cat > "$campaign_dir"/manifest.json <<'EOF'
+{
+  "schema": "radiocast.campaign.v1",
+  "name": "ci-smoke-campaign",
+  "base_seed": 1,
+  "trials_per_point": 4,
+  "shard_size": 2,
+  "threads": 2,
+  "max_steps": 100000,
+  "grid": [
+    {"family": "complete-layered", "n": 48, "d": 6, "protocol": "decay"},
+    {"family": "layered-fat", "n": 64, "d": 4, "protocol": "kp",
+     "known_d": 4}
+  ]
+}
+EOF
+# Interruption drill: 4 shards total — stop after 2, resume, merge.
+build/tools/radiocast_campaign run "$campaign_dir"/manifest.json \
+  --out "$campaign_dir"/interrupted --stop-after 2
+build/tools/radiocast_campaign run "$campaign_dir"/manifest.json \
+  --out "$campaign_dir"/interrupted
+build/tools/radiocast_campaign merge "$campaign_dir"/manifest.json \
+  --out "$campaign_dir"/interrupted \
+  --output "$campaign_dir"/merged-interrupted.json
+# Control: the same campaign in one uninterrupted pass.
+build/tools/radiocast_campaign run "$campaign_dir"/manifest.json \
+  --out "$campaign_dir"/straight
+build/tools/radiocast_campaign merge "$campaign_dir"/manifest.json \
+  --out "$campaign_dir"/straight \
+  --output "$campaign_dir"/merged-straight.json
+build/tools/radiocast_inspect validate \
+  "$campaign_dir"/merged-interrupted.json \
+  "$campaign_dir"/merged-straight.json
+# Resume bit-identity: the merges must agree outside wall-clock keys
+# (radiocast_inspect diff excludes those by default and exits non-zero on
+# any other difference).
+build/tools/radiocast_inspect diff \
+  "$campaign_dir"/merged-interrupted.json \
+  "$campaign_dir"/merged-straight.json
+# Perf-regression gate: stage 4's fresh smoke artifacts vs the committed
+# baselines. Deterministic keys (steps, steps.mean, timeout_rate) gate
+# exactly; wall-clock-derived ratios get an extra-wide tolerance here
+# because smoke-mode runs (≤2 trials) are noisy on shared CI hosts — the
+# throughput bench separately RC_CHECKs frontier > reference, so a real
+# engine regression still fails stage 4.
+build/tools/radiocast_inspect regress \
+  bench/baselines/BENCH_simulator_throughput.json \
+  "$smoke_dir"/BENCH_simulator_throughput.json \
+  --tolerance speedup=75 --tolerance off_over_on=75
+build/tools/radiocast_inspect regress \
+  bench/baselines/BENCH_fault_resilience.json \
+  "$smoke_dir"/BENCH_fault_resilience.json
+
+echo "ci: all six stages passed"

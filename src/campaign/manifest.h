@@ -1,0 +1,103 @@
+// Campaign manifests — the declarative input of the campaign runner.
+//
+// A campaign is a parameter sweep executed as sharded, resumable work
+// units (docs/CAMPAIGNS.md). The manifest (schema "radiocast.campaign.v1")
+// declares everything the runner needs to reproduce the sweep
+// bit-identically on any host:
+//
+//   {
+//     "schema": "radiocast.campaign.v1",
+//     "name": "decay-vs-kp",
+//     "base_seed": 1,            // trial t of every point runs seed base+t
+//     "trials_per_point": 1000,  // seeded trials per grid point
+//     "shard_size": 250,         // trials per shard artifact (work unit)
+//     "threads": 0,              // worker threads (0 = RADIOCAST_THREADS)
+//     "max_steps": 1000000,      // per-trial step cap
+//     "grid": [
+//       {"family": "complete-layered", "n": 256, "d": 8,
+//        "protocol": "decay"},
+//       {"family": "gnp", "n": 128, "p": 0.1, "graph_seed": 7,
+//        "protocol": "kp", "known_d": 16}
+//     ]
+//   }
+//
+// Graph families are the deterministic generators of graph/generators.h;
+// randomized families (gnp, random-tree) draw from util/rng seeded with
+// the point's graph_seed, so the topology is part of the manifest, not of
+// the host. Protocols resolve through core/runner.h's make_protocol.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "obs/json.h"
+#include "sim/protocol.h"
+
+namespace radiocast::campaign {
+
+/// Schema tag of the manifest document.
+inline constexpr char kManifestSchema[] = "radiocast.campaign.v1";
+
+/// One cell of the parameter grid: a (topology, protocol) pair.
+struct grid_point {
+  std::string family;             ///< generator name (see family_names())
+  node_id n = 0;                  ///< node count
+  int d = 0;                      ///< radius/depth parameter (layered, grid)
+  double p = 0.0;                 ///< edge probability (gnp families)
+  std::uint64_t graph_seed = 1;   ///< seed for randomized generators
+  std::string protocol;           ///< name for make_protocol
+  int known_d = -1;               ///< D parameter for D-aware protocols
+
+  /// Canonical case name, e.g. "complete-layered/n=256/d=8/decay" — the
+  /// key merged artifacts and regress gates match cases by.
+  std::string case_name() const;
+
+  /// Manifest-shaped JSON (round-trips through parse_manifest).
+  obs::json_value to_json() const;
+};
+
+/// The whole campaign declaration.
+struct manifest {
+  std::string name;
+  std::uint64_t base_seed = 1;
+  int trials_per_point = 1;
+  int shard_size = 0;  ///< 0 ⇒ one shard per point
+  int threads = 0;     ///< 0 ⇒ the RADIOCAST_THREADS environment default
+  std::int64_t max_steps = 1'000'000;
+  std::vector<grid_point> grid;
+
+  obs::json_value to_json() const;
+
+  /// Stable 64-bit fingerprint of the manifest's canonical JSON form.
+  /// Checkpoints record it so a resume against an edited manifest is
+  /// rejected instead of silently mixing incompatible shards.
+  std::uint64_t fingerprint() const;
+};
+
+/// Supported graph family names: "path", "cycle", "star", "complete",
+/// "complete-layered", "layered-fat", "gnp", "random-tree".
+const std::vector<std::string>& family_names();
+
+/// Parses and validates a manifest document. Returns std::nullopt with a
+/// diagnostic in *error (when provided) on schema violations: wrong
+/// schema tag, unknown family or protocol, non-positive counts, an empty
+/// grid, or a shard_size that does not divide the work sensibly.
+std::optional<manifest> parse_manifest(const obs::json_value& doc,
+                                       std::string* error = nullptr);
+
+/// parse_manifest over a file's contents.
+std::optional<manifest> load_manifest(const std::string& path,
+                                      std::string* error = nullptr);
+
+/// Builds the point's (finalized) topology. Deterministic: randomized
+/// families seed a private rng from graph_seed.
+graph build_graph(const grid_point& point);
+
+/// Builds the point's protocol via make_protocol (r = n − 1).
+std::unique_ptr<protocol> build_protocol(const grid_point& point);
+
+}  // namespace radiocast::campaign

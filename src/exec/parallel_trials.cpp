@@ -1,5 +1,7 @@
 #include "exec/parallel_trials.h"
 
+#include <algorithm>
+#include <condition_variable>
 #include <exception>
 #include <memory>
 #include <mutex>
@@ -19,12 +21,24 @@ namespace {
 /// One contiguous slice of the seed range, with the private observability
 /// and fault state its worker runs against.
 struct shard {
+  int index = 0;  ///< shard position within the batch (seed order)
   int first = 0;  ///< index of the shard's first trial within the batch
   int count = 0;
   std::unique_ptr<obs::metrics_registry> metrics;
   std::unique_ptr<fault::fault_model> faults;
   obs::span_profiler profiler;
   trial_set result;
+  bool done = false;    ///< guarded by the fold mutex
+  bool failed = false;  ///< guarded by the fold mutex
+
+  shard_info info(std::uint64_t batch_base_seed) const {
+    shard_info si;
+    si.index = index;
+    si.first = first;
+    si.count = count;
+    si.base_seed = batch_base_seed + static_cast<std::uint64_t>(first);
+    return si;
+  }
 };
 
 }  // namespace
@@ -32,8 +46,12 @@ struct shard {
 trial_set parallel_run_trials(const graph& g, const protocol& proto,
                               const trial_options& opts) {
   RC_REQUIRE(opts.trials >= 1);
+  RC_REQUIRE(opts.shard_size >= 0);
   const int threads = exec::resolve_threads(opts.threads);
-  if (threads <= 1 || opts.trials <= 1) {
+  // The plain-serial fast path exists only when nothing observable depends
+  // on shard structure: no lifecycle hooks, no pinned shard size.
+  if (!opts.hooks.any() && opts.shard_size == 0 &&
+      (threads <= 1 || opts.trials <= 1)) {
     return run_trials(g, proto, opts);  // the serial path, untouched
   }
 
@@ -41,11 +59,17 @@ trial_set parallel_run_trials(const graph& g, const protocol& proto,
       opts.profiler != nullptr ? opts.profiler : obs::global_profiler();
   obs::scoped_span batch_span(profiler, "parallel_run_trials");
 
-  const int workers = std::min(threads, opts.trials);
-  // A few shards per worker so one slow seed does not serialize the tail;
-  // shards stay contiguous so the seed-order fold below reproduces the
-  // serial registry (series concatenate per trial, in seed order).
-  const int shard_count = std::min(opts.trials, workers * 4);
+  const int workers = std::max(1, std::min(threads, opts.trials));
+  // Shard boundaries: a pinned shard_size makes them a function of the
+  // batch alone (campaign artifacts must not depend on the host's core
+  // count); auto mode cuts a few per worker so one slow seed does not
+  // serialize the tail. Either way shards stay contiguous in seed order,
+  // which is what makes the in-order fold below reproduce the serial
+  // registry (series concatenate per trial, in seed order).
+  const int shard_count =
+      opts.shard_size > 0
+          ? (opts.trials + opts.shard_size - 1) / opts.shard_size
+          : std::min(opts.trials, workers * 4);
   std::vector<shard> shards(static_cast<std::size_t>(shard_count));
   {
     const int base = opts.trials / shard_count;
@@ -53,8 +77,11 @@ trial_set parallel_run_trials(const graph& g, const protocol& proto,
     int offset = 0;
     for (int i = 0; i < shard_count; ++i) {
       shard& s = shards[static_cast<std::size_t>(i)];
+      s.index = i;
       s.first = offset;
-      s.count = base + (i < rem ? 1 : 0);
+      s.count = opts.shard_size > 0
+                    ? std::min(opts.shard_size, opts.trials - offset)
+                    : base + (i < rem ? 1 : 0);
       offset += s.count;
       if (opts.metrics != nullptr) {
         s.metrics = std::make_unique<obs::metrics_registry>();
@@ -68,15 +95,24 @@ trial_set parallel_run_trials(const graph& g, const protocol& proto,
                          "override fault_model::clone or run with threads=1");
       }
     }
+    RC_CHECK_MSG(offset == opts.trials,
+                 "shard plan does not cover the trial range exactly");
   }
 
-  std::mutex error_mu;
+  std::mutex mu;
+  std::condition_variable shard_done;
   std::exception_ptr first_error;
+
+  trial_set out;
+  if (!opts.hooks.discard_records) {
+    out.trials.reserve(static_cast<std::size_t>(opts.trials));
+  }
   {
     exec::thread_pool pool(workers);
     for (shard& s : shards) {
-      pool.submit([&g, &proto, &opts, &s, &error_mu, &first_error] {
+      pool.submit([&g, &proto, &opts, &s, &mu, &shard_done, &first_error] {
         try {
+          if (opts.hooks.on_start) opts.hooks.on_start(s.info(opts.base_seed));
           trial_options topts;
           topts.trials = s.count;
           topts.base_seed =
@@ -91,28 +127,52 @@ trial_set parallel_run_trials(const graph& g, const protocol& proto,
           topts.engine = opts.engine;
           topts.verify_sleepers = opts.verify_sleepers;
           s.result = run_trials(g, proto, topts);
+          const std::lock_guard<std::mutex> lock(mu);
+          s.done = true;
         } catch (...) {
-          const std::lock_guard<std::mutex> lock(error_mu);
+          const std::lock_guard<std::mutex> lock(mu);
           if (first_error == nullptr) first_error = std::current_exception();
+          s.failed = true;
+          s.done = true;
         }
+        shard_done.notify_all();
       });
+    }
+
+    // Streaming fold: wait for each shard IN SEED ORDER and retire it while
+    // later shards are still running — on_done fires on this thread with
+    // the shard's records, then the shard's memory is released. Bounded by
+    // the skew between shards, not the whole batch.
+    for (shard& s : shards) {
+      bool failed = false;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        shard_done.wait(lock, [&s] { return s.done; });
+        failed = s.failed;
+      }
+      // A failed shard ends the fold: every earlier shard already streamed
+      // out (a valid prefix), no later shard's on_done fires.
+      if (failed) break;
+      RC_CHECK_MSG(static_cast<int>(s.result.trials.size()) == s.count,
+                   "worker shard returned a partial trial batch");
+      if (opts.hooks.on_done) {
+        opts.hooks.on_done(s.info(opts.base_seed), s.result);
+      }
+      if (opts.metrics != nullptr) opts.metrics->merge(*s.metrics);
+      if (profiler != nullptr) profiler->merge(s.profiler);
+      if (opts.hooks.discard_records) {
+        s.result = trial_set{};  // release now, while later shards run
+      } else {
+        out.trials.insert(out.trials.end(),
+                          std::make_move_iterator(s.result.trials.begin()),
+                          std::make_move_iterator(s.result.trials.end()));
+        s.result = trial_set{};
+      }
+      s.metrics.reset();
     }
     pool.wait_idle();
   }  // joins the workers
   if (first_error != nullptr) std::rethrow_exception(first_error);
-
-  // Fold shards back in seed order — this ordering is what makes gauge
-  // last-write-wins and series concatenation match the serial pass.
-  trial_set out;
-  out.trials.reserve(static_cast<std::size_t>(opts.trials));
-  for (shard& s : shards) {
-    RC_CHECK_MSG(static_cast<int>(s.result.trials.size()) == s.count,
-                 "worker shard returned a partial trial batch");
-    out.trials.insert(out.trials.end(), s.result.trials.begin(),
-                      s.result.trials.end());
-    if (opts.metrics != nullptr) opts.metrics->merge(*s.metrics);
-    if (profiler != nullptr) profiler->merge(s.profiler);
-  }
   return out;
 }
 

@@ -13,10 +13,17 @@
 //     with a PRIVATE metrics_registry, a PRIVATE span_profiler, and a
 //     PRIVATE fault_model clone — workers share only the const graph and
 //     protocol factory;
-//   * afterwards, shards are folded back IN SEED ORDER: trial records
-//     concatenate into the result, per-shard registries fold into the
-//     caller's via metrics_registry::merge, and worker span trees fold
-//     into the caller's profiler via span_profiler::merge.
+//   * shards are folded back IN SEED ORDER, and the fold STREAMS: the
+//     calling thread retires each next-in-order shard as it finishes —
+//     firing trial_options::hooks.on_done, merging its registry
+//     (metrics_registry::merge) and span tree (span_profiler::merge) into
+//     the caller's, then releasing the shard's memory — while later shards
+//     are still running. With hooks.discard_records, peak memory is
+//     bounded by in-flight shards, not the whole batch.
+//
+// trial_options::shard_size pins the shard boundaries (campaigns need
+// artifact files that are a function of the manifest, not the host's core
+// count); 0 keeps the auto split, a few shards per worker.
 //
 // Determinism contract (tested by tests/parallel_test.cpp, run under TSan
 // by scripts/ci.sh): for every thread count, the resulting trial_set and
@@ -32,8 +39,11 @@ namespace radiocast {
 /// As run_trials, but sharded over exec::resolve_threads(opts.threads)
 /// workers. A resolved count ≤ 1 (the default when RADIOCAST_THREADS is
 /// unset) calls the serial run_trials directly — byte-for-byte the
-/// existing path. With opts.faults set, the model must support clone()
-/// (all built-in models do); a non-cloneable model is a checked error.
+/// existing path — UNLESS opts.hooks or opts.shard_size demand shard
+/// structure, in which case the sharded path runs even on one worker (and
+/// still produces bit-identical records). With opts.faults set, the model
+/// must support clone() (all built-in models do); a non-cloneable model is
+/// a checked error.
 trial_set parallel_run_trials(const graph& g, const protocol& proto,
                               const trial_options& opts);
 

@@ -1,0 +1,36 @@
+#include "obs/ndjson.h"
+
+#include <utility>
+
+namespace radiocast::obs {
+
+std::optional<json_value> ndjson_reader::next() {
+  if (done_) return std::nullopt;
+  std::string raw;
+  while (std::getline(in_, raw)) {
+    ++line_;
+    // getline consumed the '\n' unless it stopped at end of stream; a line
+    // that hit EOF without a delimiter is the candidate torn tail.
+    const bool newline_terminated = !in_.eof();
+    if (!raw.empty() && raw.back() == '\r') raw.pop_back();
+    if (raw.find_first_not_of(" \t") == std::string::npos) continue;
+    std::string parse_error;
+    std::optional<json_value> doc = json_parse(raw, &parse_error);
+    if (!doc) {
+      done_ = true;
+      if (newline_terminated) {
+        failed_ = true;
+        error_ = "line " + std::to_string(line_) + ": " + parse_error;
+      } else {
+        truncated_ = true;
+      }
+      return std::nullopt;
+    }
+    ++documents_;
+    return doc;
+  }
+  done_ = true;
+  return std::nullopt;
+}
+
+}  // namespace radiocast::obs

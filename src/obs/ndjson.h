@@ -1,0 +1,69 @@
+// Streaming reader for newline-delimited JSON artifacts.
+//
+// obs::ndjson_parse (json.h) materializes a whole NDJSON document at once,
+// which is the wrong shape for campaign shard artifacts: a million-trial
+// shard file is read record by record, and a file torn mid-line by an
+// interrupted writer must yield every complete record rather than nothing.
+// `ndjson_reader` wraps any std::istream and hands back one parsed
+// json_value per nonempty line:
+//
+//   * blank lines and CRLF line endings are tolerated (a '\r' before the
+//     newline is stripped);
+//   * line length is unbounded — multi-megabyte records stream fine;
+//   * a malformed line that ends in '\n' is a hard error (failed());
+//   * a malformed FINAL line with no trailing newline is reported as
+//     truncation (truncated()), not as an error — that is exactly what an
+//     interrupted writer leaves behind, and resumable-campaign readers
+//     treat the complete prefix as valid (docs/CAMPAIGNS.md).
+#pragma once
+
+#include <istream>
+#include <optional>
+#include <string>
+
+#include "obs/json.h"
+
+namespace radiocast::obs {
+
+class ndjson_reader {
+ public:
+  explicit ndjson_reader(std::istream& in) : in_(in) {}
+
+  ndjson_reader(const ndjson_reader&) = delete;
+  ndjson_reader& operator=(const ndjson_reader&) = delete;
+
+  /// Parses and returns the next nonempty line's document. Returns
+  /// std::nullopt at end of input, on a hard parse error (failed() turns
+  /// true, error() describes it) and on a torn final line (truncated()
+  /// turns true). Once nullopt has been returned, further calls keep
+  /// returning nullopt.
+  std::optional<json_value> next();
+
+  /// True after a malformed line that was properly newline-terminated —
+  /// the input is corrupt, not merely torn.
+  bool failed() const { return failed_; }
+
+  /// Diagnostic for failed(): "line N: <parser error>".
+  const std::string& error() const { return error_; }
+
+  /// True when the final line had no trailing newline and did not parse —
+  /// the signature of a writer interrupted mid-record.
+  bool truncated() const { return truncated_; }
+
+  /// Documents successfully returned so far.
+  int documents() const { return documents_; }
+
+  /// 1-based number of the line most recently read (0 before any read).
+  int line() const { return line_; }
+
+ private:
+  std::istream& in_;
+  bool done_ = false;
+  bool failed_ = false;
+  bool truncated_ = false;
+  std::string error_;
+  int documents_ = 0;
+  int line_ = 0;
+};
+
+}  // namespace radiocast::obs

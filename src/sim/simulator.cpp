@@ -296,7 +296,10 @@ class broadcast_run {
       result_.informed_at[idx(v)] = step;
       ++informed_count_;
       if (opts_.sink != nullptr) {
-        opts_.sink->record({step, trace_event::type::informed, v, {}});
+        // Carry the delivering message so informed events have provenance:
+        // msg.from is the node whose transmission first informed v — the
+        // parent edge of the first-delivery tree (sim/trace_analysis.h).
+        opts_.sink->record({step, trace_event::type::informed, v, *delivered});
       }
     }
   }

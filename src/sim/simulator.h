@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "graph/graph.h"
@@ -126,6 +127,43 @@ run_result run_broadcast_with_r(const graph& g, const protocol& proto,
 // Trial batches — the measurement substrate of every bench and experiment.
 // ---------------------------------------------------------------------------
 
+/// One contiguous seed-range slice of a trial batch, as reported to shard
+/// lifecycle hooks by parallel_run_trials (src/exec/parallel_trials.h).
+struct shard_info {
+  int index = 0;            ///< shard position within the batch (seed order)
+  int first = 0;            ///< index of the shard's first trial
+  int count = 0;            ///< trials in this shard
+  std::uint64_t base_seed = 0;  ///< seed of the shard's first trial
+};
+
+/// Lifecycle hooks for sharded trial execution. Honored ONLY by
+/// parallel_run_trials (run_trials is always plain-serial and ignores
+/// them, exactly like trial_options::threads). They are what lets a
+/// campaign stream trial records to durable artifacts instead of folding
+/// every shard back through process memory (docs/CAMPAIGNS.md):
+///
+///   * on_start fires from WORKER threads as shards begin, in no
+///     particular order — the callback must be thread-safe;
+///   * on_done fires on the CALLING thread, strictly in seed order, as
+///     each next-in-order shard finishes — a shard's records stream out
+///     (and its memory is released when discard_records is set) while
+///     later shards are still running;
+///   * discard_records = true drops each shard's trial records after its
+///     on_done returns instead of folding them into the returned
+///     trial_set, which then comes back empty. Metrics and span merges
+///     are unaffected.
+struct trial_set;  // defined below
+
+struct shard_hooks {
+  std::function<void(const shard_info&)> on_start;
+  std::function<void(const shard_info&, const trial_set&)> on_done;
+  bool discard_records = false;
+
+  bool any() const {
+    return on_start != nullptr || on_done != nullptr || discard_records;
+  }
+};
+
 /// Options for a seeded trial batch.
 struct trial_options {
   int trials = 1;
@@ -148,6 +186,16 @@ struct trial_options {
   /// threads produces bit-identical trial records and merged metrics
   /// (wall_ms aside; see docs/PARALLELISM.md).
   int threads = 0;
+  /// Explicit shard size for parallel_run_trials: 0 = auto (a few shards
+  /// per worker, balanced), N ≥ 1 = contiguous shards of exactly N trials
+  /// in seed order (the last one smaller when N does not divide trials).
+  /// Campaigns pin this so shard boundaries — and therefore artifact
+  /// files — are a function of the manifest alone, not the host's core
+  /// count. run_trials ignores this field, like `threads`.
+  int shard_size = 0;
+  /// Shard lifecycle hooks (see shard_hooks above). parallel_run_trials
+  /// only; run_trials ignores them.
+  shard_hooks hooks;
   /// Step-loop implementation for every trial (see run_options::engine).
   step_engine engine = step_engine::frontier;
   /// Per-trial dormant-node contract sweep (see run_options::verify_sleepers).

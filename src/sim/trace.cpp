@@ -134,6 +134,10 @@ void trace::to_ndjson(std::ostream& os) const {
     } else if (e.what == trace_event::type::edge_down ||
                e.what == trace_event::type::edge_up) {
       line.set("peer", e.msg.a);
+    } else if (e.what == trace_event::type::informed && e.msg.from >= 0) {
+      // First-delivery provenance: the neighbor whose transmission informed
+      // this node (absent in traces recorded before the field existed).
+      line.set("from", static_cast<std::int64_t>(e.msg.from));
     }
     line.write(os);
     os << '\n';

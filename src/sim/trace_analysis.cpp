@@ -1,0 +1,262 @@
+#include "sim/trace_analysis.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "obs/ndjson.h"
+
+namespace radiocast {
+
+namespace {
+
+/// Per-node scratch grown on demand (traces do not carry the node count).
+template <typename T>
+void ensure(std::vector<T>* v, node_id node, T fill) {
+  if (static_cast<std::size_t>(node) >= v->size()) {
+    v->resize(static_cast<std::size_t>(node) + 1, fill);
+  }
+}
+
+std::vector<node_count> ranked(const std::vector<std::int64_t>& counts) {
+  std::vector<node_count> out;
+  for (std::size_t v = 0; v < counts.size(); ++v) {
+    if (counts[v] > 0) {
+      out.push_back({static_cast<node_id>(v), counts[v]});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const node_count& a,
+                                       const node_count& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.node < b.node;
+  });
+  return out;
+}
+
+}  // namespace
+
+trace_analysis analyze_events(const std::vector<trace_event>& events) {
+  trace_analysis a;
+  std::vector<std::int64_t> tx_counts, collision_counts;
+  // Fallback provenance for informed events without a "from" field: the
+  // simulator records the receive immediately before the informed event of
+  // the same (node, step).
+  std::vector<node_id> last_rx_from;
+  std::vector<std::int64_t> last_rx_step;
+
+  for (const trace_event& e : events) {
+    if (e.node < 0) continue;
+    ensure(&a.parent, e.node, node_id{-1});
+    ensure(&a.informed_step, e.node, std::int64_t{-1});
+    switch (e.what) {
+      case trace_event::type::transmit:
+        ++a.transmissions;
+        ensure(&tx_counts, e.node, std::int64_t{0});
+        ++tx_counts[static_cast<std::size_t>(e.node)];
+        break;
+      case trace_event::type::receive:
+        ++a.deliveries;
+        ensure(&last_rx_from, e.node, node_id{-1});
+        ensure(&last_rx_step, e.node, std::int64_t{-1});
+        last_rx_from[static_cast<std::size_t>(e.node)] = e.msg.from;
+        last_rx_step[static_cast<std::size_t>(e.node)] = e.step;
+        break;
+      case trace_event::type::collision:
+        ++a.collisions;
+        ensure(&collision_counts, e.node, std::int64_t{0});
+        ++collision_counts[static_cast<std::size_t>(e.node)];
+        break;
+      case trace_event::type::informed: {
+        const auto v = static_cast<std::size_t>(e.node);
+        if (a.informed_step[v] != -1) break;  // first delivery only
+        a.informed_step[v] = e.step;
+        a.last_informed_step = std::max(a.last_informed_step, e.step);
+        node_id from = e.msg.from;
+        if (from < 0 && v < last_rx_step.size() &&
+            last_rx_step[v] == e.step) {
+          from = last_rx_from[v];
+        }
+        a.parent[v] = from;
+        break;
+      }
+      case trace_event::type::drop:
+        ++a.drops;
+        break;
+      case trace_event::type::crash:
+        ++a.crashes;
+        break;
+      case trace_event::type::edge_down:
+      case trace_event::type::edge_up:
+        break;
+    }
+  }
+
+  // The source never receives an informed event — it starts informed.
+  if (!a.informed_step.empty() && a.informed_step[0] == -1) {
+    a.informed_step[0] = 0;
+    a.parent[0] = -1;
+  }
+
+  // Depths by chasing parent links, memoized. Parents were informed
+  // strictly earlier than their children, so chains terminate at the
+  // source (or at a node with unknown provenance, depth −1).
+  const std::size_t n = a.informed_step.size();
+  a.depth.assign(n, -2);  // −2 = not yet computed
+  for (std::size_t v = 0; v < n; ++v) {
+    if (a.informed_step[v] == -1) {
+      a.depth[v] = -1;
+      continue;
+    }
+    std::vector<std::size_t> chain;
+    std::size_t u = v;
+    while (a.depth[u] == -2) {
+      chain.push_back(u);
+      const node_id p = a.parent[u];
+      if (u == 0 || p < 0) {
+        a.depth[u] = u == 0 ? 0 : -1;  // root, or provenance lost
+        if (u != 0) a.missing_provenance = true;
+        break;
+      }
+      const auto pu = static_cast<std::size_t>(p);
+      // Parents are informed strictly before their children — except the
+      // source, whose synthetic informed_step 0 may tie with layer 1.
+      if (pu >= n || a.informed_step[pu] == -1 ||
+          (pu != 0 && a.informed_step[pu] >= a.informed_step[u])) {
+        a.depth[u] = -1;  // inconsistent provenance (e.g. label ≠ id)
+        a.missing_provenance = true;
+        break;
+      }
+      u = pu;
+    }
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      if (a.depth[*it] != -2) continue;
+      const auto pu = static_cast<std::size_t>(a.parent[*it]);
+      a.depth[*it] = a.depth[pu] >= 0 ? a.depth[pu] + 1 : -1;
+    }
+  }
+
+  std::int64_t max_depth = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (a.informed_step[v] != -1) ++a.nodes_informed;
+    max_depth = std::max(max_depth, a.depth[v]);
+  }
+  a.tree_depth = max_depth;
+
+  a.layers.assign(static_cast<std::size_t>(max_depth) + 1, {});
+  for (std::size_t v = 0; v < n; ++v) {
+    if (a.depth[v] < 0) continue;
+    layer_timeline& layer = a.layers[static_cast<std::size_t>(a.depth[v])];
+    if (layer.nodes == 0) {
+      layer.first_step = a.informed_step[v];
+      layer.last_step = a.informed_step[v];
+    } else {
+      layer.first_step = std::min(layer.first_step, a.informed_step[v]);
+      layer.last_step = std::max(layer.last_step, a.informed_step[v]);
+    }
+    ++layer.nodes;
+  }
+  for (std::size_t d = 0; d < a.layers.size(); ++d) {
+    a.layers[d].depth = static_cast<std::int64_t>(d);
+  }
+
+  a.collision_hotspots = ranked(collision_counts);
+  a.transmitters = ranked(tx_counts);
+  return a;
+}
+
+trace_analysis analyze_trace(const trace& t) {
+  return analyze_events(t.events());
+}
+
+std::optional<trace_analysis> analyze_ndjson(std::istream& in,
+                                             std::string* error) {
+  auto fail = [&](const std::string& why) -> std::optional<trace_analysis> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+  std::vector<trace_event> events;
+  obs::ndjson_reader reader(in);
+  while (std::optional<obs::json_value> doc = reader.next()) {
+    trace_event e;
+    const obs::json_value* step = doc->find("step");
+    const obs::json_value* type = doc->find("type");
+    const obs::json_value* node = doc->find("node");
+    if (step == nullptr || !step->is_number() || type == nullptr ||
+        !type->is_string() || node == nullptr || !node->is_number()) {
+      return fail("line " + std::to_string(reader.line()) +
+                  ": not a trace event (needs step/type/node)");
+    }
+    e.step = step->as_int();
+    e.node = static_cast<node_id>(node->as_int());
+    bool known = false;
+    for (int t = 0; t < trace_event::kTypeCount; ++t) {
+      const auto kind = static_cast<trace_event::type>(t);
+      if (type->as_string() == trace_event_type_name(kind)) {
+        e.what = kind;
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return fail("line " + std::to_string(reader.line()) +
+                  ": unknown event type \"" + type->as_string() + "\"");
+    }
+    const obs::json_value* from = doc->find("from");
+    if (from != nullptr && from->is_number()) {
+      e.msg.from = static_cast<node_id>(from->as_int());
+    }
+    events.push_back(e);
+  }
+  if (reader.failed()) return fail(reader.error());
+  if (reader.truncated()) return fail("truncated final line");
+  return analyze_events(events);
+}
+
+obs::json_value analysis_to_json(const trace_analysis& a, int top) {
+  obs::json_value doc = obs::json_value::object();
+  doc.set("schema", "radiocast.trace-analysis.v1");
+  doc.set("nodes_informed", a.nodes_informed);
+  doc.set("tree_depth", a.tree_depth);
+  doc.set("last_informed_step", a.last_informed_step);
+  doc.set("missing_provenance", a.missing_provenance);
+  obs::json_value totals = obs::json_value::object();
+  totals.set("transmissions", a.transmissions);
+  totals.set("collisions", a.collisions);
+  totals.set("deliveries", a.deliveries);
+  totals.set("drops", a.drops);
+  totals.set("crashes", a.crashes);
+  doc.set("totals", std::move(totals));
+  obs::json_value layers = obs::json_value::array();
+  for (const layer_timeline& layer : a.layers) {
+    obs::json_value l = obs::json_value::object();
+    l.set("depth", layer.depth);
+    l.set("nodes", layer.nodes);
+    l.set("first_step", layer.first_step);
+    l.set("last_step", layer.last_step);
+    layers.push_back(std::move(l));
+  }
+  doc.set("layers", std::move(layers));
+  auto profile = [top](const std::vector<node_count>& ranked_counts) {
+    obs::json_value arr = obs::json_value::array();
+    const auto limit =
+        std::min<std::size_t>(ranked_counts.size(),
+                              top < 0 ? ranked_counts.size()
+                                      : static_cast<std::size_t>(top));
+    for (std::size_t i = 0; i < limit; ++i) {
+      obs::json_value e = obs::json_value::object();
+      e.set("node", static_cast<std::int64_t>(ranked_counts[i].node));
+      e.set("count", ranked_counts[i].count);
+      arr.push_back(std::move(e));
+    }
+    return arr;
+  };
+  doc.set("collision_hotspots", profile(a.collision_hotspots));
+  doc.set("ranked_nodes_collisions",
+          static_cast<std::int64_t>(a.collision_hotspots.size()));
+  doc.set("top_transmitters", profile(a.transmitters));
+  doc.set("ranked_nodes_transmitters",
+          static_cast<std::int64_t>(a.transmitters.size()));
+  return doc;
+}
+
+}  // namespace radiocast

@@ -1,0 +1,90 @@
+// Offline trace analytics — turns an event log (in-memory trace or the
+// NDJSON export of one) into the structures an operator actually asks for:
+//
+//   * the FIRST-DELIVERY TREE: for every informed node, the neighbor whose
+//     transmission first informed it (the "from" field of informed events;
+//     for traces recorded before that field existed, the receive event of
+//     the same step supplies the parent). Its depth is the broadcast's
+//     critical path — on a fault-free layered graph it equals the run's
+//     completion step count divided by the per-layer cost;
+//   * the per-layer WAKE TIMELINE: node count and first/last informed step
+//     of every tree depth;
+//   * COLLISION HOTSPOTS: listeners ranked by how often ≥2 neighbors
+//     transmitted at them simultaneously;
+//   * the per-node TRANSMISSION (energy) PROFILE: transmit counts ranked —
+//     the radio literature's power-budget metric.
+//
+// `radiocast_inspect analyze` is the CLI face (docs/OBSERVABILITY.md).
+//
+// Caveat: message `from` fields carry the transmitter's LABEL. Under the
+// default identity labeling (every run except the sparse-label
+// experiments) labels ARE node ids, which is what the tree builder
+// assumes; sparse-label traces analyze fine but parent ids are labels.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "obs/json.h"
+#include "sim/trace.h"
+
+namespace radiocast {
+
+/// One (node, count) entry of a ranked profile.
+struct node_count {
+  node_id node = -1;
+  std::int64_t count = 0;
+};
+
+/// One depth layer of the first-delivery tree.
+struct layer_timeline {
+  std::int64_t depth = 0;
+  std::int64_t nodes = 0;
+  std::int64_t first_step = 0;  ///< earliest informed step in the layer
+  std::int64_t last_step = 0;   ///< latest informed step in the layer
+};
+
+struct trace_analysis {
+  // First-delivery tree, indexed by node id (size = max node seen + 1).
+  std::vector<node_id> parent;             ///< −1 = root or unknown
+  std::vector<std::int64_t> informed_step; ///< −1 = never informed
+  std::vector<std::int64_t> depth;         ///< −1 = unknown (no provenance)
+  std::int64_t nodes_informed = 0;   ///< informed nodes incl. the source
+  std::int64_t tree_depth = 0;       ///< max known depth
+  std::int64_t last_informed_step = -1;
+  /// True when some informed event carried no provenance and no same-step
+  /// receive supplied it (old traces, ring-evicted prefixes).
+  bool missing_provenance = false;
+
+  std::vector<layer_timeline> layers;       ///< by depth, ascending
+  std::vector<node_count> collision_hotspots;  ///< desc count, asc node
+  std::vector<node_count> transmitters;        ///< desc count, asc node
+
+  // Event totals.
+  std::int64_t transmissions = 0;
+  std::int64_t collisions = 0;
+  std::int64_t deliveries = 0;
+  std::int64_t drops = 0;
+  std::int64_t crashes = 0;
+};
+
+/// Analyzes an ordered event list (oldest first). Node 0 is the source.
+trace_analysis analyze_events(const std::vector<trace_event>& events);
+
+/// Convenience over a live trace (ring mode analyzes the retained tail).
+trace_analysis analyze_trace(const trace& t);
+
+/// Parses a trace NDJSON stream (the `trace::to_ndjson` format) and
+/// analyzes it. std::nullopt with a diagnostic on malformed input.
+std::optional<trace_analysis> analyze_ndjson(std::istream& in,
+                                             std::string* error = nullptr);
+
+/// JSON rendering (schema "radiocast.trace-analysis.v1"): totals, the
+/// layer timeline, and the top `top` entries of each ranked profile.
+obs::json_value analysis_to_json(const trace_analysis& a, int top = 10);
+
+}  // namespace radiocast

@@ -119,6 +119,25 @@ TEST(LintTest, R2ExemptsDesignatedTimingSites) {
             0);
 }
 
+TEST(LintTest, R2CoversCampaignCodeExceptAnnotatedAllows) {
+  // src/campaign/ is IN scope for R2: its results must be host-independent.
+  // The one sanctioned read — the checkpoint freshness timestamp — goes
+  // through an annotated allow, exactly as checkpoint.cpp does it.
+  EXPECT_EQ(fired(lint_file("src/campaign/campaign.cpp", R"cpp(
+    auto t = std::chrono::system_clock::now();
+  )cpp"),
+                  "wall-clock"),
+            1);
+  EXPECT_EQ(fired(lint_file("src/campaign/checkpoint.cpp", R"cpp(
+    const auto since_epoch =
+        // radiocast-lint: allow(wall-clock) -- checkpoint freshness
+        // timestamp: display-only metadata, never reaches results
+        std::chrono::system_clock::now().time_since_epoch();
+  )cpp"),
+                  "wall-clock"),
+            0);
+}
+
 TEST(LintTest, R2MatchesTimeOnlyAsACall) {
   // `time(` is banned; `time_point`, `wall_time(...)` and members named
   // time are not wall-clock reads.

@@ -9,13 +9,16 @@
 #include <cmath>
 #include <sstream>
 
+#include "campaign/artifact.h"
 #include "core/runner.h"
 #include "graph/generators.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/ndjson.h"
 #include "obs/span.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
+#include "sim/trace_analysis.h"
 #include "util/stats.h"
 
 namespace radiocast {
@@ -280,6 +283,262 @@ TEST(TraceTest, NdjsonRoundTripsThroughTheParser) {
   ASSERT_TRUE(summary.has_value()) << err;
   EXPECT_EQ(summary->find("events")->as_int(), 3);
   EXPECT_EQ(summary->find_path("by_type.transmit")->as_int(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// NDJSON streaming reader
+// ---------------------------------------------------------------------------
+
+TEST(NdjsonReaderTest, EmptyInputYieldsNothingCleanly) {
+  std::istringstream in("");
+  obs::ndjson_reader reader(in);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_FALSE(reader.failed());
+  EXPECT_FALSE(reader.truncated());
+  EXPECT_EQ(reader.documents(), 0);
+  // Once drained, further calls stay drained.
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(NdjsonReaderTest, SkipsBlankLinesAndStripsCrlf) {
+  std::istringstream in("{\"a\":1}\r\n\n\r\n{\"a\":2}\n");
+  obs::ndjson_reader reader(in);
+  const auto first = reader.next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->find("a")->as_int(), 1);
+  const auto second = reader.next();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->find("a")->as_int(), 2);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_FALSE(reader.failed());
+  EXPECT_FALSE(reader.truncated());
+  EXPECT_EQ(reader.documents(), 2);
+}
+
+TEST(NdjsonReaderTest, TornFinalLineIsTruncationNotCorruption) {
+  // The signature an interrupted writer leaves: a complete record, then a
+  // record cut mid-byte with no trailing newline.
+  std::istringstream in("{\"seed\":1,\"steps\":9}\n{\"seed\":2,\"st");
+  obs::ndjson_reader reader(in);
+  const auto first = reader.next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->find("seed")->as_int(), 1);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.truncated());
+  EXPECT_FALSE(reader.failed());
+  EXPECT_EQ(reader.documents(), 1);
+}
+
+TEST(NdjsonReaderTest, CompleteFinalLineWithoutNewlineIsFine) {
+  std::istringstream in("{\"a\":1}\n{\"a\":2}");
+  obs::ndjson_reader reader(in);
+  EXPECT_TRUE(reader.next().has_value());
+  const auto second = reader.next();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->find("a")->as_int(), 2);
+  EXPECT_FALSE(reader.truncated());
+  EXPECT_FALSE(reader.failed());
+}
+
+TEST(NdjsonReaderTest, MalformedInteriorLineIsAHardError) {
+  std::istringstream in("{\"a\":1}\nnot json\n{\"a\":3}\n");
+  obs::ndjson_reader reader(in);
+  EXPECT_TRUE(reader.next().has_value());
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.failed());
+  EXPECT_FALSE(reader.truncated());
+  EXPECT_NE(reader.error().find("line 2"), std::string::npos)
+      << reader.error();
+  // A hard error is terminal: the valid-looking third line stays unread.
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(NdjsonReaderTest, StreamsAMultiMegabyteLine) {
+  // Line length must be unbounded: build one record > 1 MiB.
+  std::string big = "{\"blob\":\"";
+  big.append(1 << 20, 'x');
+  big += "\",\"tail\":42}\n{\"after\":1}\n";
+  std::istringstream in(big);
+  obs::ndjson_reader reader(in);
+  const auto doc = reader.next();
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("blob")->as_string().size(), 1u << 20);
+  EXPECT_EQ(doc->find("tail")->as_int(), 42);
+  const auto after = reader.next();
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->find("after")->as_int(), 1);
+  EXPECT_FALSE(reader.failed());
+}
+
+TEST(NdjsonReaderTest, ShardRecordTypesRoundTrip) {
+  // Every radiocast.shard.v1 record type survives write → stream → parse.
+  campaign::shard_header h;
+  h.campaign = "rt";
+  h.shard = 3;
+  h.point = 1;
+  h.case_name = "path/n=8/decay";
+  h.params = obs::json_value::object();
+  h.params.set("n", 8);
+  h.first_trial = 4;
+  h.trials = 2;
+  h.base_seed = 5;
+  trial_record t;
+  t.seed = 5;
+  t.completed = true;
+  t.steps = 17;
+  t.informed_step = 16;
+  t.transmissions = 33;
+  t.collisions = 2;
+  t.deliveries = 7;
+  t.crashed_nodes = 1;
+  t.suppressed_deliveries = 2;
+  t.churned_edges = 3;
+  t.wall_ms = 0.25;
+
+  std::ostringstream out;
+  campaign::header_record(h).write(out);
+  out << '\n';
+  campaign::trial_record_json(t).write(out);
+  out << '\n';
+  campaign::footer_record(3, 1).write(out);
+  out << '\n';
+
+  std::istringstream in(out.str());
+  obs::ndjson_reader reader(in);
+  const auto header_doc = reader.next();
+  ASSERT_TRUE(header_doc.has_value());
+  std::string err;
+  const auto h2 = campaign::parse_header(*header_doc, &err);
+  ASSERT_TRUE(h2.has_value()) << err;
+  EXPECT_EQ(h2->campaign, "rt");
+  EXPECT_EQ(h2->shard, 3);
+  EXPECT_EQ(h2->point, 1);
+  EXPECT_EQ(h2->case_name, "path/n=8/decay");
+  EXPECT_EQ(h2->first_trial, 4);
+  EXPECT_EQ(h2->trials, 2);
+  EXPECT_EQ(h2->base_seed, 5u);
+
+  const auto trial_doc = reader.next();
+  ASSERT_TRUE(trial_doc.has_value());
+  const auto t2 = campaign::parse_trial(*trial_doc, &err);
+  ASSERT_TRUE(t2.has_value()) << err;
+  EXPECT_EQ(t2->seed, 5u);
+  EXPECT_TRUE(t2->completed);
+  EXPECT_EQ(t2->steps, 17);
+  EXPECT_EQ(t2->informed_step, 16);
+  EXPECT_EQ(t2->transmissions, 33);
+  EXPECT_EQ(t2->collisions, 2);
+  EXPECT_EQ(t2->deliveries, 7);
+  EXPECT_EQ(t2->crashed_nodes, 1);
+  EXPECT_EQ(t2->suppressed_deliveries, 2);
+  EXPECT_EQ(t2->churned_edges, 3);
+  EXPECT_DOUBLE_EQ(t2->wall_ms, 0.25);
+
+  const auto footer_doc = reader.next();
+  ASSERT_TRUE(footer_doc.has_value());
+  EXPECT_EQ(footer_doc->find("record")->as_string(), "footer");
+  EXPECT_EQ(footer_doc->find("trials_written")->as_int(), 1);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_FALSE(reader.failed());
+  EXPECT_FALSE(reader.truncated());
+}
+
+// ---------------------------------------------------------------------------
+// Trace analytics
+// ---------------------------------------------------------------------------
+
+TEST(TraceAnalysisTest, PathTreeDepthEqualsCompletionStep) {
+  // A path is the unit-width layered graph: node v's first delivery can
+  // only come from v−1, so the first-delivery tree IS the path and its
+  // depth is n−1. Round-robin with identity labels moves the frontier one
+  // hop per step, so the run's completion step equals that depth — the
+  // analyzer must reconstruct exactly this from the trace.
+  const node_id n = 24;
+  graph g = make_path(n);
+  const auto proto = make_protocol("round-robin", n - 1);
+  trace tr;
+  run_options opts;
+  opts.seed = 11;
+  opts.sink = &tr;
+  const run_result r = run_broadcast(g, *proto, opts);
+  ASSERT_TRUE(r.completed);
+
+  const trace_analysis a = analyze_trace(tr);
+  EXPECT_EQ(a.nodes_informed, n);
+  EXPECT_EQ(a.tree_depth, n - 1);
+  EXPECT_EQ(a.tree_depth, r.informed_step);
+  EXPECT_FALSE(a.missing_provenance);
+  ASSERT_EQ(a.parent.size(), static_cast<std::size_t>(n));
+  for (node_id v = 1; v < n; ++v) {
+    EXPECT_EQ(a.parent[static_cast<std::size_t>(v)], v - 1);
+    EXPECT_EQ(a.depth[static_cast<std::size_t>(v)], v);
+  }
+  // Unit-width layers: one node each, woken in step order.
+  ASSERT_EQ(a.layers.size(), static_cast<std::size_t>(n));
+  for (std::size_t d = 0; d < a.layers.size(); ++d) {
+    EXPECT_EQ(a.layers[d].nodes, 1);
+    EXPECT_EQ(a.layers[d].first_step, a.layers[d].last_step);
+  }
+  EXPECT_EQ(a.transmissions, r.transmissions);
+  EXPECT_EQ(a.deliveries, r.deliveries);
+}
+
+TEST(TraceAnalysisTest, NdjsonExportAnalyzesIdentically) {
+  graph g = make_complete_layered_uniform(96, 6);
+  const auto proto = make_protocol("decay", 95);
+  trace tr;
+  run_options opts;
+  opts.seed = 5;
+  opts.sink = &tr;
+  const run_result r = run_broadcast(g, *proto, opts);
+  ASSERT_TRUE(r.completed);
+
+  const trace_analysis direct = analyze_trace(tr);
+  std::ostringstream ndjson;
+  tr.to_ndjson(ndjson);
+  std::istringstream in(ndjson.str());
+  std::string err;
+  const auto parsed = analyze_ndjson(in, &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+
+  EXPECT_EQ(parsed->nodes_informed, direct.nodes_informed);
+  EXPECT_EQ(parsed->tree_depth, direct.tree_depth);
+  // run_result::informed_step is "first step after which all informed" —
+  // one past the step of the last informed trace event.
+  EXPECT_EQ(parsed->last_informed_step, r.informed_step - 1);
+  EXPECT_EQ(parsed->parent, direct.parent);
+  EXPECT_EQ(parsed->depth, direct.depth);
+  EXPECT_EQ(parsed->transmissions, direct.transmissions);
+  EXPECT_EQ(parsed->collisions, direct.collisions);
+  // Every node's parent lives one layer down: depth == its layer.
+  EXPECT_EQ(parsed->tree_depth, 6);
+}
+
+TEST(TraceAnalysisTest, ProfilesRankByCountThenNode) {
+  std::vector<trace_event> events;
+  auto tx = [&](node_id v, std::int64_t step) {
+    trace_event e;
+    e.step = step;
+    e.what = trace_event::type::transmit;
+    e.node = v;
+    events.push_back(e);
+  };
+  tx(4, 0);
+  tx(2, 0);
+  tx(2, 1);
+  tx(7, 1);
+  tx(7, 2);
+  const trace_analysis a = analyze_events(events);
+  ASSERT_EQ(a.transmitters.size(), 3u);
+  EXPECT_EQ(a.transmitters[0].node, 2);  // count 2, lowest node first
+  EXPECT_EQ(a.transmitters[1].node, 7);
+  EXPECT_EQ(a.transmitters[2].node, 4);
+  EXPECT_EQ(a.transmitters[0].count, 2);
+  EXPECT_EQ(a.transmitters[2].count, 1);
+
+  const obs::json_value doc = analysis_to_json(a, 2);
+  EXPECT_EQ(doc.find("top_transmitters")->items().size(), 2u);
+  EXPECT_EQ(doc.find("ranked_nodes_transmitters")->as_int(), 3);
 }
 
 // ---------------------------------------------------------------------------

@@ -208,7 +208,10 @@ rule_scope scope_for(const std::string& path) {
   s.no_raw_random =
       path != "src/util/rng.cpp" && path != "src/util/rng.h";
   // R2: bench/ harness timing and src/exec/ wall-clock accounting are the
-  // designated timing sites; anywhere else needs an annotation.
+  // designated timing sites; anywhere else needs an annotation. In
+  // particular src/campaign/ stays IN scope — its one sanctioned read
+  // (checkpoint `updated_unix_ms`, display-only) must carry an annotated
+  // allow so the justification is auditable in the lint report.
   s.wall_clock =
       !starts_with(path, "bench/") && !starts_with(path, "src/exec/");
   // R3 + R5: library code only.
@@ -237,7 +240,8 @@ const std::vector<rule_info>& rules() {
        "std::random_device, and direct std::mt19937 are banned"},
       {"wall-clock",
        "no wall-clock APIs outside the designated timing sites in bench/ "
-       "and src/exec/"},
+       "and src/exec/; src/campaign/ checkpoint timestamps are permitted "
+       "only through an annotated allow"},
       {"unordered-iter",
        "no std::unordered_map/set use in src/ without an annotated "
        "justification; iteration order can leak into results"},

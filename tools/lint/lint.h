@@ -9,6 +9,8 @@
 //
 //   R1 no-raw-random   all randomness flows through util/rng.h
 //   R2 wall-clock      no wall-clock APIs outside bench/ and src/exec/
+//                      (src/campaign/ checkpoint timestamps: annotated
+//                      allow only)
 //   R3 unordered-iter  no std::unordered_{map,set} use in src/ without an
 //                      annotated justification
 //   R4 check-msg       RC_CHECK in src/adversary/ and src/exec/ must carry

@@ -6,21 +6,33 @@
 //   radiocast_inspect print    FILE        human-readable summary
 //   radiocast_inspect validate FILE...     schema check; exit 1 on failure
 //                                          (dispatches on the "schema" key)
-//   radiocast_inspect diff     OLD NEW     per-case comparison of two runs
+//   radiocast_inspect diff     OLD NEW     numeric per-case comparison;
+//                                          wall-clock keys excluded, exit 1
+//                                          beyond tolerance
+//   radiocast_inspect analyze  TRACE       trace analytics (first-delivery
+//                                          tree, wake timeline, hotspots)
+//   radiocast_inspect regress  BASE FRESH  perf-regression gate; exit 1 on
+//                                          a regression past tolerance
 //
 // `validate` is what scripts/reproduce.sh's smoke target runs against every
 // artifact: it fails on any missing required key, so a bench that silently
 // stops filling a field breaks CI instead of producing holes in the data.
+// `regress` is the CI perf gate (scripts/ci.sh, bench/baselines/).
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "campaign/artifact.h"
+#include "campaign/regress.h"
 #include "obs/json.h"
+#include "sim/trace_analysis.h"
 
 namespace radiocast {
 namespace {
@@ -355,9 +367,124 @@ int cmd_print(const std::string& file) {
 // diff
 // ---------------------------------------------------------------------------
 
-int cmd_diff(const std::string& old_file, const std::string& new_file) {
+/// Shared flag parsing for diff/regress: repeated `--tolerance key=pct`.
+bool parse_tolerances(const std::vector<std::string>& args, std::size_t from,
+                      std::vector<std::pair<std::string, double>>* out,
+                      bool* include_wall_clock) {
+  for (std::size_t i = from; i < args.size(); ++i) {
+    if (args[i] == "--tolerance" && i + 1 < args.size()) {
+      const std::string& spec = args[++i];
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0) return false;
+      out->emplace_back(spec.substr(0, eq),
+                        std::atof(spec.c_str() + eq + 1));
+    } else if (args[i] == "--include-wall-clock" &&
+               include_wall_clock != nullptr) {
+      *include_wall_clock = true;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+double tolerance_for_key(
+    const std::vector<std::pair<std::string, double>>& tolerances,
+    const std::string& key) {
+  for (const auto& [k, pct] : tolerances) {
+    if (k == key) return pct;
+  }
+  return 0.0;
+}
+
+struct diff_state {
+  const std::vector<std::pair<std::string, double>>& tolerances;
+  bool include_wall_clock = false;
+  int flagged = 0;    ///< numeric deltas beyond tolerance (drive exit 1)
+  int compared = 0;
+  std::vector<std::string> notes;  ///< informational (missing keys, …)
+
+  void flag(const std::string& path, const std::string& what) {
+    ++flagged;
+    std::cout << "  " << path << ": " << what << "\n";
+  }
+};
+
+/// Recursive numeric comparison. Reruns of the same binary are
+/// bit-identical outside the wall-clock keys, so the default tolerance is
+/// 0% — any drift in a deterministic field is a finding.
+void diff_values(const json_value& a, const json_value& b,
+                 const std::string& path, const std::string& leaf,
+                 diff_state* st) {
+  if (a.is_object() && b.is_object()) {
+    for (const auto& [key, member] : a.members()) {
+      if (!st->include_wall_clock &&
+          radiocast::campaign::is_wall_clock_key(key)) {
+        continue;
+      }
+      const json_value* other = b.find(key);
+      const std::string child = path.empty() ? key : path + "." + key;
+      if (other == nullptr) {
+        st->notes.push_back(child + " only in OLD");
+        continue;
+      }
+      diff_values(member, *other, child, key, st);
+    }
+    for (const auto& [key, member] : b.members()) {
+      (void)member;
+      if (!st->include_wall_clock &&
+          radiocast::campaign::is_wall_clock_key(key)) {
+        continue;
+      }
+      if (a.find(key) == nullptr) {
+        st->notes.push_back((path.empty() ? key : path + "." + key) +
+                            " only in NEW");
+      }
+    }
+    return;
+  }
+  if (a.is_array() && b.is_array()) {
+    if (a.items().size() != b.items().size()) {
+      st->flag(path, "array length " + std::to_string(a.items().size()) +
+                         " vs " + std::to_string(b.items().size()));
+      return;
+    }
+    for (std::size_t i = 0; i < a.items().size(); ++i) {
+      diff_values(a.items()[i], b.items()[i],
+                  path + "[" + std::to_string(i) + "]", leaf, st);
+    }
+    return;
+  }
+  if (a.is_number() && b.is_number()) {
+    ++st->compared;
+    const double x = a.as_double();
+    const double y = b.as_double();
+    if (x == y || (std::isnan(x) && std::isnan(y))) return;
+    const double pct = tolerance_for_key(st->tolerances, leaf);
+    const double rel =
+        x != 0.0 ? 100.0 * std::fabs(y - x) / std::fabs(x)
+                 : std::numeric_limits<double>::infinity();
+    if (rel > pct) {
+      st->flag(path, fmt(x, 6) + " -> " + fmt(y, 6) + " (" +
+                         (std::isinf(rel) ? std::string("inf")
+                                          : fmt(rel, 2)) +
+                         "% > " + fmt(pct, 2) + "% tolerance)");
+    }
+    return;
+  }
+  // Type mismatch or non-numeric scalars: exact comparison.
+  if (a.dump() != b.dump()) st->flag(path, "value mismatch");
+}
+
+int cmd_diff(const std::vector<std::string>& args) {
+  std::vector<std::pair<std::string, double>> tolerances;
+  bool include_wall_clock = false;
+  if (args.size() < 2 ||
+      !parse_tolerances(args, 2, &tolerances, &include_wall_clock)) {
+    return 2;
+  }
   json_value old_doc, new_doc;
-  if (!load(old_file, &old_doc) || !load(new_file, &new_doc)) return 1;
+  if (!load(args[0], &old_doc) || !load(args[1], &new_doc)) return 1;
 
   std::map<std::string, const json_value*> old_cases, new_cases;
   auto index = [](const json_value& doc,
@@ -372,38 +499,89 @@ int cmd_diff(const std::string& old_file, const std::string& new_file) {
   index(old_doc, &old_cases);
   index(new_doc, &new_cases);
 
-  std::cout << std::left << std::setw(44) << "case" << std::right
-            << std::setw(11) << "old mean" << std::setw(11) << "new mean"
-            << std::setw(9) << "delta" << "\n";
+  diff_state st{tolerances, include_wall_clock, 0, 0, {}};
   for (const auto& [name, new_case] : new_cases) {
     const auto it = old_cases.find(name);
     if (it == old_cases.end()) {
-      std::cout << std::left << std::setw(44) << name << "  (new case)\n";
+      st.notes.push_back(name + " (new case)");
       continue;
     }
     const double old_mean = number_or_nan(it->second->find_path("steps.mean"));
     const double new_mean = number_or_nan(new_case->find_path("steps.mean"));
-    std::string delta = "-";
-    if (!std::isnan(old_mean) && !std::isnan(new_mean) && old_mean != 0.0) {
-      delta = fmt(100.0 * (new_mean - old_mean) / old_mean, 1) + "%";
-    }
     std::cout << std::left << std::setw(44) << name << std::right
-              << std::setw(11) << fmt(old_mean) << std::setw(11)
-              << fmt(new_mean) << std::setw(9) << delta << "\n";
+              << " mean " << fmt(old_mean) << " -> " << fmt(new_mean)
+              << "\n";
+    diff_values(*it->second, *new_case, name, "", &st);
   }
   for (const auto& [name, old_case] : old_cases) {
     (void)old_case;
     if (new_cases.find(name) == new_cases.end()) {
-      std::cout << std::left << std::setw(44) << name << "  (removed)\n";
+      st.notes.push_back(name + " (removed case)");
     }
   }
+  for (const std::string& note : st.notes) {
+    std::cout << "  note: " << note << "\n";
+  }
+  std::cout << "diff: " << st.compared << " numeric values compared, "
+            << st.flagged << " beyond tolerance"
+            << (include_wall_clock ? "" : " (wall-clock keys excluded)")
+            << "\n";
+  return st.flagged == 0 ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// analyze
+// ---------------------------------------------------------------------------
+
+int cmd_analyze(const std::string& trace_file) {
+  std::ifstream in(trace_file, std::ios::binary);
+  if (!in) {
+    std::cerr << "error: cannot read " << trace_file << "\n";
+    return 1;
+  }
+  std::string error;
+  std::optional<trace_analysis> analysis = analyze_ndjson(in, &error);
+  if (!analysis) {
+    std::cerr << "error: " << trace_file << ": " << error << "\n";
+    return 1;
+  }
+  analysis_to_json(*analysis).write(std::cout, 2);
+  std::cout << "\n";
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// regress
+// ---------------------------------------------------------------------------
+
+int cmd_regress(const std::vector<std::string>& args) {
+  radiocast::campaign::regress_options opts;
+  if (args.size() < 2 || !parse_tolerances(args, 2, &opts.tolerances,
+                                           nullptr)) {
+    return 2;
+  }
+  json_value baseline, fresh;
+  if (!load(args[0], &baseline) || !load(args[1], &fresh)) return 1;
+  const radiocast::campaign::regress_report report =
+      radiocast::campaign::run_regress(baseline, fresh, opts);
+  for (const std::string& problem : report.problems) {
+    std::cerr << "regression: " << problem << "\n";
+  }
+  std::cout << "regress: " << report.comparisons << " comparisons, "
+            << report.problems.size() << " regressions ("
+            << args[0] << " vs " << args[1] << ")\n";
+  return report.ok ? 0 : 1;
+}
+
 int usage() {
-  std::cerr << "usage: radiocast_inspect print    BENCH_x.json\n"
-               "       radiocast_inspect validate BENCH_x.json [more...]\n"
-               "       radiocast_inspect diff     OLD.json NEW.json\n";
+  std::cerr
+      << "usage: radiocast_inspect print    BENCH_x.json\n"
+         "       radiocast_inspect validate BENCH_x.json [more...]\n"
+         "       radiocast_inspect diff     OLD.json NEW.json"
+         " [--tolerance key=pct]... [--include-wall-clock]\n"
+         "       radiocast_inspect analyze  TRACE.ndjson\n"
+         "       radiocast_inspect regress  BASELINE.json FRESH.json"
+         " [--tolerance key=pct]...\n";
   return 2;
 }
 
@@ -418,8 +596,16 @@ int main(int argc, char** argv) {
   if (cmd == "validate" && args.size() >= 2) {
     return radiocast::cmd_validate({args.begin() + 1, args.end()});
   }
-  if (cmd == "diff" && args.size() == 3) {
-    return radiocast::cmd_diff(args[1], args[2]);
+  if (cmd == "diff" && args.size() >= 3) {
+    const int rc = radiocast::cmd_diff({args.begin() + 1, args.end()});
+    return rc == 2 ? radiocast::usage() : rc;
+  }
+  if (cmd == "analyze" && args.size() == 2) {
+    return radiocast::cmd_analyze(args[1]);
+  }
+  if (cmd == "regress" && args.size() >= 3) {
+    const int rc = radiocast::cmd_regress({args.begin() + 1, args.end()});
+    return rc == 2 ? radiocast::usage() : rc;
   }
   return radiocast::usage();
 }
