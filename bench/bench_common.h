@@ -156,6 +156,10 @@ class reporter {
       one.set("crashed_nodes", t.crashed_nodes);
       one.set("suppressed_deliveries", t.suppressed_deliveries);
       one.set("churned_edges", t.churned_edges);
+      one.set("recoveries", t.recoveries);
+      one.set("reachable_nodes", t.reachable_nodes);
+      one.set("informed_reachable", t.informed_reachable);
+      one.set("outcome", run_outcome_name(t.outcome));
       trials.push_back(std::move(one));
     }
     c.set("trials", std::move(trials));

@@ -1,7 +1,9 @@
 // Experiment E16 (resilience curves): completion time and timeout rate of
 // four broadcast protocols under graded fault intensity, one curve per
 // fault model — message loss, oblivious and greedy jamming, crash-stop
-// failures, and connectivity-preserving edge churn.
+// failures, connectivity-preserving edge churn, non-connectivity-preserving
+// partition churn, and crash-RECOVERY (downtime sweep, retain vs amnesia
+// rejoin semantics; see fault/recovery.h).
 //
 // The paper's model is an ideal synchronous radio network; this bench
 // measures how far each algorithm degrades as that ideal is relaxed.
@@ -23,6 +25,8 @@
 #include "fault/crash.h"
 #include "fault/jammer.h"
 #include "fault/loss.h"
+#include "fault/partition.h"
+#include "fault/recovery.h"
 
 namespace radiocast {
 namespace {
@@ -39,6 +43,14 @@ constexpr proto_spec kProtocols[] = {
     {"kp", "kp"},
     {"select_and_send", "select-and-send"},
     {"interleaved", "interleaved"},
+};
+
+// Amnesia restarts re-initialize protocol state mid-run, which the token
+// protocols reject by contract (their schedules cannot survive a reboot),
+// so the recovery sweeps run the restart-tolerant randomized pair only.
+constexpr proto_spec kRandomizedProtocols[] = {
+    {"decay", "decay"},
+    {"kp", "kp"},
 };
 
 // One measured point of a resilience curve.
@@ -103,6 +115,30 @@ class fault_cell {
       copts.spare_source = true;  // keep broadcast solvable
       crash_.emplace(copts);
       model_ = &*crash_;
+    } else if (family == "recovery_retain" || family == "recovery_amnesia") {
+      // Fixed crash pressure, swept DOWNTIME: intensity is the rejoin
+      // delay in steps (0 = crashes are permanent — the crash-stop
+      // degenerate case the curve starts from).
+      fault::recovery_options ropts;
+      ropts.crash_probability = 2e-3;
+      ropts.spare_source = true;  // isolate rejoin cost from source loss
+      ropts.mode = family == "recovery_amnesia"
+                       ? fault::recovery_mode::amnesia
+                       : fault::recovery_mode::retain;
+      ropts.downtime = static_cast<std::int64_t>(intensity);
+      recovery_.emplace(ropts);
+      model_ = &*recovery_;
+    } else if (family == "partition") {
+      // Swept all-edge toggle probability on top of a fixed periodic
+      // partition window — the non-connectivity-preserving counterpart of
+      // the churn sweep.
+      fault::partition_options popts;
+      popts.toggle_probability = intensity;
+      popts.period = 48;
+      popts.duration = 12;
+      popts.island_fraction = 0.25;
+      partition_.emplace(popts);
+      model_ = &*partition_;
     } else {
       RC_REQUIRE(family == "churn");
       churn_.emplace(fault::churn_options{intensity});
@@ -117,18 +153,21 @@ class fault_cell {
   std::optional<fault::jammer_model> jam_;
   std::optional<fault::crash_model> crash_;
   std::optional<fault::churn_model> churn_;
+  std::optional<fault::recovery_model> recovery_;
+  std::optional<fault::partition_model> partition_;
   fault::fault_model* model_ = nullptr;
 };
 
 void run_family(bench::reporter& rep, const graph& g, int known_d,
                 const std::string& family, const char* knob,
                 const std::vector<double>& intensities, int trials,
+                const std::vector<proto_spec>& protocols,
                 std::vector<std::vector<curve_point>>& curves) {
   const node_id n = g.node_count();
   text_table table("E16 [" + family + "]: mean steps / timeout% by " + knob +
                    " (" + std::to_string(trials) + " trials)");
   std::vector<std::string> header{knob};
-  for (const proto_spec& p : kProtocols) {
+  for (const proto_spec& p : protocols) {
     header.emplace_back(p.key);
     header.emplace_back("to%");
   }
@@ -136,9 +175,9 @@ void run_family(bench::reporter& rep, const graph& g, int known_d,
 
   for (const double intensity : intensities) {
     fault_cell cell(family, intensity);
-    std::vector<double> row_means, row_timeouts;
-    for (std::size_t pi = 0; pi < std::size(kProtocols); ++pi) {
-      const proto_spec& spec = kProtocols[pi];
+    std::vector<std::string> row{text_table::format_double(intensity, 4)};
+    for (std::size_t pi = 0; pi < protocols.size(); ++pi) {
+      const proto_spec& spec = protocols[pi];
       const auto proto = make_protocol(spec.name, n - 1, known_d);
       const std::string case_name = family + "/" + knob + "=" +
                                     text_table::format_double(intensity, 4) +
@@ -150,14 +189,11 @@ void run_family(bench::reporter& rep, const graph& g, int known_d,
           g, *proto, trials, /*seed=*/1, kStepCap,
           stop_condition::all_informed, cell.model());
       const double mean = bench::mean_steps(batch);
-      row_means.push_back(mean);
-      row_timeouts.push_back(batch.timeout_rate());
+      row.push_back(text_table::format_double(mean));
+      row.push_back(text_table::format_double(100 * batch.timeout_rate()));
       curves[pi].push_back({intensity, mean, batch.timeout_rate()});
     }
-    table.add(text_table::format_double(intensity, 4), row_means[0],
-              100 * row_timeouts[0], row_means[1], 100 * row_timeouts[1],
-              row_means[2], 100 * row_timeouts[2], row_means[3],
-              100 * row_timeouts[3]);
+    table.add_row(std::move(row));
   }
   table.print(std::cout);
 }
@@ -180,23 +216,36 @@ void run_bench(bench::reporter& rep) {
     const char* family;
     const char* knob;
     std::vector<double> intensities;
+    std::vector<proto_spec> protocols;
   };
+  const std::vector<proto_spec> all_protocols(std::begin(kProtocols),
+                                              std::end(kProtocols));
+  const std::vector<proto_spec> randomized(std::begin(kRandomizedProtocols),
+                                           std::end(kRandomizedProtocols));
   const family_spec families[] = {
-      {"loss", "p", bench::sweep({0.0, 0.05, 0.1, 0.2, 0.35})},
-      {"jam_oblivious", "budget", bench::sweep({0.0, 1.0, 2.0, 4.0, 8.0})},
-      {"jam_greedy", "budget", bench::sweep({0.0, 1.0, 2.0, 4.0, 8.0})},
-      {"crash", "p", bench::sweep({0.0, 1e-4, 5e-4, 2e-3})},
-      {"churn", "p", bench::sweep({0.0, 0.005, 0.02, 0.08})},
+      {"loss", "p", bench::sweep({0.0, 0.05, 0.1, 0.2, 0.35}), all_protocols},
+      {"jam_oblivious", "budget", bench::sweep({0.0, 1.0, 2.0, 4.0, 8.0}),
+       all_protocols},
+      {"jam_greedy", "budget", bench::sweep({0.0, 1.0, 2.0, 4.0, 8.0}),
+       all_protocols},
+      {"crash", "p", bench::sweep({0.0, 1e-4, 5e-4, 2e-3}), all_protocols},
+      {"churn", "p", bench::sweep({0.0, 0.005, 0.02, 0.08}), all_protocols},
+      {"partition", "toggle_p", bench::sweep({0.0, 0.002, 0.01, 0.04}),
+       all_protocols},
+      {"recovery_retain", "downtime",
+       bench::sweep({0.0, 2.0, 8.0, 32.0, 128.0}), randomized},
+      {"recovery_amnesia", "downtime",
+       bench::sweep({0.0, 2.0, 8.0, 32.0, 128.0}), randomized},
   };
 
   obs::json_value trend = obs::json_value::object();
   for (const family_spec& fam : families) {
-    std::vector<std::vector<curve_point>> curves(std::size(kProtocols));
+    std::vector<std::vector<curve_point>> curves(fam.protocols.size());
     run_family(rep, g, d, fam.family, fam.knob, fam.intensities, trials,
-               curves);
+               fam.protocols, curves);
     obs::json_value per_proto = obs::json_value::object();
-    for (std::size_t pi = 0; pi < std::size(kProtocols); ++pi) {
-      per_proto.set(kProtocols[pi].key, curve_json(curves[pi]));
+    for (std::size_t pi = 0; pi < fam.protocols.size(); ++pi) {
+      per_proto.set(fam.protocols[pi].key, curve_json(curves[pi]));
     }
     trend.set(fam.family, std::move(per_proto));
   }
@@ -204,7 +253,13 @@ void run_bench(bench::reporter& rep) {
             obs::json_value("monotone expected for loss/jam/churn; crash "
                             "curves may dip because crashed nodes are "
                             "exempt from completion; jam_greedy is a step "
-                            "function (any budget stalls every protocol)"));
+                            "function (any budget stalls every protocol); "
+                            "recovery curves start at the crash-stop "
+                            "degenerate point (downtime 0 = nobody "
+                            "returns), then cost grows with downtime — "
+                            "amnesia above retain since rejoiners must be "
+                            "re-informed; partition sweeps all-edge toggle "
+                            "churn on top of a periodic island cut"));
   rep.add_analytic_case("trend", bench::params("derived_from", "all cases"),
                         std::move(trend));
 }
@@ -218,9 +273,12 @@ int main(int argc, char** argv) {
   radiocast::run_bench(rep);
   std::cout << "\nExpected shape: severity (timeout rate, then mean steps)"
                "\nis non-decreasing in fault intensity for loss, jamming,"
-               "\nand churn; the adaptive greedy jammer stalls every"
-               "\nprotocol at any budget (it always kills the last frontier"
-               "\ndelivery); crash curves may dip (crashed nodes are exempt"
-               "\nfrom completion, so crashes also remove work).\n";
+               "\nchurn, and partition toggling; the adaptive greedy jammer"
+               "\nstalls every protocol at any budget (it always kills the"
+               "\nlast frontier delivery); crash curves may dip (crashed"
+               "\nnodes are exempt from completion, so crashes also remove"
+               "\nwork); recovery curves grow with downtime from the"
+               "\ncrash-stop point, amnesia above retain (rejoiners must be"
+               "\nre-informed).\n";
   return 0;
 }

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Continuous-integration entry point: static analysis first, then builds and
-# tests in three configurations, then a telemetry smoke pass, then the
-# campaign interruption drill and the perf-regression gate.
+# tests in three configurations, then a chaos invariant-fuzzing smoke pass
+# under sanitizers, then a telemetry smoke pass, then the campaign
+# interruption drill and the perf-regression gate.
 #
 #   0. Static analysis                  — builds only radiocast_lint (plus
 #      its deps) and runs the determinism lint over src/ bench/ tests/
@@ -23,12 +24,18 @@
 #      workers under TSan on any host (the env default makes every
 #      threads=0 call site parallel, and determinism tests pass at any
 #      worker count by construction).
-#   4. Telemetry smoke (build/ci-smoke) — every bench with RADIOCAST_SMOKE=1
+#   4. Chaos smoke (build-san/ci-chaos) — radiocast_chaos fuzzes ~200
+#      seeded fault-model × protocol × graph scenarios under asan/ubsan,
+#      checking the ten simulator invariants (radio rule, crash/partition
+#      masking, replay determinism, engine bit-identity, zero-intensity
+#      identity); ANY violation fails CI, and the emitted
+#      radiocast.chaos.v1 report must pass `radiocast_inspect validate`.
+#   5. Telemetry smoke (build/ci-smoke) — every bench with RADIOCAST_SMOKE=1
 #      (first sweep point, ≤2 trials), then `radiocast_inspect validate` on
 #      each emitted BENCH_*.json plus the lint report from stage 0. Runs in
 #      a scratch directory so the committed full-run artifacts at the
 #      repository root are untouched.
-#   5. Campaign smoke + regression gate (build/ci-campaign) — the
+#   6. Campaign smoke + regression gate (build/ci-campaign) — the
 #      interruption drill: runs a 4-shard campaign, stops it after 2 shards
 #      (--stop-after), resumes it, merges, validates the merged artifact,
 #      and diffs it against an uninterrupted single-pass merge — the two
@@ -44,7 +51,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "=== [0/6] Static analysis (determinism lint + clang-tidy) ==="
+echo "=== [0/7] Static analysis (determinism lint + clang-tidy) ==="
 cmake -B build -S .
 cmake --build build --parallel --target radiocast_lint radiocast_inspect
 build/tools/radiocast_lint --root . --json build/lint-report.json
@@ -56,22 +63,35 @@ else
   echo "clang-tidy not installed; skipping (lint stage still gates)"
 fi
 
-echo "=== [1/6] Release build + tests ==="
+echo "=== [1/7] Release build + tests ==="
 cmake --build build --parallel
 ctest --test-dir build --output-on-failure --timeout 300
 
-echo "=== [2/6] Sanitizer build + tests (address,undefined) ==="
+echo "=== [2/7] Sanitizer build + tests (address,undefined) ==="
 cmake -B build-san -S . -DRADIOCAST_SANITIZE=address,undefined
 cmake --build build-san --parallel
 ctest --test-dir build-san --output-on-failure --timeout 300
 
-echo "=== [3/6] Thread-sanitizer build + parallel tests ==="
+echo "=== [3/7] Thread-sanitizer build + parallel tests ==="
 cmake -B build-tsan -S . -DRADIOCAST_SANITIZE=thread
 cmake --build build-tsan --parallel --target parallel_test sim_test
 RADIOCAST_THREADS=4 ctest --test-dir build-tsan --output-on-failure \
   --timeout 300 -R 'parallel_test|sim_test'
 
-echo "=== [4/6] Telemetry smoke + schema validation ==="
+echo "=== [4/7] Chaos smoke (invariant fuzzing under asan/ubsan) ==="
+chaos_dir=build-san/ci-chaos
+rm -rf "$chaos_dir"
+mkdir -p "$chaos_dir"
+cmake --build build-san --parallel --target radiocast_chaos
+# ~200 seeded fault-model × protocol × graph scenarios; the tool exits
+# non-zero on ANY invariant violation, so this line IS the gate. The
+# sanitizer build doubles the payoff: every fuzzed scenario also runs
+# under asan/ubsan.
+build-san/tools/radiocast_chaos --runs 200 --seed 1 \
+  --out "$chaos_dir"/chaos-report.json
+build/tools/radiocast_inspect validate "$chaos_dir"/chaos-report.json
+
+echo "=== [5/7] Telemetry smoke + schema validation ==="
 smoke_dir=build/ci-smoke
 rm -rf "$smoke_dir"
 mkdir -p "$smoke_dir"
@@ -93,7 +113,7 @@ fi
 build/tools/radiocast_inspect validate \
   "$smoke_dir"/BENCH_simulator_throughput.json
 
-echo "=== [5/6] Campaign smoke (interrupt/resume/merge) + regression gate ==="
+echo "=== [6/7] Campaign smoke (interrupt/resume/merge) + regression gate ==="
 campaign_dir=build/ci-campaign
 rm -rf "$campaign_dir"
 mkdir -p "$campaign_dir"
@@ -137,12 +157,12 @@ build/tools/radiocast_inspect validate \
 build/tools/radiocast_inspect diff \
   "$campaign_dir"/merged-interrupted.json \
   "$campaign_dir"/merged-straight.json
-# Perf-regression gate: stage 4's fresh smoke artifacts vs the committed
+# Perf-regression gate: stage 5's fresh smoke artifacts vs the committed
 # baselines. Deterministic keys (steps, steps.mean, timeout_rate) gate
 # exactly; wall-clock-derived ratios get an extra-wide tolerance here
 # because smoke-mode runs (≤2 trials) are noisy on shared CI hosts — the
 # throughput bench separately RC_CHECKs frontier > reference, so a real
-# engine regression still fails stage 4.
+# engine regression still fails stage 5.
 build/tools/radiocast_inspect regress \
   bench/baselines/BENCH_simulator_throughput.json \
   "$smoke_dir"/BENCH_simulator_throughput.json \
@@ -151,4 +171,4 @@ build/tools/radiocast_inspect regress \
   bench/baselines/BENCH_fault_resilience.json \
   "$smoke_dir"/BENCH_fault_resilience.json
 
-echo "ci: all six stages passed"
+echo "ci: all seven stages passed"

@@ -47,6 +47,10 @@ obs::json_value trial_record_json(const trial_record& t) {
   doc.set("crashed_nodes", t.crashed_nodes);
   doc.set("suppressed_deliveries", t.suppressed_deliveries);
   doc.set("churned_edges", t.churned_edges);
+  doc.set("recoveries", t.recoveries);
+  doc.set("reachable_nodes", t.reachable_nodes);
+  doc.set("informed_reachable", t.informed_reachable);
+  doc.set("outcome", run_outcome_name(t.outcome));
   doc.set("wall_ms", t.wall_ms);
   return doc;
 }
@@ -125,6 +129,41 @@ std::optional<trial_record> parse_trial(const obs::json_value& doc,
       !get_int(doc, "suppressed_deliveries", &t.suppressed_deliveries) ||
       !get_int(doc, "churned_edges", &t.churned_edges)) {
     return fail("trial record is missing an integer field");
+  }
+  // Recovery/partition accounting arrived after the shard schema shipped:
+  // absent keys default (pre-recovery shards resume cleanly), present keys
+  // must still be well-formed.
+  if (doc.contains("recoveries") && !get_int(doc, "recoveries", &t.recoveries)) {
+    return fail("trial record recoveries must be an integer");
+  }
+  if (doc.contains("reachable_nodes") &&
+      !get_int(doc, "reachable_nodes", &t.reachable_nodes)) {
+    return fail("trial record reachable_nodes must be an integer");
+  }
+  if (doc.contains("informed_reachable") &&
+      !get_int(doc, "informed_reachable", &t.informed_reachable)) {
+    return fail("trial record informed_reachable must be an integer");
+  }
+  if (const obs::json_value* outcome = doc.find("outcome");
+      outcome != nullptr) {
+    if (!outcome->is_string()) {
+      return fail("trial record outcome must be a string");
+    }
+    const std::string& tag = outcome->as_string();
+    if (tag == "completed") {
+      t.outcome = run_outcome::completed;
+    } else if (tag == "stuck") {
+      t.outcome = run_outcome::stuck;
+    } else if (tag == "unreachable") {
+      t.outcome = run_outcome::unreachable;
+    } else if (tag == "source_lost") {
+      t.outcome = run_outcome::source_lost;
+    } else {
+      return fail("trial record has unknown outcome \"" + tag + "\"");
+    }
+  } else {
+    // Old shards: infer the only distinction they could express.
+    t.outcome = t.completed ? run_outcome::completed : run_outcome::stuck;
   }
   const obs::json_value* wall = doc.find("wall_ms");
   if (wall == nullptr || !wall->is_number()) {

@@ -95,6 +95,20 @@ class cl_node final : public protocol_node {
   bool informed() const override { return informed_; }
   bool halted() const override { return halted_; }
 
+  void on_restart(const node_context&) override {
+    // Amnesia reboot: re-derive the constructed state (the source knows
+    // its layer a priori; everyone else relearns it on first contact).
+    informed_ = (label_ == 0);
+    layer_ = (label_ == 0) ? 0 : -1;
+    halted_ = false;
+    head_ = false;
+    awaiting_presence_ = false;
+    helper_ = -1;
+    drive_start_ = 0;
+    pending_.clear();
+    driver_.reset();
+  }
+
  private:
   void become_head(node_id previous_head, std::int64_t start) {
     head_ = true;

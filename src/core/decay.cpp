@@ -57,6 +57,15 @@ class decay_node final : public protocol_node {
 
   bool informed() const override { return informed_; }
 
+  void on_restart(const node_context&) override {
+    // Amnesia reboot: back to the constructed state (label_ and phase_len_
+    // are configuration; everything else is volatile).
+    informed_ = (label_ == 0);
+    informed_step_ = -1;
+    drawn_phase_ = -1;
+    cutoff_ = 0;
+  }
+
  private:
   node_id label_;
   std::int64_t phase_len_;

@@ -74,6 +74,18 @@ class dfs_known_node final : public protocol_node {
   bool informed() const override { return informed_; }
   bool halted() const override { return halted_; }
 
+  void on_restart(const node_context&) override {
+    // Amnesia reboot: neighbors_ is configuration (known topology); the
+    // visitation record and token state are volatile.
+    informed_ = visited_ = (label_ == 0);
+    unvisited_.assign(neighbors_.size(), true);
+    holder_ = false;
+    halted_ = false;
+    parent_ = -1;
+    pending_announce_ = -1;
+    act_at_ = -1;
+  }
+
  private:
   void mark_visited(node_id who) {
     const auto it =

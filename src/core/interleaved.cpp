@@ -42,6 +42,12 @@ class interleaved_node final : public protocol_node {
   bool informed() const override { return informed_ || sas_->informed(); }
   bool halted() const override { return sas_->halted(); }
 
+  void on_restart(const node_context& ctx) override {
+    // Both interleaved streams lose their volatile state together.
+    informed_ = (label_ == 0);
+    sas_->on_restart(ctx);
+  }
+
  private:
   node_id label_;
   std::int64_t modulus_;

@@ -115,6 +115,13 @@ class kp_node final : public protocol_node {
 
   bool informed() const override { return informed_; }
 
+  void on_restart(const node_context&) override {
+    // Amnesia reboot: sched_ is shared immutable configuration; only the
+    // informed flag and its timestamp are volatile.
+    informed_ = (label_ == 0);
+    informed_step_ = -1;
+  }
+
  private:
   message payload() const { return message{kKpPayload, label_, 0, 0, 0}; }
 

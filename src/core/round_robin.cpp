@@ -25,6 +25,10 @@ class round_robin_node final : public protocol_node {
 
   bool informed() const override { return informed_; }
 
+  void on_restart(const node_context&) override {
+    informed_ = (label_ == 0);  // the only volatile state
+  }
+
  private:
   node_id label_;
   std::int64_t modulus_;

@@ -81,6 +81,20 @@ class sas_node final : public protocol_node {
   bool informed() const override { return informed_; }
   bool halted() const override { return halted_; }
 
+  void on_restart(const node_context&) override {
+    // Amnesia reboot: every member below label_/r_ is volatile DFS state.
+    // A rebooted token holder orphans the traversal — the run may stall,
+    // which is exactly the brittleness the resilience bench measures.
+    informed_ = visited_ = (label_ == 0);
+    halted_ = false;
+    driving_ = false;
+    awaiting_presence_ = false;
+    parent_ = -1;
+    helper_ = -1;
+    pending_.clear();
+    driver_.reset();
+  }
+
  private:
   void take_token(const node_context& ctx, node_id from) {
     if (!visited_) {

@@ -41,6 +41,10 @@ class selective_node final : public protocol_node {
 
   bool informed() const override { return informed_; }
 
+  void on_restart(const node_context&) override {
+    informed_ = (label_ == 0);  // family_/slots_ are configuration
+  }
+
  private:
   node_id label_;
   std::shared_ptr<const set_family> family_;

@@ -46,6 +46,12 @@ void composite_fault_model::filter_deliveries(
   for (fault_model* m : models_) m->filter_deliveries(view, candidates);
 }
 
+std::int64_t composite_fault_model::pending_recoveries() const {
+  std::int64_t total = 0;
+  for (const fault_model* m : models_) total += m->pending_recoveries();
+  return total;
+}
+
 std::unique_ptr<fault_model> composite_fault_model::clone() const {
   std::vector<std::unique_ptr<fault_model>> owned;
   std::vector<fault_model*> raw;

@@ -61,16 +61,29 @@ struct step_view {
   const std::vector<std::uint8_t>* crashed = nullptr;
 };
 
+/// A crashed node rejoining the computation (recovery models, recovery.h).
+/// `amnesia` selects the restart semantics the simulator applies: true ⇒
+/// protocol state is re-initialized via protocol_node::on_restart and the
+/// node is evicted from the informed set (it must be re-informed); false ⇒
+/// "retain" — state survived the outage and the node resumes where it was.
+struct node_recovery {
+  node_id node = -1;
+  bool amnesia = false;
+};
+
 /// What a model wants to happen at the top of a step. The simulator owns
 /// the buffers and applies the effects (idempotently: crashing a crashed
-/// node or downing a down edge is a no-op).
+/// node or downing a down edge is a no-op; recovering a live node is a
+/// no-op). Within one step crashes are applied before recoveries.
 struct step_faults {
   std::vector<node_id> crashes;  ///< nodes that crash-stop now
+  std::vector<node_recovery> recoveries;  ///< crashed nodes rejoining now
   std::vector<std::pair<node_id, node_id>> edges_down;  ///< signal cut
   std::vector<std::pair<node_id, node_id>> edges_up;    ///< signal restored
 
   void clear() {
     crashes.clear();
+    recoveries.clear();
     edges_down.clear();
     edges_up.clear();
   }
@@ -87,7 +100,8 @@ struct delivery_candidate {
 
 /// Interface of all fault models. Implementations: crash_model (crash.h),
 /// loss_model (loss.h), jammer_model (jammer.h), churn_model (churn.h),
-/// and composite_fault_model below.
+/// recovery_model (recovery.h), partition_model and frontier_cut_model
+/// (partition.h), and composite_fault_model below.
 class fault_model {
  public:
   virtual ~fault_model() = default;
@@ -116,6 +130,14 @@ class fault_model {
     (void)view;
     (void)candidates;
   }
+
+  /// Crashed nodes this model still intends to recover (recovery models
+  /// override this with their current down count). The simulator refuses
+  /// to declare a run complete while recoveries are pending: a node that
+  /// will rejoin — possibly with amnesia — may still need the message, so
+  /// "every surviving node is informed" is only meaningful once the roster
+  /// has settled. Models without recovery semantics return 0.
+  virtual std::int64_t pending_recoveries() const { return 0; }
 
   /// A fresh instance with the same CONFIGURATION and no run state, for
   /// trial-parallel execution: parallel_run_trials (src/exec/) hands every
@@ -147,6 +169,8 @@ class composite_fault_model final : public fault_model {
   void filter_deliveries(
       const step_view& view,
       std::vector<delivery_candidate>* candidates) override;
+  /// Sum over children: any child still owing recoveries holds completion.
+  std::int64_t pending_recoveries() const override;
   /// Deep clone: every child is cloned too (and owned by the clone, unlike
   /// the original's borrowed children). Null if any child is not cloneable.
   std::unique_ptr<fault_model> clone() const override;

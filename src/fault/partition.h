@@ -1,0 +1,120 @@
+// Non-connectivity-preserving dynamics: partitions and the adaptive
+// frontier-cut adversary.
+//
+// churn_model (churn.h) deliberately exempts a spanning tree so broadcast
+// stays solvable; the two models here deliberately break that guarantee —
+// they are the reason run_result carries `reachable_nodes` /
+// `informed_reachable` and a `run_outcome`, and why timeouts split into
+// "genuinely stuck" (progress was possible but not made) vs "unreachable"
+// (no path existed to the remaining uninformed nodes).
+//
+// partition_model — every edge is eligible for churn (bit 0 of the edge
+// state), and on top of that a periodic partition WINDOW (bit 1) cuts a
+// random BFS-ball "island" of ≈ island_fraction·n nodes off from the rest
+// of the graph for `duration` steps, then restores the cut. An edge
+// carries no signal while either bit is set; up/down events are emitted
+// only on effective transitions, so stacking a window on an already
+// churned-down edge is silent, exactly like the simulator's idempotent
+// application.
+//
+// frontier_cut_model — the adversarial dual of the PR 2 greedy jammer:
+// where the jammer silences deliveries at the informed-set boundary, this
+// adversary CRASHES the boundary itself. Each step it spends a crash
+// budget on live informed nodes that still have a live uninformed
+// neighbor — the only nodes whose transmissions can grow the broadcast —
+// in ascending id order. It is deterministic (no randomness: the execution
+// trace is its schedule), and with budget ≥ 1 on a path it beheads the
+// frontier every step, driving the run to `unreachable` or `source_lost`.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "fault/fault_model.h"
+
+namespace radiocast::fault {
+
+struct partition_options {
+  /// Per edge, per step, probability in [0, 1] of flipping its churn bit.
+  /// Unlike churn_model, EVERY edge is eligible — including bridges.
+  double toggle_probability = 0.0;
+
+  /// Partition windows: every `period` steps (at steps period, 2·period, …)
+  /// a random island is cut off for `duration` steps. 0 disables windows.
+  std::int64_t period = 0;
+  /// Steps each window lasts; must be < period when windows are enabled.
+  std::int64_t duration = 0;
+  /// Target island size as a fraction of n in (0, 1); the island is a BFS
+  /// ball grown from a random center to ⌈fraction·n⌉ nodes.
+  double island_fraction = 0.25;
+};
+
+class partition_model final : public fault_model {
+ public:
+  explicit partition_model(partition_options opts);
+
+  std::string name() const override { return "partition"; }
+  void begin_run(const run_view& view) override;
+  void begin_step(const step_view& view, step_faults* out) override;
+
+  /// Edges currently carrying no signal (either bit set).
+  std::int64_t down_count() const { return down_count_; }
+  /// Partition windows opened so far in the current run.
+  std::int64_t windows_opened() const { return windows_opened_; }
+
+  std::unique_ptr<fault_model> clone() const override {
+    return std::make_unique<partition_model>(opts_);
+  }
+
+ private:
+  void set_window_bit(std::size_t edge, bool on, step_faults* out);
+
+  partition_options opts_;
+  rng gen_{0};
+  node_id n_ = 0;
+  std::vector<std::pair<node_id, node_id>> edges_;  // all edges, u < v
+  /// Per edge: bit 0 = churned down, bit 1 = cut by the active window.
+  std::vector<std::uint8_t> state_;
+  std::vector<std::size_t> window_cut_;  // edge indices cut by the window
+  std::vector<std::uint8_t> island_;     // scratch: node membership
+  std::int64_t window_end_ = -1;         // first step after the window
+  std::int64_t down_count_ = 0;
+  std::int64_t windows_opened_ = 0;
+};
+
+struct frontier_cut_options {
+  /// Max frontier nodes crashed per step. 0 ⇒ no-op (bit-identical to the
+  /// fault-free run, guarded by tests).
+  int budget_per_step = 0;
+  /// Total crash budget across the run; −1 = unlimited.
+  std::int64_t total_budget = -1;
+  /// Never crash node 0 (default true: a beheaded source is trivially
+  /// fatal; the crashed-source regression schedules it via crash_model).
+  bool spare_source = true;
+};
+
+class frontier_cut_model final : public fault_model {
+ public:
+  explicit frontier_cut_model(frontier_cut_options opts);
+
+  std::string name() const override { return "frontier_cut"; }
+  void begin_run(const run_view& view) override;
+  void begin_step(const step_view& view, step_faults* out) override;
+
+  /// Frontier nodes crashed so far in the current run.
+  std::int64_t crashed_count() const { return crashed_count_; }
+
+  std::unique_ptr<fault_model> clone() const override {
+    return std::make_unique<frontier_cut_model>(opts_);
+  }
+
+ private:
+  frontier_cut_options opts_;
+  node_id n_ = 0;
+  std::vector<std::uint8_t> down_;  // this model's own crash record
+  std::int64_t spent_ = 0;
+  std::int64_t crashed_count_ = 0;
+};
+
+}  // namespace radiocast::fault

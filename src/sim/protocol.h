@@ -82,6 +82,21 @@ class protocol_node {
   /// True once this node has permanently stopped (it will never transmit
   /// again). Used to detect full protocol termination for token algorithms.
   virtual bool halted() const { return false; }
+
+  /// Amnesia restart (crash-recovery fault model, src/fault/recovery.h):
+  /// the node rebooted with volatile state lost. Implementations MUST
+  /// return to their freshly-constructed state — exactly what make_node
+  /// produced for this label — and MUST NOT draw from ctx.gen (a restart
+  /// never perturbs the per-node coin-flip stream; guarded by the
+  /// frontier/reference differential suite). After on_restart the source
+  /// (label 0) is informed() again — the message is its own — and every
+  /// other node is uninformed and dormant, subject to the dormant-node
+  /// contract above, until re-informed by a fresh delivery. The default
+  /// is a no-op so protocols outside src/core (tests, adversary fixtures)
+  /// stay source-compatible; the simulator RC_CHECKs the informed() state
+  /// after every amnesia restart, so a protocol relying on the default
+  /// while holding state fails loudly rather than silently diverging.
+  virtual void on_restart(const node_context& ctx) { (void)ctx; }
 };
 
 /// Factory for protocol nodes; one per algorithm.

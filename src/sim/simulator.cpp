@@ -101,6 +101,7 @@ class broadcast_run {
       // metric exports keep their exact pre-fault shape.
       if (faults_ != nullptr) {
         sr_f_crashed_ = &opts.metrics->get_series("sim.fault.crashed_nodes");
+        sr_f_recoveries_ = &opts.metrics->get_series("sim.fault.recoveries");
         sr_f_suppressed_ = &opts.metrics->get_series("sim.fault.suppressed");
         sr_f_down_edges_ = &opts.metrics->get_series("sim.fault.down_edges");
       }
@@ -139,6 +140,7 @@ class broadcast_run {
     } else {
       run_reference();
     }
+    finalize_outcome();
     return std::move(result_);
   }
 
@@ -161,10 +163,14 @@ class broadcast_run {
     return true;
   }
 
-  // Injection site 1: crash-stops and churn, applied at the top of a step.
-  // A crash removes the node from the awake set immediately, so phase 1 of
-  // this very step already skips it (matching the reference engine's
-  // per-node crashed check).
+  // Injection site 1: crash-stops, recoveries, and churn, applied at the
+  // top of a step. A crash removes the node from the awake set
+  // immediately, so phase 1 of this very step already skips it (matching
+  // the reference engine's per-node crashed check); a recovery re-inserts
+  // it in sorted position, so phase 1 of this very step already includes
+  // it (matching the reference engine, which steps every non-crashed
+  // node). Crashes are applied before recoveries — a node both crashed
+  // and recovered in one step's buffers ends the step alive.
   void apply_begin_step_faults(std::int64_t step) {
     step_faults_buf_.clear();
     const fault::step_view view{step, &g_, &result_.informed_at, &crashed_};
@@ -175,7 +181,11 @@ class broadcast_run {
       if (mark != 0) continue;
       mark = 1;
       ++result_.crashed_nodes;
-      if (result_.informed_at[idx(v)] == -1) ++crashed_uninformed_;
+      if (result_.informed_at[idx(v)] == -1) {
+        ++crashed_uninformed_;
+      } else {
+        ++crashed_informed_;
+      }
       if (awake_[idx(v)] != 0) {
         awake_[idx(v)] = 0;
         --awake_count_;
@@ -187,6 +197,9 @@ class broadcast_run {
       if (opts_.sink != nullptr) {
         opts_.sink->record({step, trace_event::type::crash, v, {}});
       }
+    }
+    for (const fault::node_recovery& r : step_faults_buf_.recoveries) {
+      apply_recovery(r, step);
     }
     for (const auto& [u, v] : step_faults_buf_.edges_down) {
       if (!down_edges_.insert(edge_key(u, v)).second) continue;
@@ -205,6 +218,60 @@ class broadcast_run {
         m.a = v;
         opts_.sink->record({step, trace_event::type::edge_up, u, m});
       }
+    }
+  }
+
+  // A crashed node rejoins (fault/recovery.h). Retain mode: volatile state
+  // survived — re-enter the awake set iff the node was awake before the
+  // outage. Amnesia mode: protocol_node::on_restart re-initializes the
+  // node, and an informed non-source is EVICTED from the informed set — it
+  // must be re-informed by a fresh delivery. The source keeps its own
+  // message across any reboot.
+  void apply_recovery(const fault::node_recovery& r, std::int64_t step) {
+    const node_id v = r.node;
+    RC_CHECK_MSG(v >= 0 && v < n_, "fault model recovered an unknown node");
+    auto& mark = crashed_[idx(v)];
+    if (mark == 0) return;  // recovering a live node is a no-op
+    mark = 0;
+    ++result_.recoveries;
+    const bool was_informed = result_.informed_at[idx(v)] != -1;
+    if (was_informed) {
+      --crashed_informed_;
+    } else {
+      --crashed_uninformed_;
+    }
+    auto& slot = slots_[idx(v)];
+    if (r.amnesia) {
+      node_context ctx{step, &slot.gen, opts_.metrics};
+      const rng before = slot.gen;
+      slot.node->on_restart(ctx);
+      RC_CHECK_MSG(slot.gen == before,
+                   "on_restart drew randomness (node " + std::to_string(v) +
+                       ", step " + std::to_string(step) + ")");
+      RC_CHECK_MSG(slot.node->informed() == (v == 0),
+                   "on_restart left node " + std::to_string(v) +
+                       " in the wrong informed state — does the protocol "
+                       "override protocol_node::on_restart?");
+      slot.received_any = false;
+      if (was_informed && v != 0) {
+        result_.informed_at[idx(v)] = -1;
+        --informed_count_;
+        // Full informing (if ever reached) was transient, not final.
+        result_.informed_step = -1;
+      }
+    }
+    // Awake ⇔ source or has received at least one (surviving) message.
+    if ((v == 0 || slot.received_any) && awake_[idx(v)] == 0) {
+      awake_[idx(v)] = 1;
+      ++awake_count_;
+      const auto it =
+          std::lower_bound(awake_list_.begin(), awake_list_.end(), v);
+      awake_list_.insert(it, v);
+    }
+    if (opts_.sink != nullptr) {
+      message m;
+      m.a = r.amnesia ? 1 : 0;
+      opts_.sink->record({step, trace_event::type::recover, v, m});
     }
   }
 
@@ -312,9 +379,46 @@ class broadcast_run {
         arrivals_[idx(t)] = -1;  // busy transmitting; cannot receive
       }
     }
+    if (faults_ == nullptr) {
+      for (node_id v : touched_) {
+        const int count = arrivals_[idx(v)];
+        if (count == -1) continue;  // v transmitted this step
+        if (count >= 2) {
+          ++result_.collisions;
+          if (opts_.sink != nullptr) {
+            opts_.sink->record({step, trace_event::type::collision, v, {}});
+          }
+          continue;
+        }
+        RC_CHECK(count == 1);
+        const node_id sender = last_sender_[idx(v)];
+        RC_CHECK(tx_stamp_[idx(sender)] == step);
+        deliver(v, sender, step);
+      }
+      return;
+    }
+
+    // Injection site 4: unique-arrival listeners go through the model's
+    // delivery filter before anything is committed, but the trace must
+    // still interleave collision/receive/drop in touched order — a
+    // zero-intensity model's trace is byte-identical to the fault-free
+    // path's (the chaos harness holds us to that).
     for (node_id v : touched_) {
       const int count = arrivals_[idx(v)];
-      if (count == -1) continue;  // v transmitted this step
+      if (count == -1 || count >= 2) continue;
+      RC_CHECK(count == 1);
+      const node_id sender = last_sender_[idx(v)];
+      RC_CHECK(tx_stamp_[idx(sender)] == step);
+      pending_.push_back({v, sender, slots_[idx(v)].node->informed(), false});
+    }
+    if (!pending_.empty()) {
+      const fault::step_view view{step, &g_, &result_.informed_at, &crashed_};
+      faults_->filter_deliveries(view, &pending_);
+    }
+    std::size_t next = 0;  // pending_ preserves touched order
+    for (node_id v : touched_) {
+      const int count = arrivals_[idx(v)];
+      if (count == -1) continue;
       if (count >= 2) {
         ++result_.collisions;
         if (opts_.sink != nullptr) {
@@ -322,33 +426,20 @@ class broadcast_run {
         }
         continue;
       }
-      RC_CHECK(count == 1);
-      const node_id sender = last_sender_[idx(v)];
-      RC_CHECK(tx_stamp_[idx(sender)] == step);
-      if (faults_ != nullptr) {  // injection site 4: defer for loss/jamming
-        pending_.push_back(
-            {v, sender, slots_[idx(v)].node->informed(), false});
+      const fault::delivery_candidate& c = pending_[next++];
+      RC_CHECK_MSG(c.listener == v,
+                   "fault model must not reorder or resize the delivery list");
+      if (c.suppressed) {
+        ++result_.suppressed_deliveries;
+        if (opts_.sink != nullptr) {
+          opts_.sink->record(
+              {step, trace_event::type::drop, v, tx_msg_[idx(c.sender)]});
+        }
         continue;
       }
-      deliver(v, sender, step);
+      deliver(v, c.sender, step);
     }
-
-    if (faults_ != nullptr && !pending_.empty()) {
-      const fault::step_view view{step, &g_, &result_.informed_at, &crashed_};
-      faults_->filter_deliveries(view, &pending_);
-      for (const fault::delivery_candidate& c : pending_) {
-        if (c.suppressed) {
-          ++result_.suppressed_deliveries;
-          if (opts_.sink != nullptr) {
-            opts_.sink->record({step, trace_event::type::drop, c.listener,
-                                tx_msg_[idx(c.sender)]});
-          }
-          continue;
-        }
-        deliver(c.listener, c.sender, step);
-      }
-      pending_.clear();
-    }
+    pending_.clear();
   }
 
   // Fold this step's wakes into the sorted awake list.
@@ -383,6 +474,7 @@ class broadcast_run {
     h_tx_per_step_->observe(tx_count);
     if (sr_f_crashed_ != nullptr) {
       sr_f_crashed_->push(result_.crashed_nodes);
+      sr_f_recoveries_->push(result_.recoveries);
       sr_f_suppressed_->push(result_.suppressed_deliveries - suppressed_before);
       sr_f_down_edges_->push(static_cast<std::int64_t>(down_edges_.size()));
     }
@@ -398,18 +490,80 @@ class broadcast_run {
     if (everyone_informed && result_.informed_step == -1) {
       result_.informed_step = step + 1;
     }
+    // The roster must settle before completion: while the model still
+    // intends to bring crashed nodes back (fault/recovery.h), a returning
+    // amnesiac may yet need the message, so "every surviving node is
+    // informed" is not final.
+    const bool settled =
+        faults_ == nullptr || faults_->pending_recoveries() == 0;
     if (opts_.stop == stop_condition::all_informed) {
-      if (everyone_informed) {
+      if (everyone_informed && settled) {
         result_.completed = true;
         return true;
       }
     } else {
-      if (everyone_informed && all_halted()) {
+      if (everyone_informed && settled && all_halted()) {
         result_.completed = true;
         return true;
       }
     }
+    // Message extinction: no live node holds the message and none of the
+    // crashed holders will return — with no spontaneous transmissions the
+    // broadcast can make no further progress, so burn no more steps. Only
+    // a crashed source produces this state (an amnesia reboot of the
+    // source keeps it informed), hence outcome source_lost.
+    if (faults_ != nullptr && settled && informed_count_ == crashed_informed_) {
+      return true;  // completed stays false; finalize_outcome classifies
+    }
     return false;
+  }
+
+  // Partition-tolerant post-mortem (run_result::outcome): a BFS over the
+  // SURVIVING graph — live nodes, up edges — as it stood when the run
+  // stopped, splitting "genuinely stuck" from "unreachable" timeouts.
+  // Fault-free completed runs skip the BFS: every node was reached, so
+  // reachable = informed_reachable = n by construction.
+  void finalize_outcome() {
+    if (faults_ == nullptr && result_.completed) {
+      result_.reachable_nodes = n_;
+      result_.informed_reachable = n_;
+      result_.outcome = run_outcome::completed;
+      return;
+    }
+    const bool source_down = faults_ != nullptr && crashed_[0] != 0;
+    if (!source_down) {
+      bfs_seen_.assign(static_cast<std::size_t>(n_), 0);
+      bfs_queue_.clear();
+      bfs_seen_[0] = 1;
+      bfs_queue_.push_back(0);
+      for (std::size_t head = 0; head < bfs_queue_.size(); ++head) {
+        const node_id u = bfs_queue_[head];
+        for (const node_id v : g_.out_neighbors(u)) {
+          if (bfs_seen_[idx(v)] != 0) continue;
+          if (faults_ != nullptr &&
+              (crashed_[idx(v)] != 0 ||
+               (!down_edges_.empty() &&
+                down_edges_.count(edge_key(u, v)) != 0))) {
+            continue;
+          }
+          bfs_seen_[idx(v)] = 1;
+          bfs_queue_.push_back(v);
+        }
+      }
+      result_.reachable_nodes = static_cast<std::int64_t>(bfs_queue_.size());
+      for (const node_id v : bfs_queue_) {
+        if (result_.informed_at[idx(v)] != -1) ++result_.informed_reachable;
+      }
+    }
+    if (result_.completed) {
+      result_.outcome = run_outcome::completed;
+    } else if (source_down) {
+      result_.outcome = run_outcome::source_lost;
+    } else if (result_.informed_reachable == result_.reachable_nodes) {
+      result_.outcome = run_outcome::unreachable;
+    } else {
+      result_.outcome = run_outcome::stuck;
+    }
   }
 
   // The frontier-driven engine: phase 1 costs O(|awake|), and phase 2's
@@ -526,6 +680,7 @@ class broadcast_run {
   std::int64_t informed_count_ = 1;
   std::int64_t awake_count_ = 1;
   std::int64_t crashed_uninformed_ = 0;
+  std::int64_t crashed_informed_ = 0;
 
   // Awake set (see ctor comment).
   std::vector<std::uint8_t> awake_;
@@ -551,6 +706,10 @@ class broadcast_run {
   fault::step_faults step_faults_buf_;
   std::vector<fault::delivery_candidate> pending_;
 
+  // finalize_outcome scratch (the queue doubles as the visit list).
+  std::vector<std::uint8_t> bfs_seen_;
+  std::vector<node_id> bfs_queue_;
+
   // Per-step series, resolved once at setup (null ⇒ metrics disabled).
   obs::series* sr_frontier_ = nullptr;
   obs::series* sr_awake_ = nullptr;
@@ -560,11 +719,22 @@ class broadcast_run {
   obs::series* sr_idle_ = nullptr;
   obs::histogram* h_tx_per_step_ = nullptr;
   obs::series* sr_f_crashed_ = nullptr;
+  obs::series* sr_f_recoveries_ = nullptr;
   obs::series* sr_f_suppressed_ = nullptr;
   obs::series* sr_f_down_edges_ = nullptr;
 };
 
 }  // namespace
+
+const char* run_outcome_name(run_outcome o) {
+  switch (o) {
+    case run_outcome::completed: return "completed";
+    case run_outcome::stuck: return "stuck";
+    case run_outcome::unreachable: return "unreachable";
+    case run_outcome::source_lost: return "source_lost";
+  }
+  return "unknown";
+}
 
 run_result run_broadcast_with_r(const graph& g, const protocol& proto,
                                 node_id r, const run_options& opts) {
@@ -644,8 +814,12 @@ trial_set run_trials(const graph& g, const protocol& proto,
     rec.collisions = r.collisions;
     rec.deliveries = r.deliveries;
     rec.crashed_nodes = r.crashed_nodes;
+    rec.recoveries = r.recoveries;
     rec.suppressed_deliveries = r.suppressed_deliveries;
     rec.churned_edges = r.churned_edges;
+    rec.reachable_nodes = r.reachable_nodes;
+    rec.informed_reachable = r.informed_reachable;
+    rec.outcome = r.outcome;
     rec.wall_ms =
         std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
             end - start)

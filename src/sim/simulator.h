@@ -74,7 +74,10 @@ struct run_options {
   /// `sim.fault.*` metric series and crash/drop/edge trace events, and
   /// fills the fault-accounting fields of run_result. Crashed nodes are
   /// exempt from the stop condition: "completed" then means every
-  /// SURVIVING node is informed (resp. halted). Null ⇒ the fault-free step
+  /// SURVIVING node is informed (resp. halted) — AND the roster has
+  /// settled: while the model reports pending_recoveries() > 0, nodes are
+  /// still destined to rejoin (possibly with amnesia, needing the message
+  /// again), so completion is withheld. Null ⇒ the fault-free step
   /// loop pays exactly one branch per injection site, and results are
   /// bit-identical to a run where the model suppresses nothing.
   fault::fault_model* faults = nullptr;
@@ -96,6 +99,23 @@ struct run_options {
   bool verify_sleepers = false;
 };
 
+/// How a run ended, beyond the completed flag. Partition-tolerant
+/// semantics: a run that times out because the uninformed remainder was
+/// CUT OFF (no live path from the source at the final step) is not the
+/// same failure as one where progress was possible but not made. The
+/// reachability BFS runs over the surviving graph — live (non-crashed)
+/// nodes and up edges — at the moment the run stopped.
+enum class run_outcome {
+  completed,    ///< stop condition reached within the cap
+  stuck,        ///< timed out with reachable-but-uninformed nodes left
+  unreachable,  ///< timed out; every reachable survivor IS informed —
+                ///< the rest are cut off behind crashes/down edges
+  source_lost,  ///< the source itself is crashed at the end of the run
+};
+
+/// Short lowercase tag ("completed", "stuck", "unreachable", "source_lost").
+const char* run_outcome_name(run_outcome o);
+
 struct run_result {
   bool completed = false;         ///< stop condition reached within the cap
   std::int64_t steps = 0;         ///< steps executed
@@ -108,9 +128,18 @@ struct run_result {
   /// literature (transmitting dominates a node's power budget).
   std::vector<std::int64_t> transmissions_per_node;
   // Fault accounting (all zero when run_options::faults is null).
-  std::int64_t crashed_nodes = 0;  ///< nodes crash-stopped during the run
+  std::int64_t crashed_nodes = 0;  ///< crash EVENTS applied (a node that
+                                   ///< recovers and re-crashes counts twice)
+  std::int64_t recoveries = 0;     ///< crashed nodes that rejoined
   std::int64_t suppressed_deliveries = 0;  ///< receptions silenced (loss/jam)
   std::int64_t churned_edges = 0;  ///< edge up/down transitions applied
+  // Partition-tolerant accounting (fault-free completed runs report
+  // reachable_nodes = informed_reachable = n without running the BFS).
+  std::int64_t reachable_nodes = 0;  ///< survivors reachable from the source
+                                     ///< over the final surviving graph
+                                     ///< (0 when the source is down)
+  std::int64_t informed_reachable = 0;  ///< of those, how many are informed
+  run_outcome outcome = run_outcome::completed;
 };
 
 /// Runs `proto` on `g` with node 0 as source until the stop condition or the
@@ -214,8 +243,13 @@ struct trial_record {
   // Fault accounting (zero for fault-free batches); turns trial batches
   // into resilience curves — timeout_rate vs fault intensity.
   std::int64_t crashed_nodes = 0;
+  std::int64_t recoveries = 0;
   std::int64_t suppressed_deliveries = 0;
   std::int64_t churned_edges = 0;
+  // Partition-tolerant accounting (see run_result).
+  std::int64_t reachable_nodes = 0;
+  std::int64_t informed_reachable = 0;
+  run_outcome outcome = run_outcome::completed;
   double wall_ms = 0.0;  ///< wall-clock of this trial's run_broadcast
 };
 

@@ -14,6 +14,7 @@ const char* trace_event_type_name(trace_event::type t) {
     case trace_event::type::collision: return "collision";
     case trace_event::type::informed: return "informed";
     case trace_event::type::crash: return "crash";
+    case trace_event::type::recover: return "recover";
     case trace_event::type::drop: return "drop";
     case trace_event::type::edge_down: return "edge_down";
     case trace_event::type::edge_up: return "edge_up";
@@ -100,6 +101,9 @@ std::string trace::to_string() const {
       case trace_event::type::crash:
         os << "crash-stops";
         break;
+      case trace_event::type::recover:
+        os << (e.msg.a != 0 ? "recovers (amnesia)" : "recovers (retain)");
+        break;
       case trace_event::type::drop:
         os << "loses a delivery from=" << e.msg.from
            << " kind=" << e.msg.kind;
@@ -134,6 +138,8 @@ void trace::to_ndjson(std::ostream& os) const {
     } else if (e.what == trace_event::type::edge_down ||
                e.what == trace_event::type::edge_up) {
       line.set("peer", e.msg.a);
+    } else if (e.what == trace_event::type::recover) {
+      line.set("amnesia", e.msg.a != 0);
     } else if (e.what == trace_event::type::informed && e.msg.from >= 0) {
       // First-delivery provenance: the neighbor whose transmission informed
       // this node (absent in traces recorded before the field existed).
@@ -167,8 +173,9 @@ std::string trace::summary_json() const {
   for (const auto t :
        {trace_event::type::transmit, trace_event::type::receive,
         trace_event::type::collision, trace_event::type::informed,
-        trace_event::type::crash, trace_event::type::drop,
-        trace_event::type::edge_down, trace_event::type::edge_up}) {
+        trace_event::type::crash, trace_event::type::recover,
+        trace_event::type::drop, trace_event::type::edge_down,
+        trace_event::type::edge_up}) {
     types.set(trace_event_type_name(t), by_type[static_cast<int>(t)]);
   }
   root.set("by_type", std::move(types));

@@ -25,11 +25,12 @@ namespace radiocast {
 
 /// One observable event in a simulation.
 ///
-/// The last four types are fault-injection events (src/fault/), recorded
+/// The last five types are fault-injection events (src/fault/), recorded
 /// by the simulator when a fault model acts: `crash` (node crash-stops),
-/// `drop` (a would-be delivery suppressed by loss/jamming; msg = the lost
-/// frame), `edge_down`/`edge_up` (churn; node = one endpoint, msg.a = the
-/// other).
+/// `recover` (a crashed node rejoins; msg.a = 1 for an amnesia restart,
+/// 0 for retain — see fault/recovery.h), `drop` (a would-be delivery
+/// suppressed by loss/jamming; msg = the lost frame), `edge_down`/
+/// `edge_up` (churn; node = one endpoint, msg.a = the other).
 struct trace_event {
   enum class type {
     transmit,
@@ -37,11 +38,12 @@ struct trace_event {
     collision,
     informed,
     crash,
+    recover,
     drop,
     edge_down,
     edge_up,
   };
-  static constexpr int kTypeCount = 8;
+  static constexpr int kTypeCount = 9;
 
   std::int64_t step = 0;
   type what = type::transmit;

@@ -85,6 +85,12 @@ trace_analysis analyze_events(const std::vector<trace_event>& events) {
       case trace_event::type::crash:
         ++a.crashes;
         break;
+      case trace_event::type::recover:
+        // Recoveries do not disturb the first-delivery tree: the FIRST
+        // informing delivery stands even if the node later reboots with
+        // amnesia and is re-informed along a different edge.
+        ++a.recoveries;
+        break;
       case trace_event::type::edge_down:
       case trace_event::type::edge_up:
         break;
@@ -225,6 +231,7 @@ obs::json_value analysis_to_json(const trace_analysis& a, int top) {
   totals.set("deliveries", a.deliveries);
   totals.set("drops", a.drops);
   totals.set("crashes", a.crashes);
+  totals.set("recoveries", a.recoveries);
   doc.set("totals", std::move(totals));
   obs::json_value layers = obs::json_value::array();
   for (const layer_timeline& layer : a.layers) {

@@ -70,6 +70,7 @@ struct trace_analysis {
   std::int64_t deliveries = 0;
   std::int64_t drops = 0;
   std::int64_t crashes = 0;
+  std::int64_t recoveries = 0;
 };
 
 /// Analyzes an ordered event list (oldest first). Node 0 is the source.

@@ -322,6 +322,52 @@ TEST(ArtifactTest, OutOfOrderSeedsAreCorruption) {
   EXPECT_NE(error.find("out of order"), std::string::npos) << error;
 }
 
+TEST(ArtifactTest, PreRecoveryTrialRecordsStillParse) {
+  // Shards written before the recovery/partition fields existed carry no
+  // recoveries/reachable_nodes/informed_reachable/outcome keys; they must
+  // parse with defaults (outcome inferred from the completed flag) so
+  // resumed campaigns keep their old shards.
+  trial_record t;
+  t.seed = 7;
+  t.completed = false;
+  t.steps = 64;
+  const obs::json_value full = campaign::trial_record_json(t);
+  obs::json_value old = obs::json_value::object();
+  for (const auto& [key, member] : full.members()) {
+    if (key == "recoveries" || key == "reachable_nodes" ||
+        key == "informed_reachable" || key == "outcome") {
+      continue;
+    }
+    old.set(key, member);
+  }
+  std::string error;
+  const auto parsed = campaign::parse_trial(old, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->recoveries, 0);
+  EXPECT_EQ(parsed->reachable_nodes, 0);
+  EXPECT_EQ(parsed->informed_reachable, 0);
+  EXPECT_EQ(parsed->outcome, run_outcome::stuck);
+
+  // New-format records round-trip the outcome tag exactly…
+  t.completed = true;
+  t.outcome = run_outcome::source_lost;
+  t.recoveries = 3;
+  t.reachable_nodes = 5;
+  t.informed_reachable = 5;
+  const auto fresh = campaign::parse_trial(campaign::trial_record_json(t));
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_EQ(fresh->outcome, run_outcome::source_lost);
+  EXPECT_EQ(fresh->recoveries, 3);
+  EXPECT_EQ(fresh->reachable_nodes, 5);
+  EXPECT_EQ(fresh->informed_reachable, 5);
+
+  // …and a present-but-bogus tag is corruption, not a default.
+  obs::json_value bogus = campaign::trial_record_json(t);
+  bogus.set("outcome", "exploded");
+  EXPECT_FALSE(campaign::parse_trial(bogus, &error).has_value());
+  EXPECT_NE(error.find("outcome"), std::string::npos) << error;
+}
+
 TEST(ArtifactTest, WallClockKeyClassifier) {
   EXPECT_TRUE(campaign::is_wall_clock_key("wall_ms"));
   EXPECT_TRUE(campaign::is_wall_clock_key("batch_wall_ms"));

@@ -12,7 +12,11 @@
 //   * no spontaneous transmissions: every transmitter except the source
 //     must have received some message in an earlier step;
 //   * under fault injection, a would-be delivery may instead surface as a
-//     `drop` event (loss/jamming) and crashed nodes fall silent forever.
+//     `drop` event (loss/jamming) and crashed nodes fall silent until a
+//     `recover` event (if any) brings them back. This oracle replays
+//     retain-mode recoveries; amnesia traces (which re-inform nodes, so
+//     informed events are not once-per-node) are covered by the chaos
+//     harness oracle (src/fault/chaos.cpp) instead.
 //
 // The simulator's aggregate counters (transmissions, deliveries,
 // collisions, suppressed_deliveries, informed_at) must equal what the
@@ -37,6 +41,8 @@
 #include "fault/crash.h"
 #include "fault/fault_model.h"
 #include "fault/loss.h"
+#include "fault/partition.h"
+#include "fault/recovery.h"
 #include "obs/metrics.h"
 #include "graph/analysis.h"
 #include "graph/generators.h"
@@ -56,6 +62,8 @@ struct step_events {
   std::set<node_id> collision;
   std::set<node_id> informed;
   std::set<node_id> crash;
+  std::set<node_id> recover;
+  std::set<node_id> amnesia;  // recoveries with the state-loss flag set
   std::set<node_id> drop;
   bool edge_churn = false;  // any edge_down/edge_up (unsupported here)
 };
@@ -81,6 +89,10 @@ std::map<std::int64_t, step_events> bucket_by_step(const trace& tr) {
         break;
       case trace_event::type::crash:
         EXPECT_TRUE(s.crash.insert(e.node).second);
+        break;
+      case trace_event::type::recover:
+        EXPECT_TRUE(s.recover.insert(e.node).second);
+        if (e.msg.a == 1) s.amnesia.insert(e.node);
         break;
       case trace_event::type::drop:
         // Exactly-one-transmitter ⇒ at most one candidate per listener,
@@ -112,16 +124,29 @@ void verify_against_radio_rule(const graph& g, const trace& tr,
   std::vector<bool> has_received(static_cast<std::size_t>(n), false);
   std::vector<std::int64_t> first_informed(static_cast<std::size_t>(n), -1);
   std::int64_t transmissions = 0, deliveries = 0, collisions = 0, drops = 0;
+  std::int64_t crashes = 0, recoveries = 0;
 
   for (const auto& [step, ev] : steps) {
     const std::string where = what + ", step " + std::to_string(step);
     EXPECT_FALSE(ev.edge_churn) << where << ": unexpected churn event";
     if (!faults_allowed) {
-      EXPECT_TRUE(ev.crash.empty() && ev.drop.empty())
+      EXPECT_TRUE(ev.crash.empty() && ev.drop.empty() && ev.recover.empty())
           << where << ": fault events in a fault-free run";
     }
-    // Crashes land at the top of the step, before transmit decisions.
+    // Amnesia recoveries re-inform nodes, breaking the informed-once
+    // bookkeeping below; those traces belong to the chaos oracle.
+    EXPECT_TRUE(ev.amnesia.empty())
+        << where << ": amnesia traces are not supported by this oracle";
+    // Crashes land at the top of the step, before transmit decisions;
+    // recoveries follow, so a retain-mode node is live again in the same
+    // step its rejoin event appears.
     crashed.insert(ev.crash.begin(), ev.crash.end());
+    crashes += static_cast<std::int64_t>(ev.crash.size());
+    for (node_id v : ev.recover) {
+      EXPECT_EQ(crashed.erase(v), 1u)
+          << where << ": recovery of a node that was not down: " << v;
+    }
+    recoveries += static_cast<std::int64_t>(ev.recover.size());
 
     transmissions += static_cast<std::int64_t>(ev.transmit.size());
     deliveries += static_cast<std::int64_t>(ev.receive.size());
@@ -199,8 +224,10 @@ void verify_against_radio_rule(const graph& g, const trace& tr,
   EXPECT_EQ(r.deliveries, deliveries) << what;
   EXPECT_EQ(r.collisions, collisions) << what;
   EXPECT_EQ(r.suppressed_deliveries, drops) << what;
-  EXPECT_EQ(r.crashed_nodes, static_cast<std::int64_t>(crashed.size()))
-      << what;
+  // crashed_nodes counts crash EVENTS (a recovered node may crash again),
+  // not the population currently down.
+  EXPECT_EQ(r.crashed_nodes, crashes) << what;
+  EXPECT_EQ(r.recoveries, recoveries) << what;
 
   // informed_at agrees with the informed events (source is step 0 by
   // definition and never gets an event).
@@ -353,6 +380,37 @@ TEST(DifferentialTest, FaultedRunsStayConsistent) {
   }
 }
 
+TEST(DifferentialTest, RetainRecoveryRunsObeyRadioRule) {
+  // Retain-mode crash-recovery: nodes cycle down and back with their state
+  // intact, so the informed-once oracle still applies — recoveries just
+  // reshape the crashed set mid-replay and must balance against
+  // run_result::recoveries.
+  rng topo_gen(89);
+  std::vector<std::pair<std::string, graph>> graphs;
+  graphs.emplace_back("gnp24", make_gnp_connected(24, 0.2, topo_gen));
+  graphs.emplace_back("tree20", make_random_tree(20, topo_gen));
+
+  for (const auto& [gtag, g] : graphs) {
+    for (const std::string proto_name : {"decay", "round-robin"}) {
+      const auto proto = make_protocol(proto_name, g.node_count() - 1);
+      for (std::uint64_t seed : {9u, 10u, 11u}) {
+        const std::string what =
+            gtag + "/" + proto_name + "/recovery/seed" + std::to_string(seed);
+        fault::recovery_options ropts;
+        ropts.crash_probability = 0.003;
+        ropts.mode = fault::recovery_mode::retain;
+        ropts.downtime = 5;
+        ropts.recovery_probability = 0.05;
+        fault::recovery_model faults(ropts);
+        trace tr(2'000'000);
+        const run_result r = run_traced(g, *proto, seed, &tr, &faults);
+        verify_against_radio_rule(g, tr, r, /*faults_allowed=*/true, what);
+        EXPECT_EQ(r.recoveries, faults.recovered_count()) << what;
+      }
+    }
+  }
+}
+
 TEST(DifferentialTest, TrialRecordsMatchTracedReruns) {
   // run_trials must be exactly "run_broadcast per seed": re-running any
   // trial's seed with a trace reproduces its record, and the trace totals
@@ -465,6 +523,10 @@ void expect_engines_agree(const graph& g, const protocol& proto,
     EXPECT_EQ(a.crashed_nodes, b.crashed_nodes) << tag;
     EXPECT_EQ(a.suppressed_deliveries, b.suppressed_deliveries) << tag;
     EXPECT_EQ(a.churned_edges, b.churned_edges) << tag;
+    EXPECT_EQ(a.recoveries, b.recoveries) << tag;
+    EXPECT_EQ(a.reachable_nodes, b.reachable_nodes) << tag;
+    EXPECT_EQ(a.informed_reachable, b.informed_reachable) << tag;
+    EXPECT_EQ(a.outcome, b.outcome) << tag;
     // wall_ms is reporting-only and excluded from the contract.
   }
   EXPECT_EQ(ref.metrics_dump, fro.metrics_dump) << what << ": metrics dump";
@@ -516,6 +578,39 @@ TEST(EngineDifferentialTest, UnderEveryFaultModel) {
        [] {
          return std::make_unique<fault::churn_model>(
              fault::churn_options{0.02});
+       }},
+      {"recovery_retain",
+       [] {
+         fault::recovery_options o;
+         o.crash_probability = 0.004;
+         o.mode = fault::recovery_mode::retain;
+         o.downtime = 6;
+         return std::make_unique<fault::recovery_model>(o);
+       }},
+      {"recovery_amnesia",
+       [] {
+         fault::recovery_options o;
+         o.crash_probability = 0.004;
+         o.mode = fault::recovery_mode::amnesia;
+         o.downtime = 4;
+         o.recovery_probability = 0.1;
+         return std::make_unique<fault::recovery_model>(o);
+       }},
+      {"partition",
+       [] {
+         fault::partition_options o;
+         o.toggle_probability = 0.01;
+         o.period = 24;
+         o.duration = 8;
+         o.island_fraction = 0.3;
+         return std::make_unique<fault::partition_model>(o);
+       }},
+      {"frontier_cut",
+       [] {
+         fault::frontier_cut_options o;
+         o.budget_per_step = 1;
+         o.total_budget = 4;
+         return std::make_unique<fault::frontier_cut_model>(o);
        }},
   };
   for (const auto& [ftag, factory] : models) {

@@ -4,12 +4,17 @@
 // fault accounting.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "core/runner.h"
 #include "fault/churn.h"
 #include "fault/crash.h"
 #include "fault/fault_model.h"
 #include "fault/jammer.h"
 #include "fault/loss.h"
+#include "fault/partition.h"
+#include "fault/recovery.h"
 #include "graph/analysis.h"
 #include "obs/metrics.h"
 #include "graph/generators.h"
@@ -41,6 +46,10 @@ void expect_identical(const run_result& a, const run_result& b) {
   EXPECT_EQ(a.crashed_nodes, b.crashed_nodes);
   EXPECT_EQ(a.suppressed_deliveries, b.suppressed_deliveries);
   EXPECT_EQ(a.churned_edges, b.churned_edges);
+  EXPECT_EQ(a.recoveries, b.recoveries);
+  EXPECT_EQ(a.reachable_nodes, b.reachable_nodes);
+  EXPECT_EQ(a.informed_reachable, b.informed_reachable);
+  EXPECT_EQ(a.outcome, b.outcome);
 }
 
 graph test_graph() {
@@ -72,7 +81,24 @@ TEST(FaultTest, NoOpModelsAreBitIdenticalToFaultFree) {
   fault::churn_model churn(fault::churn_options{0.0});
   expect_identical(base, run_with(g, *proto, &churn));
 
-  std::vector<fault::fault_model*> all{&loss, &jam_o, &crash, &churn};
+  fault::recovery_model rec_retain(fault::recovery_options{});
+  expect_identical(base, run_with(g, *proto, &rec_retain));
+
+  fault::recovery_options amnesia_opts;
+  amnesia_opts.mode = fault::recovery_mode::amnesia;
+  amnesia_opts.downtime = 4;  // rejoin configured, but nobody ever crashes
+  fault::recovery_model rec_amnesia(amnesia_opts);
+  expect_identical(base, run_with(g, *proto, &rec_amnesia));
+
+  fault::partition_model partition(fault::partition_options{});
+  expect_identical(base, run_with(g, *proto, &partition));
+
+  fault::frontier_cut_model frontier_cut(fault::frontier_cut_options{});
+  expect_identical(base, run_with(g, *proto, &frontier_cut));
+
+  std::vector<fault::fault_model*> all{&loss,       &jam_o,       &crash,
+                                       &churn,      &rec_retain,  &rec_amnesia,
+                                       &partition,  &frontier_cut};
   fault::composite_fault_model composite(all);
   expect_identical(base, run_with(g, *proto, &composite));
 }
@@ -310,6 +336,86 @@ TEST(FaultTest, ChurnTraceRecordsEdgeEvents) {
   EXPECT_EQ(res.churned_edges,
             static_cast<std::int64_t>(downs.size() + ups.size()));
   EXPECT_GT(downs.size(), 0u);
+}
+
+// ---------- clone(): configuration survives, run state does not ----------
+
+/// One non-trivial instance of every fault model type. The roster must
+/// grow with the subsystem: a model missing here escapes the clone
+/// property checks below.
+std::vector<std::unique_ptr<fault::fault_model>> one_of_each_model() {
+  std::vector<std::unique_ptr<fault::fault_model>> out;
+  fault::crash_options crash;
+  crash.crash_probability = 0.002;
+  crash.spare_source = true;
+  out.push_back(std::make_unique<fault::crash_model>(crash));
+  out.push_back(
+      std::make_unique<fault::loss_model>(fault::loss_options{0.2}));
+  out.push_back(std::make_unique<fault::jammer_model>(
+      fault::jammer_options{2, fault::jam_strategy::oblivious_random}));
+  out.push_back(std::make_unique<fault::jammer_model>(
+      fault::jammer_options{1, fault::jam_strategy::greedy_frontier}));
+  out.push_back(
+      std::make_unique<fault::churn_model>(fault::churn_options{0.05}));
+  fault::recovery_options retain;
+  retain.crash_probability = 0.004;
+  retain.mode = fault::recovery_mode::retain;
+  retain.downtime = 6;
+  out.push_back(std::make_unique<fault::recovery_model>(retain));
+  fault::recovery_options amnesia;
+  amnesia.crash_probability = 0.004;
+  amnesia.mode = fault::recovery_mode::amnesia;
+  amnesia.downtime = 4;
+  amnesia.recovery_probability = 0.1;
+  out.push_back(std::make_unique<fault::recovery_model>(amnesia));
+  fault::partition_options part;
+  part.toggle_probability = 0.01;
+  part.period = 24;
+  part.duration = 8;
+  out.push_back(std::make_unique<fault::partition_model>(part));
+  fault::frontier_cut_options cut;
+  cut.budget_per_step = 1;
+  cut.total_budget = 3;
+  out.push_back(std::make_unique<fault::frontier_cut_model>(cut));
+  return out;
+}
+
+TEST(FaultTest, CloneOfEveryModelTypeReplaysTheSameRun) {
+  // clone() copies configuration only, so a clone taken at ANY point —
+  // fresh, or after the original has accumulated a full run of state —
+  // must reproduce the original's runs exactly.
+  const graph g = test_graph();
+  const auto proto = make_protocol("decay", g.node_count() - 1);
+  for (const auto& m : one_of_each_model()) {
+    const run_result a = run_with(g, *proto, m.get(), 77, 2'000);
+    const auto fresh_after_run = m->clone();
+    EXPECT_EQ(fresh_after_run->name(), m->name());
+    expect_identical(a, run_with(g, *proto, fresh_after_run.get(), 77, 2'000));
+    // And a clone of the clone, which never ran at all.
+    expect_identical(
+        a, run_with(g, *proto, fresh_after_run->clone().get(), 77, 2'000));
+  }
+}
+
+TEST(FaultTest, CompositeCloneDeepClonesEveryChild) {
+  // composite::clone() must clone the children, not alias them: after the
+  // original composite runs (mutating every child's run state), its clone
+  // still reproduces the identical run, and running the CLONE does not
+  // perturb the original either.
+  const graph g = test_graph();
+  const auto proto = make_protocol("decay", g.node_count() - 1);
+  const auto owned = one_of_each_model();
+  std::vector<fault::fault_model*> raw;
+  raw.reserve(owned.size());
+  for (const auto& m : owned) raw.push_back(m.get());
+  fault::composite_fault_model composite(raw);
+
+  const auto before_any_run = composite.clone();
+  const run_result a = run_with(g, *proto, &composite, 131, 2'000);
+  const auto after_a_run = composite.clone();
+  expect_identical(a, run_with(g, *proto, before_any_run.get(), 131, 2'000));
+  expect_identical(a, run_with(g, *proto, after_a_run.get(), 131, 2'000));
+  expect_identical(a, run_with(g, *proto, &composite, 131, 2'000));
 }
 
 // ---------- trial batches as resilience curves ----------

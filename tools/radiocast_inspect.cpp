@@ -1,7 +1,8 @@
 // radiocast_inspect — reads the JSON artifacts this repository's tooling
 // emits: BENCH_<name>.json bench telemetry (schema "radiocast.bench.v1";
-// see docs/OBSERVABILITY.md) and radiocast_lint reports (schema
-// "radiocast.lint.v1"; see docs/STATIC_ANALYSIS.md).
+// see docs/OBSERVABILITY.md), radiocast_lint reports (schema
+// "radiocast.lint.v1"; see docs/STATIC_ANALYSIS.md), and radiocast_chaos
+// fuzzing reports (schema "radiocast.chaos.v1"; see docs/FAULTS.md).
 //
 //   radiocast_inspect print    FILE        human-readable summary
 //   radiocast_inspect validate FILE...     schema check; exit 1 on failure
@@ -31,6 +32,7 @@
 
 #include "campaign/artifact.h"
 #include "campaign/regress.h"
+#include "fault/chaos.h"
 #include "obs/json.h"
 #include "sim/trace_analysis.h"
 
@@ -123,6 +125,22 @@ struct validator {
     optional(t, where, "crashed_nodes", json_value::kind::integer);
     optional(t, where, "suppressed_deliveries", json_value::kind::integer);
     optional(t, where, "churned_edges", json_value::kind::integer);
+    // Recovery and partition-tolerant accounting (crash-recovery PR).
+    optional(t, where, "recoveries", json_value::kind::integer);
+    optional(t, where, "reachable_nodes", json_value::kind::integer);
+    optional(t, where, "informed_reachable", json_value::kind::integer);
+    const json_value* outcome = t.find("outcome");
+    if (outcome != nullptr) {
+      if (!outcome->is_string()) {
+        fail(where + ": key \"outcome\" has the wrong type");
+      } else {
+        const std::string& tag = outcome->as_string();
+        if (tag != "completed" && tag != "stuck" && tag != "unreachable" &&
+            tag != "source_lost") {
+          fail(where + ": unknown outcome \"" + tag + "\"");
+        }
+      }
+    }
   }
 
   void check_case(const json_value& c, const std::string& where) {
@@ -250,6 +268,16 @@ struct validator {
       return false;
     }
     if (schema->as_string() == "radiocast.lint.v1") return run_lint(doc);
+    if (schema->as_string() == "radiocast.chaos.v1") {
+      // The chaos schema's structural validator lives with its writer
+      // (src/fault/chaos.cpp) so tests can drive both against the same
+      // corpus; this tool only adapts its error reporting.
+      std::vector<std::string> errors;
+      if (!fault::validate_chaos_report(doc, &errors)) {
+        for (const std::string& e : errors) fail(e);
+      }
+      return failures == 0;
+    }
     if (schema->as_string() != "radiocast.bench.v1") {
       fail("unknown schema \"" + schema->as_string() + "\"");
     }
@@ -283,7 +311,14 @@ int cmd_validate(const std::vector<std::string>& files) {
     validator v{file};
     if (v.run(doc)) {
       const json_value* cases = doc.find("cases");
-      if (cases != nullptr) {
+      const json_value* schema = doc.find("schema");
+      if (schema != nullptr && schema->is_string() &&
+          schema->as_string() == "radiocast.chaos.v1") {
+        const json_value* runs = doc.find("runs");
+        std::cout << file << ": OK ("
+                  << (runs != nullptr ? runs->as_int() : 0)
+                  << " chaos runs)\n";
+      } else if (cases != nullptr) {
         std::cout << file << ": OK (" << cases->items().size()
                   << " cases)\n";
       } else {
