@@ -19,11 +19,13 @@
 #      -DRADIOCAST_SANITIZE=address,undefined, full ctest under
 #      instrumentation.
 #   3. Thread-sanitizer build (build-tsan/) — -DRADIOCAST_SANITIZE=thread;
-#      runs the parallel-execution and simulator suites with
+#      runs the parallel-execution, simulator, and chaos suites with
 #      RADIOCAST_THREADS=4 so parallel_run_trials genuinely shards across
 #      workers under TSan on any host (the env default makes every
 #      threads=0 call site parallel, and determinism tests pass at any
-#      worker count by construction).
+#      worker count by construction). chaos_test additionally drives the
+#      soa engine's intra-step sharding (step_threads=2..4, grain=1), so
+#      the two-phase fork/join and ordered shard merges are TSan-checked.
 #   4. Chaos smoke (build-san/ci-chaos) — radiocast_chaos fuzzes ~200
 #      seeded fault-model × protocol × graph scenarios under asan/ubsan,
 #      checking the ten simulator invariants (radio rule, crash/partition
@@ -74,9 +76,16 @@ ctest --test-dir build-san --output-on-failure --timeout 300
 
 echo "=== [3/7] Thread-sanitizer build + parallel tests ==="
 cmake -B build-tsan -S . -DRADIOCAST_SANITIZE=thread
-cmake --build build-tsan --parallel --target parallel_test sim_test
+cmake --build build-tsan --parallel --target parallel_test sim_test \
+  chaos_test
+# chaos_test rides along for the intra-step-sharded soa engine: its SoA
+# leg forces step_threads=2 / grain=1 on every sampled scenario (and the
+# broken-merge case runs 4 shards), so exec::run_shards' fork/join and the
+# ordered phase merges execute under TSan on every push. RADIOCAST_THREADS=4
+# makes every threads=0 call site (including run_options::step_threads=0)
+# genuinely parallel on any host.
 RADIOCAST_THREADS=4 ctest --test-dir build-tsan --output-on-failure \
-  --timeout 300 -R 'parallel_test|sim_test'
+  --timeout 300 -R 'parallel_test|sim_test|chaos_test'
 
 echo "=== [4/7] Chaos smoke (invariant fuzzing under asan/ubsan) ==="
 chaos_dir=build-san/ci-chaos
@@ -166,7 +175,8 @@ build/tools/radiocast_inspect diff \
 build/tools/radiocast_inspect regress \
   bench/baselines/BENCH_simulator_throughput.json \
   "$smoke_dir"/BENCH_simulator_throughput.json \
-  --tolerance speedup=75 --tolerance off_over_on=75
+  --tolerance speedup=75 --tolerance soa_speedup=75 \
+  --tolerance off_over_on=75
 build/tools/radiocast_inspect regress \
   bench/baselines/BENCH_fault_resilience.json \
   "$smoke_dir"/BENCH_fault_resilience.json

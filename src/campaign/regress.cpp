@@ -8,8 +8,8 @@ namespace radiocast::campaign {
 namespace {
 
 bool higher_better_key(const std::string& key) {
-  return key == "speedup" || key == "off_over_on" ||
-         key.rfind("steps_per_sec", 0) == 0;
+  return key == "speedup" || key == "soa_speedup" ||
+         key == "off_over_on" || key.rfind("steps_per_sec", 0) == 0;
 }
 
 double default_tolerance(const std::string& label) {

@@ -1,6 +1,9 @@
 #include "core/decay.h"
 
+#include <algorithm>
+
 #include "obs/metrics.h"
+#include "sim/soa_engine.h"
 #include "util/math.h"
 
 namespace radiocast {
@@ -75,11 +78,102 @@ class decay_node final : public protocol_node {
   std::int64_t cutoff_ = 0;
 };
 
+// SoA mirror of decay_node (sim/soa_engine.h traits). Every hook must stay
+// behaviorally identical to the virtual node above — same decisions, same
+// ctx.gen draw sequence, same metrics writes — the three-way differential
+// suite and the chaos engine-bit-identity invariant hold the pair together.
+struct decay_soa_traits {
+  std::int64_t phase_len = 1;  // shared config: 2⌈log(r+1)⌉, set by the entry
+
+  // Per-step cache (begin_step hoist): the phase arithmetic is a pure
+  // function of the step number, identical for every node, so it is
+  // computed once per step instead of once per awake node. on_step only
+  // reads these, keeping the sharded phase-1 region race-free.
+  std::int64_t step_phase = 0;
+  std::int64_t step_offset = 0;
+  std::int64_t phase_start = 0;
+
+  struct state {
+    node_id label = 0;
+    std::int64_t informed_step = -1;
+    std::int64_t drawn_phase = -1;
+    std::int64_t cutoff = 0;
+    bool informed = false;
+  };
+
+  void begin_step(std::int64_t step) {
+    step_phase = step / phase_len;
+    step_offset = step % phase_len;
+    phase_start = step_phase * phase_len;
+  }
+
+  void init(state* s, node_id label, const protocol_params&) const {
+    s->label = label;
+    s->informed = (label == 0);
+    s->informed_step = -1;
+    s->drawn_phase = -1;
+    s->cutoff = 0;
+  }
+
+  std::optional<message> on_step(state* s, const node_context& ctx) const {
+    if (!s->informed) return std::nullopt;
+    if (s->informed_step >= phase_start) {
+      return std::nullopt;  // informed mid-phase; joins the next phase
+    }
+    if (step_phase != s->drawn_phase) {
+      // Draw this phase's geometric cutoff: transmit in steps 0..cutoff−1.
+      s->drawn_phase = step_phase;
+      s->cutoff = 1;
+      while (s->cutoff < phase_len && ctx.gen->flip()) ++s->cutoff;
+      if (ctx.metrics != nullptr) {
+        ctx.metrics->get_gauge("decay.phase").set(step_phase);
+        ctx.metrics->get_histogram("decay.cutoff").observe(s->cutoff);
+      }
+    }
+    if (step_offset < s->cutoff) {
+      if (ctx.metrics != nullptr) {
+        ctx.metrics->get_counter("decay.stage_tx",
+                                 std::to_string(step_offset))
+            .add();
+      }
+      return message{kDecayPayload, s->label, 0, 0, 0};
+    }
+    return std::nullopt;
+  }
+
+  void on_receive(state* s, const node_context& ctx, const message&) const {
+    if (!s->informed) {
+      s->informed = true;
+      s->informed_step = ctx.step;
+    }
+  }
+
+  bool informed(const state& s) const { return s.informed; }
+  bool halted(const state&) const { return false; }
+
+  void on_restart(state* s, const node_context&) const {
+    s->informed = (s->label == 0);
+    s->informed_step = -1;
+    s->drawn_phase = -1;
+    s->cutoff = 0;
+  }
+};
+
+run_result decay_soa_entry(const graph& g, const protocol&, node_id r,
+                           const run_options& opts) {
+  decay_soa_traits traits;
+  traits.phase_len =
+      2 * std::max(1, ilog2_ceil(static_cast<std::uint64_t>(r) + 1));
+  return run_broadcast_soa(g, traits, r, opts);
+}
+
 }  // namespace
 
 std::unique_ptr<protocol_node> decay_protocol::make_node(
     node_id label, const protocol_params& params) const {
   return std::make_unique<decay_node>(label, params);
 }
+
+soa_entry decay_protocol::soa_runner() const { return &decay_soa_entry; }
 
 }  // namespace radiocast

@@ -5,6 +5,7 @@
 
 #include "core/decay.h"
 #include "obs/metrics.h"
+#include "sim/soa_engine.h"
 #include "util/assert.h"
 #include "util/math.h"
 
@@ -131,6 +132,102 @@ class kp_node final : public protocol_node {
   std::int64_t informed_step_ = -1;  // the source knows it from the start
 };
 
+// SoA mirror of kp_node (sim/soa_engine.h traits): the immutable schedule
+// stays shared configuration on the traits object; only the informed flag
+// and its timestamp are per-node state. Behavior must match kp_node bit for
+// bit — same bernoulli draws in the same order.
+struct kp_soa_traits {
+  std::shared_ptr<const kp_randomized_protocol::schedule> sched;
+
+  // Per-step cache (begin_step hoist): the schedule position — block
+  // lookup, stage index, step-within-stage, transmit probability — is a
+  // pure function of the step number, identical for every node. on_step
+  // only reads these, keeping the sharded phase-1 region race-free.
+  const kp_block* block = nullptr;
+  std::int64_t in_block = 0;
+  std::int64_t stage_index = 0;
+  std::int64_t stage_start_step = 0;
+  bool universal_step = false;
+  double p = 0.0;
+
+  struct state {
+    node_id label = 0;
+    std::int64_t informed_step = -1;
+    bool informed = false;
+  };
+
+  void init(state* s, node_id label, const protocol_params&) const {
+    s->label = label;
+    s->informed = (label == 0);
+    s->informed_step = -1;
+  }
+
+  void begin_step(std::int64_t step) {
+    const std::int64_t pos = step % sched->total_length;
+    block = &sched->block_at(pos);
+    in_block = pos - block->start;
+    if (in_block == 0) return;  // source step: nothing below is read
+    stage_index = (in_block - 1) / block->stage_len;
+    const std::int64_t within = (in_block - 1) % block->stage_len;
+    stage_start_step = step - within;
+    universal_step = within >= block->geometric_steps;
+    if (!universal_step) {
+      p = std::ldexp(1.0, -static_cast<int>(within));  // 1/2ˡ
+    } else {
+      p = block->seq.probability_at(stage_index + 1);  // p_i, 1-based
+    }
+  }
+
+  std::optional<message> on_step(state* s, const node_context& ctx) const {
+    if (!s->informed) return std::nullopt;
+    if (in_block == 0) {
+      // "the source transmits" — the first step of each block.
+      if (s->label == 0) {
+        if (ctx.metrics != nullptr) {
+          ctx.metrics->get_counter("kp.tx", "source_step").add();
+        }
+        return payload(s);
+      }
+      return std::nullopt;
+    }
+    // A node performs Stage(D, i) iff it received the source message before
+    // the stage began (paper: a node informed during stage i first
+    // transmits in stage i+1).
+    if (s->informed_step >= stage_start_step) return std::nullopt;
+    if (ctx.gen->bernoulli(p)) {
+      if (ctx.metrics != nullptr) {
+        ctx.metrics->get_gauge("kp.block_log_d").set(block->log_d);
+        ctx.metrics->get_gauge("kp.stage").set(stage_index);
+        ctx.metrics->get_counter(
+                        "kp.tx", universal_step ? "universal" : "geometric")
+            .add();
+      }
+      return payload(s);
+    }
+    return std::nullopt;
+  }
+
+  void on_receive(state* s, const node_context& ctx, const message&) const {
+    if (!s->informed) {
+      s->informed = true;
+      s->informed_step = ctx.step;
+    }
+  }
+
+  bool informed(const state& s) const { return s.informed; }
+  bool halted(const state&) const { return false; }
+
+  void on_restart(state* s, const node_context&) const {
+    s->informed = (s->label == 0);
+    s->informed_step = -1;
+  }
+
+ private:
+  static message payload(const state* s) {
+    return message{kKpPayload, s->label, 0, 0, 0};
+  }
+};
+
 }  // namespace
 
 kp_randomized_protocol::kp_randomized_protocol(node_id r, kp_options options)
@@ -196,6 +293,26 @@ std::unique_ptr<protocol_node> kp_randomized_protocol::make_node(
     return decay_protocol().make_node(label, params);
   }
   return std::make_unique<kp_node>(label, schedule_);
+}
+
+run_result kp_randomized_protocol::soa_entry_fn(const graph& g,
+                                                const protocol& proto,
+                                                node_id r,
+                                                const run_options& opts) {
+  const auto& kp = static_cast<const kp_randomized_protocol&>(proto);
+  RC_REQUIRE_MSG(r <= kp.r_,
+                 "kp_randomized_protocol was built for a smaller label bound");
+  RC_CHECK(!kp.use_bgi_fallback_);  // the fallback routes to Decay's entry
+  kp_soa_traits traits;
+  traits.sched = kp.schedule_;
+  return run_broadcast_soa(g, traits, r, opts);
+}
+
+soa_entry kp_randomized_protocol::soa_runner() const {
+  // Mirror make_node: the BGI-fallback regime runs Decay, so its SoA form
+  // is Decay's too.
+  if (use_bgi_fallback_) return decay_protocol().soa_runner();
+  return &kp_randomized_protocol::soa_entry_fn;
 }
 
 }  // namespace radiocast

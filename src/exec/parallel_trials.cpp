@@ -126,6 +126,8 @@ trial_set parallel_run_trials(const graph& g, const protocol& proto,
           topts.faults = s.faults.get();
           topts.engine = opts.engine;
           topts.verify_sleepers = opts.verify_sleepers;
+          topts.step_threads = opts.step_threads;
+          topts.step_shard_grain = opts.step_shard_grain;
           s.result = run_trials(g, proto, topts);
           const std::lock_guard<std::mutex> lock(mu);
           s.done = true;

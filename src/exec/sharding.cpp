@@ -1,0 +1,18 @@
+#include "exec/sharding.h"
+
+#include "util/assert.h"
+
+namespace radiocast::exec {
+
+void run_shards(thread_pool& pool, int shards,
+                const std::function<void(int)>& body) {
+  RC_REQUIRE_MSG(shards >= 1, "run_shards needs at least one shard");
+  RC_REQUIRE_MSG(body != nullptr, "run_shards needs a body");
+  for (int s = 1; s < shards; ++s) {
+    pool.submit([&body, s] { body(s); });
+  }
+  body(0);
+  pool.wait_idle();
+}
+
+}  // namespace radiocast::exec

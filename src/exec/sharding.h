@@ -1,0 +1,29 @@
+// Intra-step sharding hook for the SoA engine (sim/soa_engine.h).
+//
+// parallel_trials.cpp shards ACROSS trials; this helper shards WITHIN one
+// simulator step: a phase's work list is cut into contiguous shards, each
+// shard runs on a pool worker (shard 0 on the calling thread — with two
+// resolved threads exactly one task crosses the queue), and the call blocks
+// until every shard has finished. The caller then merges per-shard results
+// IN SHARD ORDER, which is what keeps sharded steps bit-identical to serial
+// ones: contiguous shards of an ascending work list, merged in shard order,
+// reproduce the serial visit order exactly.
+//
+// thread_pool::wait_idle provides the synchronization edge: every write a
+// shard body makes happens-before the merge loop on the calling thread.
+#pragma once
+
+#include <functional>
+
+#include "exec/thread_pool.h"
+
+namespace radiocast::exec {
+
+/// Runs body(shard) for shard = 0 … shards−1: shard 0 inline on the calling
+/// thread, the rest on the pool. Blocks until all shards complete. Bodies
+/// must not throw (same contract as thread_pool::submit) and must write
+/// only shard-private or per-element-disjoint state.
+void run_shards(thread_pool& pool, int shards,
+                const std::function<void(int)>& body);
+
+}  // namespace radiocast::exec

@@ -5,9 +5,10 @@
 //     counting over the replayed crash/down state) and a fresh clone of the
 //     fault model (begin_run + begin_step per step reproduces the fault
 //     schedule; see the header on why that is sound);
-//   * check_scenario — runs both engines (plus the fault-free twin for
-//     zero-intensity scenarios), feeds each trace through the oracle, and
-//     demands byte-identity across engines;
+//   * check_scenario — runs every engine (frontier, reference, and the
+//     intra-step-sharded soa engine when the protocol has an SoA form,
+//     plus the fault-free twin for zero-intensity scenarios), feeds each
+//     trace through the oracle, and demands byte-identity across engines;
 //   * run_chaos — the seeded sampler: graph family × protocol × stacked
 //     fault models × step cap, with greedy minimization of failures.
 #include "fault/chaos.h"
@@ -1003,7 +1004,8 @@ bool scenario_check_result::ok() const {
 scenario_check_result check_scenario(const graph& g, const protocol& proto,
                                      fault_model* model, std::uint64_t seed,
                                      std::int64_t max_steps,
-                                     bool zero_intensity) {
+                                     bool zero_intensity,
+                                     const soa_check_options& soa) {
   RC_REQUIRE(max_steps >= 1);
   scenario_check_result out;
   checker chk(&out);
@@ -1028,6 +1030,29 @@ scenario_check_result check_scenario(const graph& g, const protocol& proto,
   chk.set_prefix("engines: ");
   compare_results(rf, rr, chaos_invariant::engine_bit_identity, &chk);
   compare_traces(tf, tr, chaos_invariant::engine_bit_identity, &chk);
+
+  if (proto.soa_runner() != nullptr) {
+    // Third leg: the struct-of-arrays engine with intra-step sharding
+    // forced on (soa defaults: 2 threads, grain 1), so the ordered phase
+    // merge participates in the bit-identity contract on every sampled
+    // scenario, not just at benchmark scale.
+    run_options sopts;
+    sopts.max_steps = max_steps;
+    sopts.seed = seed;
+    sopts.faults = model;
+    trace ts;
+    sopts.sink = &ts;
+    sopts.engine = step_engine::soa;
+    sopts.step_threads = soa.step_threads;
+    sopts.step_shard_grain = soa.step_shard_grain;
+    sopts.debug_unordered_merge = soa.debug_unordered_merge;
+    const run_result rs = run_broadcast(g, proto, sopts);
+    chk.set_prefix("soa: ");
+    verify_one_engine(g, model, seed, max_steps, ts.events(), rs, &chk);
+    chk.set_prefix("engines(soa): ");
+    compare_results(rs, rr, chaos_invariant::engine_bit_identity, &chk);
+    compare_traces(ts, tr, chaos_invariant::engine_bit_identity, &chk);
+  }
 
   if (zero_intensity && model != nullptr) {
     run_options zopts;

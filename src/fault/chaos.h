@@ -21,7 +21,9 @@
 //   * run_result counters must equal the trace's event totals, and the
 //     outcome classification must match a reachability recomputation;
 //   * the frontier and reference engines must agree byte-for-byte (trial
-//     fields, informed_at, per-node energy, trace NDJSON);
+//     fields, informed_at, per-node energy, trace NDJSON) — and when the
+//     protocol has a struct-of-arrays step form, the intra-step-sharded
+//     soa engine joins the same comparison;
 //   * a zero-intensity composition must be bit-identical to the fault-free
 //     run.
 //
@@ -83,15 +85,30 @@ struct scenario_check_result {
   bool ok() const;
 };
 
+/// Knobs for the SoA leg of check_scenario. Defaults force intra-step
+/// sharding even on the tiny sampled graphs (2 threads, grain 1) so the
+/// ordered phase merge is genuinely exercised; `debug_unordered_merge` is
+/// test instrumentation that sabotages the merge order, letting tests
+/// confirm engine_bit_identity actually catches an out-of-order reduction.
+struct soa_check_options {
+  int step_threads = 2;
+  std::int64_t step_shard_grain = 1;
+  bool debug_unordered_merge = false;
+};
+
 /// Runs `proto` on `g` with node 0 as source under `model` (nullable ⇒
 /// fault-free), once per engine with full traces, and checks every
-/// invariant. `seed` seeds both runs; `zero_intensity` additionally runs
-/// the fault-free twin and demands bit-identity. Requires identity
-/// labeling (the trace oracle equates message labels with node ids).
+/// invariant. When the protocol has an SoA step form (soa_runner() non
+/// null) a third, intra-step-sharded soa run joins the bit-identity
+/// comparison under `soa`'s knobs. `seed` seeds every run;
+/// `zero_intensity` additionally runs the fault-free twin and demands
+/// bit-identity. Requires identity labeling (the trace oracle equates
+/// message labels with node ids).
 scenario_check_result check_scenario(const graph& g, const protocol& proto,
                                      fault_model* model, std::uint64_t seed,
                                      std::int64_t max_steps,
-                                     bool zero_intensity);
+                                     bool zero_intensity,
+                                     const soa_check_options& soa = {});
 
 struct chaos_options {
   std::int64_t runs = 200;      ///< sampled scenarios (one seed each)

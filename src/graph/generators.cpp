@@ -1,6 +1,7 @@
 #include "graph/generators.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "graph/analysis.h"
@@ -94,17 +95,12 @@ graph make_bounded_degree_tree(node_id n, node_id max_degree, rng& gen) {
   return g;
 }
 
-graph make_gnp_connected(node_id n, double p, rng& gen) {
-  RC_REQUIRE(n >= 2);
-  RC_REQUIRE(p >= 0.0 && p <= 1.0);
-  graph g = graph::undirected(n);
-  for (node_id u = 0; u < n; ++u) {
-    for (node_id v = u + 1; v < n; ++v) {
-      if (gen.bernoulli(p)) g.add_edge_unchecked(u, v);
-    }
-  }
-  // Union-find over sampled components, then bridge components with random
-  // edges so the result is connected without reshaping the bulk topology.
+namespace {
+
+// Union-find over sampled components, then bridge components with random
+// edges so the result is connected without reshaping the bulk topology.
+// Shared by both G(n, p) generators; draws below(n) once per rejection.
+void bridge_components(graph& g, node_id n, rng& gen) {
   std::vector<node_id> parent(static_cast<std::size_t>(n));
   std::iota(parent.begin(), parent.end(), 0);
   std::vector<node_id> find_stack;
@@ -134,6 +130,65 @@ graph make_gnp_connected(node_id n, double p, rng& gen) {
       parent[static_cast<std::size_t>(find(v))] = find(target);
     }
   }
+}
+
+}  // namespace
+
+graph make_gnp_connected(node_id n, double p, rng& gen) {
+  RC_REQUIRE(n >= 2);
+  RC_REQUIRE(p >= 0.0 && p <= 1.0);
+  graph g = graph::undirected(n);
+  for (node_id u = 0; u < n; ++u) {
+    for (node_id v = u + 1; v < n; ++v) {
+      if (gen.bernoulli(p)) g.add_edge_unchecked(u, v);
+    }
+  }
+  bridge_components(g, n, gen);
+  g.finalize();
+  return g;
+}
+
+graph make_gnp_sparse_connected(node_id n, double p, rng& gen) {
+  RC_REQUIRE(n >= 2);
+  RC_REQUIRE(p >= 0.0 && p <= 1.0);
+  graph g = graph::undirected(n);
+  if (p > 0.0) {
+    // Geometric edge-skipping: instead of a bernoulli per pair, draw the
+    // gap to the next PRESENT pair directly — Geometric(p) — and advance a
+    // (row, col) cursor over the linearized sequence (0,1), (0,2), …,
+    // (n−2, n−1). Expected cost is one log per present edge plus the O(n)
+    // total row walk. p == 1 degenerates gracefully: log1p(-1) = −inf makes
+    // every skip 0, so all pairs are emitted.
+    const double log_q = std::log1p(-p);
+    node_id a = 0;
+    node_id b = 1;
+    // Advance the cursor by `steps` candidate pairs; a == n−1 ⇔ exhausted.
+    const auto advance = [&](std::uint64_t steps) {
+      while (a < n - 1) {
+        const auto row_left = static_cast<std::uint64_t>(n - b);
+        if (steps < row_left) {
+          b += static_cast<node_id>(steps);
+          return;
+        }
+        steps -= row_left;
+        ++a;
+        b = a + 1;
+      }
+    };
+    const auto total =
+        static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n - 1) / 2;
+    while (a < n - 1) {
+      // u ∈ (0, 1] so log(u) is finite (≤ 0) and the skip is well-defined.
+      const double u = 1.0 - gen.uniform01();
+      const double skip = std::log(u) / log_q;
+      if (!(skip < static_cast<double>(total))) break;  // no further edge
+      advance(static_cast<std::uint64_t>(skip));
+      if (a >= n - 1) break;
+      g.add_edge_unchecked(a, b);
+      advance(1);
+    }
+  }
+  bridge_components(g, n, gen);
   g.finalize();
   return g;
 }

@@ -41,6 +41,16 @@ graph make_bounded_degree_tree(node_id n, node_id max_degree, rng& gen);
 /// joins any remaining components with uniformly random bridging edges.
 graph make_gnp_connected(node_id n, double p, rng& gen);
 
+/// Sparse G(n, p) conditioned on connectivity — the same model as
+/// make_gnp_connected (independent edges + random bridging), but sampled
+/// with geometric skips over the linearized pair sequence: cost O(n + m)
+/// expected instead of the Θ(n²) pair scan, which is what makes million-node
+/// G(n, p) instances constructible at all (p ~ c/n ⇒ m ~ cn/2). NOT
+/// draw-for-draw compatible with make_gnp_connected: the two consume the
+/// generator differently, so the same seed yields different (equally
+/// distributed) graphs.
+graph make_gnp_sparse_connected(node_id n, double p, rng& gen);
+
 /// Caterpillar: a spine path of `spine` nodes, each carrying `legs` leaves.
 /// n = spine·(1+legs); radius = spine−1+min(1,legs). Useful for the
 /// interleaving experiment (large D, small degree).

@@ -1,0 +1,754 @@
+// Shared step-engine core (CRTP): setup, fault application, reception
+// resolution, metrics, completion — everything a broadcast run needs except
+// the protocol-state representation and phase-1 stepping strategy.
+//
+// Three engines derive from run_base:
+//   * the virtual-dispatch engines (frontier + reference) in simulator.cpp,
+//     whose per-node state is a protocol_node object; and
+//   * the templated SoA engine (sim/soa_engine.h), whose per-node state is a
+//     contiguous POD array and whose phase loops can shard across a thread
+//     pool.
+// The derived class provides the protocol hooks (proto_step, proto_receive,
+// proto_informed, proto_halted, proto_restart), node construction
+// (init_nodes), and the step loop (run_engine); EVERYTHING else — fault
+// injection sites, collision/delivery resolution in touched order, trace
+// event ordering, per-step metrics, the outcome BFS — is this one body of
+// code. That is what makes the three-way differential suite meaningful: the
+// engines can only disagree in the parts that actually differ.
+//
+// The base owns the per-node RNG pool (`gens_`, split from the root seed in
+// node order 0…n−1) so every engine draws the identical per-node streams.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "fault/fault_model.h"
+#include "graph/graph.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "sim/protocol.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace radiocast::detail {
+
+template <class Derived>
+class run_base {
+ public:
+  run_result run() {
+    derived().run_engine();
+    finalize_outcome();
+    return std::move(result_);
+  }
+
+ protected:
+  run_base(const graph& g, node_id r, const run_options& opts)
+      : g_(g), opts_(opts), n_(g.node_count()), faults_(opts.faults) {
+    RC_REQUIRE_MSG(g.finalized(),
+                   "run_broadcast requires a finalized graph — call "
+                   "graph::finalize() after building (generators already do)");
+    RC_REQUIRE(r >= n_ - 1);
+    RC_REQUIRE(opts.max_steps >= 1);
+
+    params_.r = r;
+    // d_hint is a per-protocol construction choice, not a per-run one: the
+    // protocol object bakes it into the nodes it makes (see kp_randomized).
+    params_.d_hint = -1;
+
+    // Resolve the (possibly sparse) labeling.
+    labels_ = opts.labels;
+    if (labels_.empty()) {
+      labels_.resize(static_cast<std::size_t>(n_));
+      for (node_id v = 0; v < n_; ++v) {
+        labels_[static_cast<std::size_t>(v)] = v;
+      }
+    }
+    RC_REQUIRE_MSG(labels_.size() == static_cast<std::size_t>(n_),
+                   "labels must cover every node");
+    RC_REQUIRE_MSG(labels_[0] == 0, "the source must carry label 0");
+    {
+      std::vector<bool> seen(static_cast<std::size_t>(r) + 1, false);
+      for (node_id label : labels_) {
+        RC_REQUIRE_MSG(label >= 0 && label <= r, "label out of range");
+        RC_REQUIRE_MSG(!seen[static_cast<std::size_t>(label)],
+                       "labels must be distinct");
+        seen[static_cast<std::size_t>(label)] = true;
+      }
+    }
+  }
+
+  // Second setup phase, called from the DERIVED constructor body (the base
+  // constructor cannot call init_nodes — the derived members it populates
+  // are not constructed yet). Splits the per-node generators from the root
+  // seed in node order, builds the protocol state, and finishes the common
+  // setup. The RNG stream is identical across engines by construction:
+  // root.split() is called exactly n times, in node order, regardless of
+  // how the derived class stores its nodes.
+  void finish_setup(obs::span_profiler* profiler) {
+    {
+      obs::scoped_span setup_span(profiler, "setup");
+      rng root(opts_.seed);
+      gens_.reserve(static_cast<std::size_t>(n_));
+      for (node_id v = 0; v < n_; ++v) {
+        gens_.push_back(root.split());
+      }
+      received_any_.assign(static_cast<std::size_t>(n_), 0);
+      derived().init_nodes(params_);
+    }
+    RC_CHECK_MSG(derived().proto_informed(0), "the source must start informed");
+
+    if (opts_.sink != nullptr) {
+      // Steady-state recording should not reallocate: reserve for the step
+      // cap (a few events per step, clamped to keep pathological caps sane)
+      // or the ring capacity, whichever binds.
+      const auto cap_hint = static_cast<std::size_t>(std::min<std::int64_t>(
+          opts_.max_steps * 2, std::int64_t{1} << 20));
+      opts_.sink->reserve(cap_hint);
+    }
+
+    // Metrics: resolve every per-step series once, outside the loop. The
+    // disabled path (metrics == nullptr) must cost one branch per site.
+    if (opts_.metrics != nullptr) {
+      sr_frontier_ = &opts_.metrics->get_series("sim.informed_frontier");
+      sr_awake_ = &opts_.metrics->get_series("sim.awake");
+      sr_tx_ = &opts_.metrics->get_series("sim.transmissions");
+      sr_deliveries_ = &opts_.metrics->get_series("sim.deliveries");
+      sr_collisions_ = &opts_.metrics->get_series("sim.collisions");
+      sr_idle_ = &opts_.metrics->get_series("sim.idle_listeners");
+      h_tx_per_step_ =
+          &opts_.metrics->get_histogram("sim.transmitters_per_step");
+      // Fault series only exist for fault-injected runs, so fault-free
+      // metric exports keep their exact pre-fault shape.
+      if (faults_ != nullptr) {
+        sr_f_crashed_ = &opts_.metrics->get_series("sim.fault.crashed_nodes");
+        sr_f_recoveries_ = &opts_.metrics->get_series("sim.fault.recoveries");
+        sr_f_suppressed_ = &opts_.metrics->get_series("sim.fault.suppressed");
+        sr_f_down_edges_ = &opts_.metrics->get_series("sim.fault.down_edges");
+      }
+    }
+
+    result_.informed_at.assign(static_cast<std::size_t>(n_), -1);
+    result_.transmissions_per_node.assign(static_cast<std::size_t>(n_), 0);
+    result_.informed_at[0] = 0;
+
+    // Reception scratch: per listener, a step-stamped counter and the last
+    // transmitter seen.
+    stamp_.assign(static_cast<std::size_t>(n_), -1);
+    arrivals_.assign(static_cast<std::size_t>(n_), 0);
+    last_sender_.assign(static_cast<std::size_t>(n_), -1);
+    tx_msg_.resize(static_cast<std::size_t>(n_));
+    tx_stamp_.assign(static_cast<std::size_t>(n_), -1);
+
+    // The awake set: source + every node that has received at least one
+    // message, minus crashed nodes. awake_[v] ⇔ v ∈ awake_list_ (sorted
+    // ascending, so phase 1 visits nodes in the same order as the
+    // reference engine's 0…n−1 sweep). Maintained by every engine — the
+    // reference loop ignores the list but still reports sim.awake.
+    awake_.assign(static_cast<std::size_t>(n_), 0);
+    awake_[0] = 1;
+    awake_list_.push_back(0);
+
+    if (faults_ != nullptr) {
+      crashed_.assign(static_cast<std::size_t>(n_), 0);
+      faults_->begin_run({&g_, opts_.seed, opts_.max_steps});
+    }
+  }
+
+  Derived& derived() { return static_cast<Derived&>(*this); }
+
+  static std::size_t idx(node_id v) { return static_cast<std::size_t>(v); }
+
+  std::uint64_t edge_key(node_id a, node_id b) const {
+    if (!g_.is_directed() && a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+           static_cast<std::uint32_t>(b);
+  }
+
+  // Crashed nodes are exempt from both stop conditions: completion means
+  // every *surviving* node is informed (resp. halted).
+  bool all_halted() {
+    for (node_id v = 0; v < n_; ++v) {
+      if (faults_ != nullptr && crashed_[idx(v)] != 0) continue;
+      if (!derived().proto_halted(v)) return false;
+    }
+    return true;
+  }
+
+  // Injection site 1: crash-stops, recoveries, and churn, applied at the
+  // top of a step. A crash removes the node from the awake set
+  // immediately, so phase 1 of this very step already skips it (matching
+  // the reference engine's per-node crashed check); a recovery re-inserts
+  // it in sorted position, so phase 1 of this very step already includes
+  // it (matching the reference engine, which steps every non-crashed
+  // node). Crashes are applied before recoveries — a node both crashed
+  // and recovered in one step's buffers ends the step alive.
+  void apply_begin_step_faults(std::int64_t step) {
+    step_faults_buf_.clear();
+    const fault::step_view view{step, &g_, &result_.informed_at, &crashed_};
+    faults_->begin_step(view, &step_faults_buf_);
+    for (const node_id v : step_faults_buf_.crashes) {
+      RC_CHECK_MSG(v >= 0 && v < n_, "fault model crashed an unknown node");
+      auto& mark = crashed_[idx(v)];
+      if (mark != 0) continue;
+      mark = 1;
+      ++result_.crashed_nodes;
+      if (result_.informed_at[idx(v)] == -1) {
+        ++crashed_uninformed_;
+      } else {
+        ++crashed_informed_;
+      }
+      if (awake_[idx(v)] != 0) {
+        awake_[idx(v)] = 0;
+        --awake_count_;
+        const auto it =
+            std::lower_bound(awake_list_.begin(), awake_list_.end(), v);
+        RC_CHECK(it != awake_list_.end() && *it == v);
+        awake_list_.erase(it);
+      }
+      if (opts_.sink != nullptr) {
+        opts_.sink->record({step, trace_event::type::crash, v, {}});
+      }
+    }
+    for (const fault::node_recovery& r : step_faults_buf_.recoveries) {
+      apply_recovery(r, step);
+    }
+    for (const auto& [u, v] : step_faults_buf_.edges_down) {
+      if (!down_edges_.insert(edge_key(u, v)).second) continue;
+      ++result_.churned_edges;
+      if (opts_.sink != nullptr) {
+        message m;
+        m.a = v;
+        opts_.sink->record({step, trace_event::type::edge_down, u, m});
+      }
+    }
+    for (const auto& [u, v] : step_faults_buf_.edges_up) {
+      if (down_edges_.erase(edge_key(u, v)) == 0) continue;
+      ++result_.churned_edges;
+      if (opts_.sink != nullptr) {
+        message m;
+        m.a = v;
+        opts_.sink->record({step, trace_event::type::edge_up, u, m});
+      }
+    }
+  }
+
+  // A crashed node rejoins (fault/recovery.h). Retain mode: volatile state
+  // survived — re-enter the awake set iff the node was awake before the
+  // outage. Amnesia mode: the protocol's restart hook re-initializes the
+  // node, and an informed non-source is EVICTED from the informed set — it
+  // must be re-informed by a fresh delivery. The source keeps its own
+  // message across any reboot.
+  void apply_recovery(const fault::node_recovery& r, std::int64_t step) {
+    const node_id v = r.node;
+    RC_CHECK_MSG(v >= 0 && v < n_, "fault model recovered an unknown node");
+    auto& mark = crashed_[idx(v)];
+    if (mark == 0) return;  // recovering a live node is a no-op
+    mark = 0;
+    ++result_.recoveries;
+    const bool was_informed = result_.informed_at[idx(v)] != -1;
+    if (was_informed) {
+      --crashed_informed_;
+    } else {
+      --crashed_uninformed_;
+    }
+    if (r.amnesia) {
+      node_context ctx{step, &gens_[idx(v)], opts_.metrics};
+      const rng before = gens_[idx(v)];
+      derived().proto_restart(v, ctx);
+      RC_CHECK_MSG(gens_[idx(v)] == before,
+                   "on_restart drew randomness (node " + std::to_string(v) +
+                       ", step " + std::to_string(step) + ")");
+      RC_CHECK_MSG(derived().proto_informed(v) == (v == 0),
+                   "on_restart left node " + std::to_string(v) +
+                       " in the wrong informed state — does the protocol "
+                       "override protocol_node::on_restart?");
+      received_any_[idx(v)] = 0;
+      if (was_informed && v != 0) {
+        result_.informed_at[idx(v)] = -1;
+        --informed_count_;
+        // Full informing (if ever reached) was transient, not final.
+        result_.informed_step = -1;
+      }
+    }
+    // Awake ⇔ source or has received at least one (surviving) message.
+    if ((v == 0 || received_any_[idx(v)] != 0) && awake_[idx(v)] == 0) {
+      awake_[idx(v)] = 1;
+      ++awake_count_;
+      const auto it =
+          std::lower_bound(awake_list_.begin(), awake_list_.end(), v);
+      awake_list_.insert(it, v);
+    }
+    if (opts_.sink != nullptr) {
+      message m;
+      m.a = r.amnesia ? 1 : 0;
+      opts_.sink->record({step, trace_event::type::recover, v, m});
+    }
+  }
+
+  // Phase-1 body shared by every engine: ask node v for its transmit
+  // decision and record it. `check_spontaneous` is compile-time so the
+  // frontier loop (where awake membership already implies the check) pays
+  // nothing for it.
+  template <bool check_spontaneous>
+  void step_node(node_id v, std::int64_t step) {
+    node_context ctx{step, &gens_[idx(v)], opts_.metrics};
+    std::optional<message> decision = derived().proto_step(v, ctx);
+    if (!decision) return;
+    if constexpr (check_spontaneous) {
+      RC_CHECK_MSG(v == 0 || received_any_[idx(v)] != 0,
+                   "protocol bug: node " + std::to_string(v) +
+                       " transmitted spontaneously at step " +
+                       std::to_string(step));
+    }
+    decision->from = labels_[idx(v)];
+    transmitters_.push_back(v);
+    ++result_.transmissions_per_node[idx(v)];
+    tx_msg_[idx(v)] = *decision;
+    tx_stamp_[idx(v)] = step;
+    if (opts_.sink != nullptr) {
+      opts_.sink->record({step, trace_event::type::transmit, v, *decision});
+    }
+  }
+
+  // Debug sweep (run_options::verify_sleepers): the dormant-node contract
+  // of sim/protocol.h, verified live. Every node the engine skipped gets an
+  // on_step call anyway; transmitting, or touching its generator, is a
+  // protocol bug.
+  void sweep_sleepers(std::int64_t step) {
+    for (node_id v = 1; v < n_; ++v) {
+      if (awake_[idx(v)] != 0) continue;
+      if (faults_ != nullptr && crashed_[idx(v)] != 0) continue;
+      const rng before = gens_[idx(v)];
+      node_context ctx{step, &gens_[idx(v)], opts_.metrics};
+      const std::optional<message> decision = derived().proto_step(v, ctx);
+      RC_CHECK_MSG(!decision.has_value(),
+                   "dormant-node contract violated: node " +
+                       std::to_string(v) +
+                       " transmitted without ever receiving (step " +
+                       std::to_string(step) + ")");
+      RC_CHECK_MSG(gens_[idx(v)] == before,
+                   "dormant-node contract violated: node " +
+                       std::to_string(v) +
+                       " drew randomness while dormant (step " +
+                       std::to_string(step) + ")");
+    }
+  }
+
+  void bump_arrival(node_id v, node_id t, std::int64_t step) {
+    auto& s = stamp_[idx(v)];
+    if (s != step) {
+      s = step;
+      arrivals_[idx(v)] = 0;
+      touched_.push_back(v);
+    }
+    ++arrivals_[idx(v)];
+    last_sender_[idx(v)] = t;
+  }
+
+  void deliver(node_id v, node_id sender, std::int64_t step) {
+    const message* delivered = &tx_msg_[idx(sender)];
+    const bool was_informed = derived().proto_informed(v);
+    node_context ctx{step, &gens_[idx(v)], opts_.metrics};
+    derived().proto_receive(v, ctx, *delivered);
+    received_any_[idx(v)] = 1;
+    // Wake on the mask, not received_any: the source is awake from setup
+    // yet receives its first reply mid-run, and must not re-enter the
+    // list. Wakes join the awake list at the end of the step (they were
+    // not stepped in this step's phase 1 — same as the reference engine,
+    // where a node's first post-reception on_step is next step's); the
+    // mask flips now so the sweep and the crash path see them awake.
+    if (awake_[idx(v)] == 0) {
+      awake_[idx(v)] = 1;
+      newly_awake_.push_back(v);
+      ++awake_count_;
+    }
+    ++result_.deliveries;
+    if (opts_.sink != nullptr) {
+      opts_.sink->record({step, trace_event::type::receive, v, *delivered});
+    }
+    if (!was_informed && derived().proto_informed(v)) {
+      result_.informed_at[idx(v)] = step;
+      ++informed_count_;
+      if (opts_.sink != nullptr) {
+        // Carry the delivering message so informed events have provenance:
+        // msg.from is the node whose transmission first informed v — the
+        // parent edge of the first-delivery tree (sim/trace_analysis.h).
+        opts_.sink->record({step, trace_event::type::informed, v, *delivered});
+      }
+    }
+  }
+
+  // Resolve the listeners touched this step: collisions, then deliveries
+  // (deferred through the fault filter when a model is installed).
+  void commit_receptions(std::int64_t step) {
+    for (const node_id t : transmitters_) {
+      if (stamp_[idx(t)] == step) {
+        arrivals_[idx(t)] = -1;  // busy transmitting; cannot receive
+      }
+    }
+    if (faults_ == nullptr) {
+      for (node_id v : touched_) {
+        const int count = arrivals_[idx(v)];
+        if (count == -1) continue;  // v transmitted this step
+        if (count >= 2) {
+          ++result_.collisions;
+          if (opts_.sink != nullptr) {
+            opts_.sink->record({step, trace_event::type::collision, v, {}});
+          }
+          continue;
+        }
+        RC_CHECK(count == 1);
+        const node_id sender = last_sender_[idx(v)];
+        RC_CHECK(tx_stamp_[idx(sender)] == step);
+        deliver(v, sender, step);
+      }
+      return;
+    }
+
+    // Injection site 4: unique-arrival listeners go through the model's
+    // delivery filter before anything is committed, but the trace must
+    // still interleave collision/receive/drop in touched order — a
+    // zero-intensity model's trace is byte-identical to the fault-free
+    // path's (the chaos harness holds us to that).
+    for (node_id v : touched_) {
+      const int count = arrivals_[idx(v)];
+      if (count == -1 || count >= 2) continue;
+      RC_CHECK(count == 1);
+      const node_id sender = last_sender_[idx(v)];
+      RC_CHECK(tx_stamp_[idx(sender)] == step);
+      pending_.push_back({v, sender, derived().proto_informed(v), false});
+    }
+    if (!pending_.empty()) {
+      const fault::step_view view{step, &g_, &result_.informed_at, &crashed_};
+      faults_->filter_deliveries(view, &pending_);
+    }
+    std::size_t next = 0;  // pending_ preserves touched order
+    for (node_id v : touched_) {
+      const int count = arrivals_[idx(v)];
+      if (count == -1) continue;
+      if (count >= 2) {
+        ++result_.collisions;
+        if (opts_.sink != nullptr) {
+          opts_.sink->record({step, trace_event::type::collision, v, {}});
+        }
+        continue;
+      }
+      const fault::delivery_candidate& c = pending_[next++];
+      RC_CHECK_MSG(c.listener == v,
+                   "fault model must not reorder or resize the delivery list");
+      if (c.suppressed) {
+        ++result_.suppressed_deliveries;
+        if (opts_.sink != nullptr) {
+          opts_.sink->record(
+              {step, trace_event::type::drop, v, tx_msg_[idx(c.sender)]});
+        }
+        continue;
+      }
+      deliver(v, c.sender, step);
+    }
+    pending_.clear();
+  }
+
+  // Fold this step's wakes into the sorted awake list.
+  void merge_newly_awake() {
+    if (newly_awake_.empty()) return;
+    std::sort(newly_awake_.begin(), newly_awake_.end());
+    const auto mid = static_cast<std::ptrdiff_t>(awake_list_.size());
+    awake_list_.insert(awake_list_.end(), newly_awake_.begin(),
+                       newly_awake_.end());
+    std::inplace_merge(awake_list_.begin(), awake_list_.begin() + mid,
+                       awake_list_.end());
+    newly_awake_.clear();
+  }
+
+  void push_step_metrics(std::int64_t collisions_before,
+                         std::int64_t deliveries_before,
+                         std::int64_t suppressed_before) {
+    const auto tx_count = static_cast<std::int64_t>(transmitters_.size());
+    const std::int64_t step_collisions =
+        result_.collisions - collisions_before;
+    const std::int64_t step_deliveries =
+        result_.deliveries - deliveries_before;
+    sr_frontier_->push(informed_count_);
+    sr_awake_->push(awake_count_);
+    sr_tx_->push(tx_count);
+    sr_deliveries_->push(step_deliveries);
+    sr_collisions_->push(step_collisions);
+    // Listeners that heard nothing at all: everyone except transmitters
+    // and the listeners resolved to a delivery or an observed collision.
+    sr_idle_->push(static_cast<std::int64_t>(n_) - tx_count -
+                   step_deliveries - step_collisions);
+    h_tx_per_step_->observe(tx_count);
+    if (sr_f_crashed_ != nullptr) {
+      sr_f_crashed_->push(result_.crashed_nodes);
+      sr_f_recoveries_->push(result_.recoveries);
+      sr_f_suppressed_->push(result_.suppressed_deliveries - suppressed_before);
+      sr_f_down_edges_->push(static_cast<std::int64_t>(down_edges_.size()));
+    }
+  }
+
+  // Completion bookkeeping shared by every engine; true ⇒ stop.
+  bool step_epilogue(std::int64_t step) {
+    result_.steps = step + 1;
+    // Crashed nodes can never become informed; completion is over the
+    // survivors (crashed_uninformed_ == 0 in fault-free runs).
+    const bool everyone_informed =
+        informed_count_ + crashed_uninformed_ == n_;
+    if (everyone_informed && result_.informed_step == -1) {
+      result_.informed_step = step + 1;
+    }
+    // The roster must settle before completion: while the model still
+    // intends to bring crashed nodes back (fault/recovery.h), a returning
+    // amnesiac may yet need the message, so "every surviving node is
+    // informed" is not final.
+    const bool settled =
+        faults_ == nullptr || faults_->pending_recoveries() == 0;
+    if (opts_.stop == stop_condition::all_informed) {
+      if (everyone_informed && settled) {
+        result_.completed = true;
+        return true;
+      }
+    } else {
+      if (everyone_informed && settled && all_halted()) {
+        result_.completed = true;
+        return true;
+      }
+    }
+    // Message extinction: no live node holds the message and none of the
+    // crashed holders will return — with no spontaneous transmissions the
+    // broadcast can make no further progress, so burn no more steps. Only
+    // a crashed source produces this state (an amnesia reboot of the
+    // source keeps it informed), hence outcome source_lost.
+    if (faults_ != nullptr && settled && informed_count_ == crashed_informed_) {
+      return true;  // completed stays false; finalize_outcome classifies
+    }
+    return false;
+  }
+
+  // Partition-tolerant post-mortem (run_result::outcome): a BFS over the
+  // SURVIVING graph — live nodes, up edges — as it stood when the run
+  // stopped, splitting "genuinely stuck" from "unreachable" timeouts.
+  // Fault-free completed runs skip the BFS: every node was reached, so
+  // reachable = informed_reachable = n by construction.
+  void finalize_outcome() {
+    if (faults_ == nullptr && result_.completed) {
+      result_.reachable_nodes = n_;
+      result_.informed_reachable = n_;
+      result_.outcome = run_outcome::completed;
+      return;
+    }
+    const bool source_down = faults_ != nullptr && crashed_[0] != 0;
+    if (!source_down) {
+      bfs_seen_.assign(static_cast<std::size_t>(n_), 0);
+      bfs_queue_.clear();
+      bfs_seen_[0] = 1;
+      bfs_queue_.push_back(0);
+      for (std::size_t head = 0; head < bfs_queue_.size(); ++head) {
+        const node_id u = bfs_queue_[head];
+        for (const node_id v : g_.out_neighbors(u)) {
+          if (bfs_seen_[idx(v)] != 0) continue;
+          if (faults_ != nullptr &&
+              (crashed_[idx(v)] != 0 ||
+               (!down_edges_.empty() &&
+                down_edges_.count(edge_key(u, v)) != 0))) {
+            continue;
+          }
+          bfs_seen_[idx(v)] = 1;
+          bfs_queue_.push_back(v);
+        }
+      }
+      result_.reachable_nodes = static_cast<std::int64_t>(bfs_queue_.size());
+      for (const node_id v : bfs_queue_) {
+        if (result_.informed_at[idx(v)] != -1) ++result_.informed_reachable;
+      }
+    }
+    if (result_.completed) {
+      result_.outcome = run_outcome::completed;
+    } else if (source_down) {
+      result_.outcome = run_outcome::source_lost;
+    } else if (result_.informed_reachable == result_.reachable_nodes) {
+      result_.outcome = run_outcome::unreachable;
+    } else {
+      result_.outcome = run_outcome::stuck;
+    }
+  }
+
+  // Phase 2 with hoisted fault branches, shared by the frontier and SoA
+  // engines: the loop body is selected once per step, and the down-edge
+  // hash probe runs only when an edge is actually down.
+  void phase_two_hoisted(std::int64_t step) {
+    if (faults_ == nullptr) {
+      for (const node_id t : transmitters_) {
+        for (const node_id v : g_.out_neighbors(t)) {
+          bump_arrival(v, t, step);
+        }
+      }
+    } else if (down_edges_.empty()) {
+      for (const node_id t : transmitters_) {
+        for (const node_id v : g_.out_neighbors(t)) {
+          if (crashed_[idx(v)] != 0) continue;  // injection site 3
+          bump_arrival(v, t, step);
+        }
+      }
+    } else {
+      for (const node_id t : transmitters_) {
+        for (const node_id v : g_.out_neighbors(t)) {
+          if (crashed_[idx(v)] != 0 ||
+              down_edges_.count(edge_key(t, v)) != 0) {
+            continue;  // no signal: neither a delivery nor a collision
+          }
+          bump_arrival(v, t, step);
+        }
+      }
+    }
+  }
+
+  // The frontier-driven engine: phase 1 costs O(|awake|). Crashed nodes
+  // were already removed from the list, and dormant nodes are no-ops by
+  // contract — so the sweep is bit-identical to stepping all n.
+  void run_frontier() {
+    for (std::int64_t step = 0; step < opts_.max_steps; ++step) {
+      const std::int64_t collisions_before = result_.collisions;
+      const std::int64_t deliveries_before = result_.deliveries;
+      const std::int64_t suppressed_before = result_.suppressed_deliveries;
+
+      if (faults_ != nullptr) apply_begin_step_faults(step);
+
+      // Phase 1: transmit decisions from awake nodes only.
+      transmitters_.clear();
+      for (const node_id v : awake_list_) {
+        step_node</*check_spontaneous=*/false>(v, step);
+      }
+      if (opts_.verify_sleepers) sweep_sleepers(step);
+      result_.transmissions += static_cast<std::int64_t>(transmitters_.size());
+
+      // Phase 2: resolve receptions — touch only transmitters'
+      // out-neighbors (contiguous CSR rows).
+      touched_.clear();
+      phase_two_hoisted(step);
+
+      commit_receptions(step);
+      if (opts_.metrics != nullptr) {
+        push_step_metrics(collisions_before, deliveries_before,
+                          suppressed_before);
+      }
+      merge_newly_awake();
+      if (step_epilogue(step)) break;
+    }
+  }
+
+  // The reference engine — the pre-frontier loop, kept as the oracle the
+  // differential suite runs against: phase 1 calls on_step on every node,
+  // and phase 2 keeps its per-neighbor fault branch.
+  void run_reference() {
+    for (std::int64_t step = 0; step < opts_.max_steps; ++step) {
+      const std::int64_t collisions_before = result_.collisions;
+      const std::int64_t deliveries_before = result_.deliveries;
+      const std::int64_t suppressed_before = result_.suppressed_deliveries;
+
+      if (faults_ != nullptr) apply_begin_step_faults(step);
+
+      // Phase 1: collect transmit decisions from ALL nodes.
+      transmitters_.clear();
+      for (node_id v = 0; v < n_; ++v) {
+        if (faults_ != nullptr && crashed_[idx(v)] != 0) {
+          continue;  // injection site 2: crashed nodes never transmit
+        }
+        step_node</*check_spontaneous=*/true>(v, step);
+      }
+      result_.transmissions += static_cast<std::int64_t>(transmitters_.size());
+
+      // Phase 2: resolve receptions — touch only transmitters' neighbors.
+      touched_.clear();
+      for (const node_id t : transmitters_) {
+        for (const node_id v : g_.out_neighbors(t)) {
+          if (faults_ != nullptr &&  // injection site 3: crashes + churn
+              (crashed_[idx(v)] != 0 ||
+               (!down_edges_.empty() &&
+                down_edges_.count(edge_key(t, v)) != 0))) {
+            continue;  // no signal: neither a delivery nor a collision
+          }
+          bump_arrival(v, t, step);
+        }
+      }
+
+      commit_receptions(step);
+      if (opts_.metrics != nullptr) {
+        push_step_metrics(collisions_before, deliveries_before,
+                          suppressed_before);
+      }
+      merge_newly_awake();
+      if (step_epilogue(step)) break;
+    }
+  }
+
+  const graph& g_;
+  const run_options& opts_;
+  const node_id n_;
+  fault::fault_model* const faults_;
+  protocol_params params_;
+  std::vector<node_id> labels_;
+  run_result result_;
+  std::int64_t informed_count_ = 1;
+  std::int64_t awake_count_ = 1;
+  std::int64_t crashed_uninformed_ = 0;
+  std::int64_t crashed_informed_ = 0;
+
+  // Per-node generator pool, split from the root seed in node order. The
+  // dormant-node CONTRACT (sim/protocol.h) is what makes pooling safe: a
+  // dormant node's stream is never advanced, so engines that skip dormant
+  // nodes leave gens_ byte-identical to engines that step all n.
+  std::vector<rng> gens_;
+  // received_any[v] ⇔ v has received ≥ 1 message since its last (re)start;
+  // awake ⇔ source or received_any (and alive).
+  std::vector<std::uint8_t> received_any_;
+
+  // Awake set (see finish_setup comment).
+  std::vector<std::uint8_t> awake_;
+  std::vector<node_id> awake_list_;
+  std::vector<node_id> newly_awake_;
+
+  // Reception scratch.
+  std::vector<std::int64_t> stamp_;
+  std::vector<int> arrivals_;
+  std::vector<node_id> last_sender_;
+  std::vector<node_id> touched_;
+  std::vector<node_id> transmitters_;
+  std::vector<message> tx_msg_;
+  std::vector<std::int64_t> tx_stamp_;
+
+  // Fault state, allocated only for fault-injected runs. The simulator —
+  // not the models — owns the crash mask and down-edge set, so the hot
+  // loop never pays a virtual call per node or per edge.
+  std::vector<std::uint8_t> crashed_;
+  // radiocast-lint: allow(unordered-iter) -- membership-only (insert/erase/
+  // count/size); nothing ever iterates it, so hash order cannot reach results
+  std::unordered_set<std::uint64_t> down_edges_;
+  fault::step_faults step_faults_buf_;
+  std::vector<fault::delivery_candidate> pending_;
+
+  // finalize_outcome scratch (the queue doubles as the visit list).
+  std::vector<std::uint8_t> bfs_seen_;
+  std::vector<node_id> bfs_queue_;
+
+  // Per-step series, resolved once at setup (null ⇒ metrics disabled).
+  obs::series* sr_frontier_ = nullptr;
+  obs::series* sr_awake_ = nullptr;
+  obs::series* sr_tx_ = nullptr;
+  obs::series* sr_deliveries_ = nullptr;
+  obs::series* sr_collisions_ = nullptr;
+  obs::series* sr_idle_ = nullptr;
+  obs::histogram* h_tx_per_step_ = nullptr;
+  obs::series* sr_f_crashed_ = nullptr;
+  obs::series* sr_f_recoveries_ = nullptr;
+  obs::series* sr_f_suppressed_ = nullptr;
+  obs::series* sr_f_down_edges_ = nullptr;
+};
+
+}  // namespace radiocast::detail

@@ -23,10 +23,24 @@
 // exactly because dormant on_step is a no-op. The contract is enforced
 // three ways: the reference engine's spontaneous-transmission check, the
 // run_options::verify_sleepers sweep (calls dormant on_step and RC_CHECKs
-// nullopt + untouched rng state), and the reference-vs-frontier
+// nullopt + untouched rng state), and the reference-vs-frontier-vs-soa
 // differential suite (any dormant state mutation diverges there). The
 // lower-bound adversary also relies on it to keep dormant candidate nodes
 // fresh.
+//
+// POOLED PER-NODE RNG (the CONTRACT's second beneficiary): every engine
+// now draws per-node randomness from one contiguous pool, `gens_` in
+// sim/engine_core.h, split from the root seed in node order 0…n−1 — the
+// generator is no longer embedded in the node object. This is only sound
+// BECAUSE of the dormant-node contract: a dormant node never advances its
+// pool slot, so an engine that skips dormant nodes (frontier, soa) leaves
+// the pool byte-identical to one that steps all n (reference), and the
+// sharded soa engine can hand each intra-step shard its contiguous slice
+// of the pool — per-shard RNG streams with no cross-shard draws — while
+// still producing the serial streams exactly. A protocol that drew from
+// ctx.gen while dormant would break pool identity across engines AND make
+// shard boundaries observable; verify_sleepers exists to catch exactly
+// that before the differential suite has to.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +56,21 @@ class metrics_registry;
 }  // namespace radiocast::obs
 
 namespace radiocast {
+
+class graph;
+struct run_options;  // sim/simulator.h
+struct run_result;   // sim/simulator.h
+class protocol;
+
+/// Entry point of a protocol's struct-of-arrays step engine: runs one full
+/// broadcast of `proto` on `g` with the given label bound and options,
+/// using the templated SoA loop instantiated for that protocol's POD state
+/// (see sim/soa_engine.h). A plain function pointer, not a virtual per-step
+/// call: run_broadcast_with_r resolves it ONCE per run through
+/// protocol::soa_runner, and the step loop it jumps into has no virtual
+/// dispatch at all — on_step is inlined into the loop body.
+using soa_entry = run_result (*)(const graph& g, const protocol& proto,
+                                 node_id r, const run_options& opts);
 
 /// Static parameters handed to every node at creation.
 struct protocol_params {
@@ -115,6 +144,17 @@ class protocol {
   /// Label 0 is the source and starts informed.
   virtual std::unique_ptr<protocol_node> make_node(
       node_id label, const protocol_params& params) const = 0;
+
+  /// The protocol's struct-of-arrays step-engine entry, or nullptr when the
+  /// protocol has no SoA form (the default — protocols opt in by keeping a
+  /// POD mirror of their node state in sync with make_node; see
+  /// core/decay.cpp for the pattern). The returned entry must replicate the
+  /// virtual node's behavior EXACTLY — same decisions, same ctx.gen draw
+  /// sequence, same metrics writes — which the three-way differential suite
+  /// (tests/differential_test.cpp) and the chaos engine-bit-identity
+  /// invariant verify. Selecting step_engine::soa for a protocol that
+  /// returns nullptr is a checked error in run_broadcast_with_r.
+  virtual soa_entry soa_runner() const { return nullptr; }
 };
 
 }  // namespace radiocast

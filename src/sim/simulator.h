@@ -49,6 +49,16 @@ enum class step_engine {
   /// The pre-frontier loop, retained as the differential-testing oracle:
   /// phase 1 calls on_step on all n nodes every step.
   reference,
+  /// Struct-of-arrays engine (sim/soa_engine.h): per-node protocol state
+  /// lives in one contiguous POD array, the step loop is templated on the
+  /// protocol's traits so on_step inlines (no virtual call per node), and
+  /// phase 1 / phase 2 of a single step can shard across a thread pool
+  /// (run_options::step_threads) with an ordered-merge reduction. Trial
+  /// records, metrics dumps, and traces are bit-identical to frontier and
+  /// reference — the three-way differential suite holds it to that. Only
+  /// protocols that publish a SoA form (protocol::soa_runner) support it;
+  /// selecting it for any other protocol is a checked error.
+  soa,
 };
 
 struct run_options {
@@ -91,12 +101,34 @@ struct run_options {
   /// Step-loop implementation. `frontier` (default) skips dormant nodes;
   /// `reference` steps every node, serving as the differential oracle.
   step_engine engine = step_engine::frontier;
-  /// Debug sweep (frontier engine only): every step, call on_step on every
+  /// Debug sweep (frontier/soa engines): every step, call on_step on every
   /// dormant node anyway and RC_CHECK that it returns std::nullopt and
   /// leaves its rng untouched — the dormant-node contract of
   /// sim/protocol.h, verified rather than assumed. Restores O(n) per-step
   /// cost; for tests, not production runs.
   bool verify_sleepers = false;
+  /// Intra-step worker threads (soa engine only; the other engines ignore
+  /// these fields): 0 = the RADIOCAST_THREADS environment default, 1 =
+  /// serial, N ≥ 2 = shard each step's phase 1 (transmit decisions over
+  /// the awake list) and phase 2 (reception scan over transmitters'
+  /// neighborhoods) into N contiguous shards merged in shard order —
+  /// bit-identical to serial at every thread count (docs/PERFORMANCE.md
+  /// gives the ordered-merge argument). Metrics-enabled runs pin phase 1
+  /// serial (protocols write gauges from on_step whose last-write-wins
+  /// semantics only serial order reproduces); phase 2 still shards.
+  int step_threads = 0;
+  /// Minimum work per intra-step shard before sharding engages: phase 1
+  /// counts awake nodes, phase 2 counts transmitter out-edges. 0 = a
+  /// default tuned so tiny steps never pay fork/join overhead; tests set 1
+  /// to force sharding on small graphs. Gating never affects results —
+  /// sharded and serial steps are bit-identical — only wall-clock.
+  std::int64_t step_shard_grain = 0;
+  /// TEST-ONLY sabotage knob: merge phase-2 shards in REVERSE order,
+  /// deliberately breaking the ordered-merge reduction the soa engine's
+  /// bit-identity rests on. Exists so the chaos harness can prove the
+  /// engine-bit-identity invariant actually catches a broken merge
+  /// (tests/chaos_test.cpp); never set it in real runs.
+  bool debug_unordered_merge = false;
 };
 
 /// How a run ended, beyond the completed flag. Partition-tolerant
@@ -229,6 +261,12 @@ struct trial_options {
   step_engine engine = step_engine::frontier;
   /// Per-trial dormant-node contract sweep (see run_options::verify_sleepers).
   bool verify_sleepers = false;
+  /// Intra-step worker threads per trial (see run_options::step_threads;
+  /// soa engine only). Independent of `threads`, which shards ACROSS
+  /// trials: a campaign typically picks one or the other, not both.
+  int step_threads = 0;
+  /// Minimum work per intra-step shard (see run_options::step_shard_grain).
+  std::int64_t step_shard_grain = 0;
 };
 
 /// Outcome of one trial, the unit record of bench telemetry.

@@ -1,0 +1,385 @@
+// Struct-of-arrays step engine: million-node single runs.
+//
+// The virtual engines (sim/simulator.cpp) pay three taxes per awake node
+// per step: a unique_ptr chase to a heap-scattered node object, a virtual
+// on_step call the compiler cannot inline, and the cache misses both imply
+// once n outgrows the LLC. This engine removes all three:
+//
+//   * STATE: per-node protocol state is one contiguous std::vector of a POD
+//     `Traits::state` (plus the flat awake/crashed/received masks and the
+//     per-node RNG pool the shared core already keeps as arrays) — phase 1
+//     is a linear walk over dense arrays;
+//   * DISPATCH: the step loop is templated on the protocol's Traits, so
+//     traits.on_step inlines into the loop body. Runtime protocol selection
+//     happens ONCE per run (protocol::soa_runner returns the entry function
+//     pointer for this translation unit's instantiation), not per step;
+//   * SHARDING: phase 1 (transmit decisions) and phase 2 (reception scan)
+//     of a SINGLE step can fan out over an exec::thread_pool
+//     (run_options::step_threads) and still produce bit-identical results.
+//
+// THE ORDERED-MERGE ARGUMENT (why sharded ≡ serial, bit for bit):
+//
+//   Phase 1 cuts the sorted awake list into contiguous shards. Each worker
+//   writes only per-node-disjoint slots (states_[v], gens_[v], tx_msg_[v],
+//   tx_stamp_[v]) plus a shard-private transmitter list; per-node RNG
+//   streams make the draws independent of the sharding. The merge walks
+//   shards IN ORDER appending transmitters — and since shard s covers an
+//   ascending contiguous slice, the concatenation IS the serial visit
+//   order: transmitters_, trace transmit events, and transmissions_per_node
+//   come out byte-identical.
+//
+//   Phase 2 cuts the transmitter list (already in serial order, by phase
+//   1) into contiguous shards balanced by out-degree sum. Each worker
+//   scans its transmitters' neighborhoods into SHARD-PRIVATE scratch
+//   (stamp/arrivals/last_sender/touched). The merge walks shards in order:
+//   a listener first touched in shard s joins the global touched list
+//   while merging shard s. Serial first-touch order sorts listeners by the
+//   index of the first transmitter that reaches them; every listener first
+//   touched in shard s has that index inside shard s's contiguous range,
+//   so shard-order concatenation of per-shard first-touch orders equals
+//   the serial order. Arrival counts add across shards (same sum as
+//   serial), and last_sender resolves by shard-order overwrite — the last
+//   shard touching v holds the globally last transmitter index, exactly
+//   serial's last-write. (run_options::debug_unordered_merge reverses the
+//   merge to prove the chaos engine-bit-identity invariant catches a
+//   broken reduction.)
+//
+//   Everything downstream of the merge — commit_receptions, the fault
+//   delivery filter, traces, metrics, the awake-list fold — is the shared
+//   serial code in sim/engine_core.h, operating on merged state that is
+//   byte-identical to what a serial phase produced.
+//
+// Metrics-enabled runs pin phase 1 serial: protocols write gauges from
+// on_step, and a gauge's last-write-wins value is only reproducible in
+// serial order (counters and histograms would merge fine; gauges cannot).
+// Phase 2 never calls protocol code, so it shards regardless.
+//
+// Traits requirements (see core/decay.cpp for the worked pattern):
+//   struct state;                       // POD per-node protocol state
+//   void init(state*, node_id label, const protocol_params&) const;
+//   std::optional<message> on_step(state*, const node_context&) const;
+//   void on_receive(state*, const node_context&, const message&) const;
+//   bool informed(const state&) const;
+//   bool halted(const state&) const;
+//   void on_restart(state*, const node_context&) const;
+// Optionally:
+//   void begin_step(std::int64_t step);  // per-step hoist, see below
+// begin_step is called ONCE per step, serially, before phase 1 (and before
+// the verify_sleepers sweep). Schedule arithmetic that depends only on the
+// step number — phase/offset divisions, block lookups, stage probabilities
+// — is identical for every node, so traits cache it here and on_step reads
+// the cache; during the sharded region workers only READ the traits
+// object, so the hoist is race-free. Every hook must replicate the
+// protocol's virtual node EXACTLY — same decisions, same ctx.gen draw
+// sequence, same metrics writes. The three-way differential suite and the
+// chaos invariants enforce this.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <vector>
+
+#include "exec/sharding.h"
+#include "exec/thread_pool.h"
+#include "sim/engine_core.h"
+
+namespace radiocast {
+
+namespace detail {
+template <class T, class = void>
+struct traits_have_begin_step : std::false_type {};
+template <class T>
+struct traits_have_begin_step<
+    T, std::void_t<decltype(std::declval<T&>().begin_step(std::int64_t{}))>>
+    : std::true_type {};
+}  // namespace detail
+
+template <class Traits>
+class soa_run final : public detail::run_base<soa_run<Traits>> {
+  using base = detail::run_base<soa_run<Traits>>;
+  friend base;
+
+ public:
+  soa_run(const graph& g, const Traits& traits, node_id r,
+          const run_options& opts, obs::span_profiler* profiler)
+      : base(g, r, opts),
+        traits_(traits),
+        step_threads_(exec::resolve_threads(opts.step_threads)),
+        grain_(opts.step_shard_grain > 0 ? opts.step_shard_grain
+                                         : kDefaultGrain) {
+    this->finish_setup(profiler);
+  }
+
+  using base::run;
+
+ private:
+  // Work below this many units (phase 1: awake nodes; phase 2: scanned
+  // out-edges) per shard is cheaper to run serially than to fork/join.
+  static constexpr std::int64_t kDefaultGrain = 4096;
+
+  using base::idx;
+
+  void init_nodes(const protocol_params& params) {
+    states_.resize(static_cast<std::size_t>(this->n_));
+    for (node_id v = 0; v < this->n_; ++v) {
+      traits_.init(&states_[idx(v)], this->labels_[idx(v)], params);
+    }
+  }
+
+  std::optional<message> proto_step(node_id v, const node_context& ctx) {
+    return traits_.on_step(&states_[idx(v)], ctx);
+  }
+  void proto_receive(node_id v, const node_context& ctx, const message& m) {
+    traits_.on_receive(&states_[idx(v)], ctx, m);
+  }
+  bool proto_informed(node_id v) { return traits_.informed(states_[idx(v)]); }
+  bool proto_halted(node_id v) { return traits_.halted(states_[idx(v)]); }
+  void proto_restart(node_id v, const node_context& ctx) {
+    traits_.on_restart(&states_[idx(v)], ctx);
+  }
+
+  void ensure_pool() {
+    if (pool_ == nullptr) {
+      // Shard 0 runs on the calling thread (exec::run_shards), so the pool
+      // only needs workers for shards 1…N−1.
+      pool_ = std::make_unique<exec::thread_pool>(step_threads_ - 1);
+    }
+  }
+
+  // Phase 1: transmit decisions over the awake list — sharded when there
+  // is enough work, serial otherwise (and always serial when metrics are
+  // on; see the header comment). Both paths are bit-identical.
+  void phase_one(std::int64_t step) {
+    const auto awake_sz = static_cast<std::int64_t>(this->awake_list_.size());
+    int shards = 1;
+    if (step_threads_ > 1 && this->opts_.metrics == nullptr &&
+        awake_sz >= 2 * grain_) {
+      shards = static_cast<int>(
+          std::min<std::int64_t>(step_threads_, awake_sz / grain_));
+    }
+    if (shards < 2) {
+      for (const node_id v : this->awake_list_) {
+        this->template step_node</*check_spontaneous=*/false>(v, step);
+      }
+      return;
+    }
+    ensure_pool();
+    if (p1_tx_.size() < static_cast<std::size_t>(shards)) {
+      p1_tx_.resize(static_cast<std::size_t>(shards));
+    }
+    exec::run_shards(*pool_, shards, [&](int s) {
+      const auto lo =
+          static_cast<std::size_t>(awake_sz * s / shards);
+      const auto hi =
+          static_cast<std::size_t>(awake_sz * (s + 1) / shards);
+      auto& out = p1_tx_[static_cast<std::size_t>(s)];
+      out.clear();
+      for (std::size_t i = lo; i < hi; ++i) {
+        const node_id v = this->awake_list_[i];
+        // ctx.metrics is null by the gate above — identical to what the
+        // serial path would pass.
+        node_context ctx{step, &this->gens_[idx(v)], nullptr};
+        std::optional<message> decision = traits_.on_step(&states_[idx(v)], ctx);
+        if (!decision) continue;
+        decision->from = this->labels_[idx(v)];
+        this->tx_msg_[idx(v)] = *decision;
+        this->tx_stamp_[idx(v)] = step;
+        out.push_back(v);
+      }
+    });
+    // Ordered merge: shard s covered an ascending contiguous slice of the
+    // awake list, so shard-order concatenation is the serial visit order —
+    // transmitters_, the energy counts, and the trace all match serial.
+    for (std::size_t s = 0; s < static_cast<std::size_t>(shards); ++s) {
+      for (const node_id v : p1_tx_[s]) {
+        this->transmitters_.push_back(v);
+        ++this->result_.transmissions_per_node[idx(v)];
+        if (this->opts_.sink != nullptr) {
+          this->opts_.sink->record(
+              {step, trace_event::type::transmit, v, this->tx_msg_[idx(v)]});
+        }
+      }
+    }
+  }
+
+  // Phase 2: reception scan over transmitters' neighborhoods — sharded by
+  // out-degree sum when there is enough work. See the header comment for
+  // the ordered-merge bit-identity argument.
+  void phase_two(std::int64_t step) {
+    std::int64_t work = 0;
+    int shards = 1;
+    if (step_threads_ > 1 && !this->transmitters_.empty()) {
+      for (const node_id t : this->transmitters_) {
+        work += static_cast<std::int64_t>(this->g_.out_neighbors(t).size());
+      }
+      if (work >= 2 * grain_) {
+        shards = static_cast<int>(
+            std::min<std::int64_t>(step_threads_, work / grain_));
+      }
+    }
+    if (shards < 2) {
+      this->phase_two_hoisted(step);
+      return;
+    }
+    ensure_pool();
+
+    // Greedy contiguous partition of the transmitter list, balanced by
+    // out-degree sum. Deterministic: a function of transmitters_ and the
+    // graph only.
+    p2_bounds_.clear();
+    p2_bounds_.push_back(0);
+    const std::int64_t target = (work + shards - 1) / shards;
+    std::int64_t acc = 0;
+    for (std::size_t i = 0; i < this->transmitters_.size(); ++i) {
+      acc += static_cast<std::int64_t>(
+          this->g_.out_neighbors(this->transmitters_[i]).size());
+      if (acc >= target && i + 1 < this->transmitters_.size() &&
+          static_cast<int>(p2_bounds_.size()) < shards) {
+        p2_bounds_.push_back(i + 1);
+        acc = 0;
+      }
+    }
+    p2_bounds_.push_back(this->transmitters_.size());
+    const auto used = static_cast<int>(p2_bounds_.size()) - 1;
+    if (p2_scratch_.size() < static_cast<std::size_t>(used)) {
+      p2_scratch_.resize(static_cast<std::size_t>(used));
+    }
+
+    // Select the fault branch once per step, like phase_two_hoisted.
+    const int mode = this->faults_ == nullptr
+                         ? 0
+                         : (this->down_edges_.empty() ? 1 : 2);
+    exec::run_shards(*pool_, used, [&](int s) {
+      auto& sc = p2_scratch_[static_cast<std::size_t>(s)];
+      const auto n = static_cast<std::size_t>(this->n_);
+      if (sc.stamp.size() != n) {
+        sc.stamp.assign(n, -1);
+        sc.arrivals.assign(n, 0);
+        sc.last_sender.assign(n, -1);
+      }
+      sc.touched.clear();
+      const auto bump = [&sc, step](node_id v, node_id t) {
+        auto& st = sc.stamp[idx(v)];
+        if (st != step) {
+          st = step;
+          sc.arrivals[idx(v)] = 0;
+          sc.touched.push_back(v);
+        }
+        ++sc.arrivals[idx(v)];
+        sc.last_sender[idx(v)] = t;
+      };
+      const std::size_t lo = p2_bounds_[static_cast<std::size_t>(s)];
+      const std::size_t hi = p2_bounds_[static_cast<std::size_t>(s) + 1];
+      if (mode == 0) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const node_id t = this->transmitters_[i];
+          for (const node_id v : this->g_.out_neighbors(t)) bump(v, t);
+        }
+      } else if (mode == 1) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const node_id t = this->transmitters_[i];
+          for (const node_id v : this->g_.out_neighbors(t)) {
+            if (this->crashed_[idx(v)] != 0) continue;  // injection site 3
+            bump(v, t);
+          }
+        }
+      } else {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const node_id t = this->transmitters_[i];
+          for (const node_id v : this->g_.out_neighbors(t)) {
+            if (this->crashed_[idx(v)] != 0 ||
+                this->down_edges_.count(this->edge_key(t, v)) != 0) {
+              continue;  // no signal: neither a delivery nor a collision
+            }
+            bump(v, t);
+          }
+        }
+      }
+    });
+
+    // Ordered merge into the global reception scratch (see header comment;
+    // debug_unordered_merge deliberately reverses the order so the chaos
+    // harness can prove the bit-identity invariant bites).
+    for (int k = 0; k < used; ++k) {
+      const int s = this->opts_.debug_unordered_merge ? used - 1 - k : k;
+      const auto& sc = p2_scratch_[static_cast<std::size_t>(s)];
+      for (const node_id v : sc.touched) {
+        auto& st = this->stamp_[idx(v)];
+        if (st != step) {
+          st = step;
+          this->arrivals_[idx(v)] = 0;
+          this->touched_.push_back(v);
+        }
+        this->arrivals_[idx(v)] += sc.arrivals[idx(v)];
+        this->last_sender_[idx(v)] = sc.last_sender[idx(v)];
+      }
+    }
+  }
+
+  // The step loop — structurally run_frontier with shardable phases.
+  void run_engine() {
+    for (std::int64_t step = 0; step < this->opts_.max_steps; ++step) {
+      const std::int64_t collisions_before = this->result_.collisions;
+      const std::int64_t deliveries_before = this->result_.deliveries;
+      const std::int64_t suppressed_before =
+          this->result_.suppressed_deliveries;
+
+      if (this->faults_ != nullptr) this->apply_begin_step_faults(step);
+
+      if constexpr (detail::traits_have_begin_step<Traits>::value) {
+        traits_.begin_step(step);
+      }
+      this->transmitters_.clear();
+      phase_one(step);
+      if (this->opts_.verify_sleepers) this->sweep_sleepers(step);
+      this->result_.transmissions +=
+          static_cast<std::int64_t>(this->transmitters_.size());
+
+      this->touched_.clear();
+      phase_two(step);
+
+      this->commit_receptions(step);
+      if (this->opts_.metrics != nullptr) {
+        this->push_step_metrics(collisions_before, deliveries_before,
+                                suppressed_before);
+      }
+      this->merge_newly_awake();
+      if (this->step_epilogue(step)) break;
+    }
+  }
+
+  Traits traits_;
+  std::vector<typename Traits::state> states_;
+  const int step_threads_;
+  const std::int64_t grain_;
+
+  // Intra-step pool and shard scratch, created lazily on the first step
+  // that actually shards (small runs never pay for them).
+  std::unique_ptr<exec::thread_pool> pool_;
+  std::vector<std::vector<node_id>> p1_tx_;
+  struct shard_scratch {
+    std::vector<std::int64_t> stamp;
+    std::vector<int> arrivals;
+    std::vector<node_id> last_sender;
+    std::vector<node_id> touched;
+  };
+  std::vector<shard_scratch> p2_scratch_;
+  std::vector<std::size_t> p2_bounds_;
+};
+
+/// Runs one broadcast with the SoA engine instantiated for `Traits`.
+/// Protocol soa_runner entries call this; the "run_broadcast" span is
+/// already open (run_broadcast_with_r), so this opens only setup/step_loop.
+template <class Traits>
+run_result run_broadcast_soa(const graph& g, const Traits& traits, node_id r,
+                             const run_options& opts) {
+  obs::span_profiler* profiler =
+      opts.profiler != nullptr ? opts.profiler : obs::global_profiler();
+  soa_run<Traits> run(g, traits, r, opts, profiler);
+  obs::scoped_span loop_span(profiler, "step_loop");
+  return run.run();
+}
+
+}  // namespace radiocast

@@ -165,6 +165,44 @@ TEST(ChaosTest, BrokenModelFailureSurfacesInTheReportPipeline) {
       << (errors.empty() ? "" : errors.front());
 }
 
+// ---------- a broken SoA phase merge is caught ----------
+
+TEST(ChaosTest, BrokenSoaPhaseMergeIsCaughtByBitIdentity) {
+  // A dense G(n, p) graph keeps many simultaneous transmitters with
+  // DIFFERENT neighborhoods alive for many steps, so with 4 shards of
+  // grain 1 the phase-2 reduction genuinely splits the transmitter set:
+  // several shards touch the same listeners in different orders, and only
+  // the ORDERED merge reproduces the serial engine's first-touch order
+  // (hence its trace event order). debug_unordered_merge reverses the
+  // shard merge — arrival COUNTS still agree (sums commute), so nothing
+  // but the byte-for-byte engine_bit_identity contract can see the
+  // corruption. It must. (A complete or complete-layered topology would
+  // mask the reversal: interchangeable transmitters produce the same
+  // first-touch order no matter which shard merges first.)
+  rng topo_gen(31);
+  const graph g = make_gnp_connected(40, 0.3, topo_gen);
+  const auto proto = make_protocol("decay", g.node_count() - 1);
+  fault::soa_check_options sabotage;
+  sabotage.step_threads = 4;
+  sabotage.step_shard_grain = 1;
+  sabotage.debug_unordered_merge = true;
+  const fault::scenario_check_result broken = fault::check_scenario(
+      g, *proto, nullptr, 13, 4'000, false, sabotage);
+  EXPECT_FALSE(broken.ok());
+  EXPECT_GT(
+      broken.violation_counts[iv(fault::chaos_invariant::engine_bit_identity)],
+      0);
+  EXPECT_FALSE(broken.violations.empty());
+
+  // The identical scenario with the honest merge is violation-free —
+  // the sabotage knob, not the sharding, is what broke it.
+  fault::soa_check_options honest = sabotage;
+  honest.debug_unordered_merge = false;
+  const fault::scenario_check_result clean = fault::check_scenario(
+      g, *proto, nullptr, 13, 4'000, false, honest);
+  EXPECT_TRUE(clean.ok());
+}
+
 // ---------- report schema and validator ----------
 
 TEST(ChaosTest, ReportRoundTripsThroughDumpAndParse) {

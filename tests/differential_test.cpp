@@ -438,15 +438,18 @@ TEST(DifferentialTest, TrialRecordsMatchTracedReruns) {
 }
 
 // ---------------------------------------------------------------------------
-// Engine differential: frontier vs reference.
+// Engine differential: soa vs frontier vs reference.
 //
 // The frontier engine (docs/PERFORMANCE.md) skips dormant nodes in phase 1
-// and hoists the fault branches out of phase 2. Its contract is BIT
+// and hoists the fault branches out of phase 2; the soa engine additionally
+// devirtualizes the protocol step and shards both phases of a single step
+// across threads with an ordered merge. The contract for BOTH is BIT
 // IDENTITY with the retained reference engine — not statistical agreement:
 // trial records, full metrics dumps, and event-for-event trace NDJSON must
-// all be byte-equal, across protocols, graph families, fault models, and
-// the serial/parallel executors. verify_sleepers rides along on every
-// frontier run, so the dormant-node contract is checked live, not assumed.
+// all be byte-equal, across protocols, graph families, fault models, the
+// serial/parallel executors, and every intra-step thread count.
+// verify_sleepers rides along on every frontier run, so the dormant-node
+// contract is checked live, not assumed.
 // ---------------------------------------------------------------------------
 
 /// Everything observable from one run under a given engine.
@@ -461,10 +464,12 @@ using fault_factory = std::function<std::unique_ptr<fault::fault_model>()>;
 
 engine_observation observe(const graph& g, const protocol& proto,
                            step_engine engine, const fault_factory& faults,
-                           int threads) {
+                           int threads, int step_threads = 0) {
   engine_observation out;
 
-  // Trial batch with metrics, through the requested executor.
+  // Trial batch with metrics, through the requested executor. Grain 1
+  // forces intra-step sharding even on these tiny graphs whenever
+  // step_threads > 1.
   obs::metrics_registry metrics;
   std::unique_ptr<fault::fault_model> model =
       faults ? faults() : nullptr;
@@ -475,14 +480,17 @@ engine_observation observe(const graph& g, const protocol& proto,
   topts.metrics = &metrics;
   topts.faults = model.get();
   topts.engine = engine;
-  topts.verify_sleepers = engine == step_engine::frontier;
+  topts.verify_sleepers = engine != step_engine::reference;
   topts.threads = threads;
+  topts.step_threads = step_threads;
+  topts.step_shard_grain = step_threads > 1 ? 1 : 0;
   out.records = threads == 0 ? run_trials(g, proto, topts)
                              : parallel_run_trials(g, proto, topts);
   out.metrics_dump = metrics.to_json().dump();
 
   // One traced single run (separate from the batch so the trace covers a
-  // known seed regardless of executor sharding).
+  // known seed regardless of executor sharding). No metrics registry here,
+  // so a sharded soa run exercises the phase-1 split as well.
   trace tr(2'000'000);
   run_options ropts;
   ropts.seed = 101;
@@ -492,7 +500,9 @@ engine_observation observe(const graph& g, const protocol& proto,
       faults ? faults() : nullptr;
   ropts.faults = trace_model.get();
   ropts.engine = engine;
-  ropts.verify_sleepers = engine == step_engine::frontier;
+  ropts.verify_sleepers = engine != step_engine::reference;
+  ropts.step_threads = step_threads;
+  ropts.step_shard_grain = step_threads > 1 ? 1 : 0;
   run_broadcast(g, proto, ropts);
   std::ostringstream os;
   tr.to_ndjson(os);
@@ -500,18 +510,13 @@ engine_observation observe(const graph& g, const protocol& proto,
   return out;
 }
 
-void expect_engines_agree(const graph& g, const protocol& proto,
-                          const fault_factory& faults, int threads,
-                          const std::string& what) {
-  const engine_observation ref =
-      observe(g, proto, step_engine::reference, faults, threads);
-  const engine_observation fro =
-      observe(g, proto, step_engine::frontier, faults, threads);
-
-  ASSERT_EQ(ref.records.trials.size(), fro.records.trials.size()) << what;
+void expect_observations_equal(const engine_observation& ref,
+                               const engine_observation& alt,
+                               const std::string& what) {
+  ASSERT_EQ(ref.records.trials.size(), alt.records.trials.size()) << what;
   for (std::size_t i = 0; i < ref.records.trials.size(); ++i) {
     const trial_record& a = ref.records.trials[i];
-    const trial_record& b = fro.records.trials[i];
+    const trial_record& b = alt.records.trials[i];
     const std::string tag = what + " trial " + std::to_string(i);
     EXPECT_EQ(a.seed, b.seed) << tag;
     EXPECT_EQ(a.completed, b.completed) << tag;
@@ -529,8 +534,30 @@ void expect_engines_agree(const graph& g, const protocol& proto,
     EXPECT_EQ(a.outcome, b.outcome) << tag;
     // wall_ms is reporting-only and excluded from the contract.
   }
-  EXPECT_EQ(ref.metrics_dump, fro.metrics_dump) << what << ": metrics dump";
-  EXPECT_EQ(ref.trace_ndjson, fro.trace_ndjson) << what << ": trace";
+  EXPECT_EQ(ref.metrics_dump, alt.metrics_dump) << what << ": metrics dump";
+  EXPECT_EQ(ref.trace_ndjson, alt.trace_ndjson) << what << ": trace";
+}
+
+void expect_engines_agree(const graph& g, const protocol& proto,
+                          const fault_factory& faults, int threads,
+                          const std::string& what) {
+  const engine_observation ref =
+      observe(g, proto, step_engine::reference, faults, threads);
+  const engine_observation fro =
+      observe(g, proto, step_engine::frontier, faults, threads);
+  expect_observations_equal(ref, fro, what + "/frontier");
+
+  // Third engine, when the protocol has an SoA step form: serial, and
+  // intra-step sharded at 2 and 8 threads (grain 1). Every variant must
+  // match the reference byte-for-byte.
+  if (proto.soa_runner() != nullptr) {
+    for (int st : {1, 2, 8}) {
+      const engine_observation soa =
+          observe(g, proto, step_engine::soa, faults, threads, st);
+      expect_observations_equal(
+          ref, soa, what + "/soa@st" + std::to_string(st));
+    }
+  }
 }
 
 TEST(EngineDifferentialTest, AllProtocolsAllGraphFamilies) {

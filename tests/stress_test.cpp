@@ -78,6 +78,65 @@ TEST(StressTest, AdversaryAtBenchScale) {
   EXPECT_GE(res.informed_step, net.forced_steps);
 }
 
+TEST(StressTest, SoaEngineOnHundredThousandNodeLayeredNetwork) {
+  // The struct-of-arrays engine at the scale the mega benchmark runs:
+  // fat-first layered keeps essentially every node awake from step 1 on,
+  // which is the layout's worst case for state volume and best case for
+  // exposing quadratic slips (a per-step O(n²) scan would blow the step
+  // budget's wall-clock instantly at n = 10⁵).
+  const node_id n = 100'000;
+  graph g = make_complete_layered_fat(n, 64, /*fat_index=*/1);
+  const auto proto = make_protocol("decay", n - 1);
+  run_options opts;
+  opts.seed = 12;
+  opts.max_steps = 2'000'000;
+  opts.engine = step_engine::soa;
+  const run_result res = run_broadcast(g, *proto, opts);
+  ASSERT_TRUE(res.completed);
+  // 63 thin-layer hops, each a Decay phase of 2·⌈log₂(r+1)⌉ = 34 steps
+  // with O(log n) expected phases per hop: tens of thousands of steps is
+  // sane, millions is not.
+  EXPECT_LT(res.informed_step, 200'000);
+}
+
+TEST(StressTest, SoaEngineOnHundredThousandNodeSparseGnp) {
+  rng gen(13);
+  const node_id n = 100'000;
+  graph g = make_gnp_sparse_connected(n, 3.0 / n, gen);
+  const auto proto = make_protocol("decay", n - 1);
+  run_options opts;
+  opts.seed = 14;
+  opts.max_steps = 2'000'000;
+  opts.engine = step_engine::soa;
+  const run_result res = run_broadcast(g, *proto, opts);
+  ASSERT_TRUE(res.completed);
+  // Diameter of G(n, 3/n) is O(log n); Decay pays O(log² n) per hop.
+  EXPECT_LT(res.informed_step, 100'000);
+}
+
+TEST(StressTest, SoaMatchesFrontierAtScale) {
+  // Record-level spot check at a size the differential matrix (which runs
+  // every engine × fault × thread combination on small graphs) cannot
+  // afford: one seed, n = 50k, soa vs frontier must agree exactly.
+  const node_id n = 50'000;
+  graph g = make_complete_layered_fat(n, 32, /*fat_index=*/1);
+  const auto proto = make_protocol("decay", n - 1);
+  run_options opts;
+  opts.seed = 15;
+  opts.max_steps = 2'000'000;
+  opts.engine = step_engine::soa;
+  const run_result soa = run_broadcast(g, *proto, opts);
+  opts.engine = step_engine::frontier;
+  const run_result fro = run_broadcast(g, *proto, opts);
+  ASSERT_TRUE(soa.completed);
+  EXPECT_EQ(soa.steps, fro.steps);
+  EXPECT_EQ(soa.informed_step, fro.informed_step);
+  EXPECT_EQ(soa.transmissions, fro.transmissions);
+  EXPECT_EQ(soa.collisions, fro.collisions);
+  EXPECT_EQ(soa.deliveries, fro.deliveries);
+  EXPECT_EQ(soa.informed_at, fro.informed_at);
+}
+
 TEST(StressTest, GeometricFieldAtScale) {
   rng gen(7);
   graph g = make_random_geometric(2000, 0.05, gen);

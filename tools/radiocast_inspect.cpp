@@ -169,6 +169,23 @@ struct validator {
                json_value::kind::number);
       optional(*values, vwhere, "speedup", json_value::kind::number);
       optional(*values, vwhere, "steps", json_value::kind::integer);
+      // SoA-engine telemetry, added with the mega_scale analytic case:
+      // soa vs frontier wall clock/throughput and the million-node
+      // completion runs (see check_mega_scale in
+      // bench_simulator_throughput.cpp).
+      optional(*values, vwhere, "soa_min_ms", json_value::kind::number);
+      optional(*values, vwhere, "steps_per_sec_soa",
+               json_value::kind::number);
+      optional(*values, vwhere, "soa_speedup", json_value::kind::number);
+      optional(*values, vwhere, "mega_n", json_value::kind::integer);
+      optional(*values, vwhere, "mega_layered_wall_ms",
+               json_value::kind::number);
+      optional(*values, vwhere, "mega_layered_steps",
+               json_value::kind::integer);
+      optional(*values, vwhere, "mega_gnp_wall_ms",
+               json_value::kind::number);
+      optional(*values, vwhere, "mega_gnp_steps",
+               json_value::kind::integer);
     }
     const json_value* trials = c.find("trials");
     if (trials != nullptr && trials->is_array()) {
