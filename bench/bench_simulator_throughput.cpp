@@ -239,6 +239,9 @@ engine_timing time_engine(const graph& g, const protocol& proto, int reps,
             .count();
     RC_CHECK(r.completed);
     out.steps = r.steps;
+    // radiocast-analyze: allow(taint) -- min-of-reps selection between
+    // bit-identical runs (same seed, RC_CHECKed completed); timing picks
+    // which copy to keep, never what it contains.
     if (ms < out.min_ms) {
       out.min_ms = ms;
       out.result = std::move(r);

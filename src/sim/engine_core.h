@@ -180,6 +180,10 @@ class run_base {
     return true;
   }
 
+  // radiocast-analyze: hot-path-begin -- everything from here through
+  // run_reference() executes once per step (or per node per step); no
+  // allocation, formatting, throwing, or stream I/O (RC_* args exempt).
+
   // Injection site 1: crash-stops, recoveries, and churn, applied at the
   // top of a step. A crash removes the node from the awake set
   // immediately, so phase 1 of this very step already skips it (matching
@@ -687,6 +691,8 @@ class run_base {
       if (step_epilogue(step)) break;
     }
   }
+
+  // radiocast-analyze: hot-path-end
 
   const graph& g_;
   const run_options& opts_;

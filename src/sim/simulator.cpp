@@ -42,6 +42,9 @@ class virtual_run final : public detail::run_base<virtual_run> {
     }
   }
 
+  // radiocast-analyze: hot-path-begin -- per-node dispatch, called once
+  // per awake node per step.
+
   std::optional<message> proto_step(node_id v, const node_context& ctx) {
     return nodes_[idx(v)]->on_step(ctx);
   }
@@ -61,6 +64,8 @@ class virtual_run final : public detail::run_base<virtual_run> {
       run_reference();
     }
   }
+
+  // radiocast-analyze: hot-path-end
 
   const protocol& proto_;
   std::vector<std::unique_ptr<protocol_node>> nodes_;

@@ -101,6 +101,17 @@ class soa_run final : public detail::run_base<soa_run<Traits>> {
   using base = detail::run_base<soa_run<Traits>>;
   friend base;
 
+  // The SoA layout stores per-node state as one contiguous array and
+  // copies it wholesale across shard boundaries; a non-trivially-copyable
+  // member would silently break that, and a fat state defeats the layout's
+  // cache-density point. Shared configuration (schedules, tables) belongs
+  // on the traits object, not in per-node state.
+  static_assert(std::is_trivially_copyable_v<typename Traits::state>,
+                "SoA Traits::state must be trivially copyable");
+  static_assert(sizeof(typename Traits::state) <= 64,
+                "SoA Traits::state must fit one cache line (<= 64 bytes); "
+                "move shared data onto the traits object");
+
  public:
   soa_run(const graph& g, const Traits& traits, node_id r,
           const run_options& opts, obs::span_profiler* profiler)
@@ -140,10 +151,16 @@ class soa_run final : public detail::run_base<soa_run<Traits>> {
     traits_.on_restart(&states_[idx(v)], ctx);
   }
 
+  // radiocast-analyze: hot-path-begin -- the sharded step loop; no
+  // allocation, formatting, throwing, or stream I/O past first-step
+  // warm-up (RC_* args exempt).
+
   void ensure_pool() {
     if (pool_ == nullptr) {
       // Shard 0 runs on the calling thread (exec::run_shards), so the pool
       // only needs workers for shards 1…N−1.
+      // radiocast-analyze: allow(hot-path) -- one-time lazy pool
+      // construction, taken only by the first step that actually shards.
       pool_ = std::make_unique<exec::thread_pool>(step_threads_ - 1);
     }
   }
@@ -349,6 +366,8 @@ class soa_run final : public detail::run_base<soa_run<Traits>> {
       if (this->step_epilogue(step)) break;
     }
   }
+
+  // radiocast-analyze: hot-path-end
 
   Traits traits_;
   std::vector<typename Traits::state> states_;

@@ -1,0 +1,94 @@
+// Shared lexical front end for radiocast's text-based analysis tools.
+//
+// Both static-analysis tools — the determinism lint (tools/lint/) and the
+// semantic analyzer (tools/analyze/) — are lexers, not compilers: they
+// strip comments and literals, then reason over identifier tokens and
+// per-line shapes. This header owns the pieces they share so the two rule
+// engines cannot drift apart on C++ lexing corner cases (raw strings,
+// digit separators, unterminated literals):
+//
+//   * scrub()           — the comment/string/char/raw-string state machine,
+//                         producing per-line code, comment, and
+//                         code-with-string-contents views;
+//   * collect_allows()  — the `<marker>: allow(<rule>) -- <justification>`
+//                         suppression grammar (mandatory justification,
+//                         trailing-line or preceding-pure-comment targeting,
+//                         malformed/unknown annotations reported back);
+//   * small helpers (trim, identifier classification, call detection).
+//
+// Everything here is deliberately dependency-free (no radiocast library)
+// so the tools build in seconds and can gate CI before any compile stage.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace radiocast::lint {
+
+bool starts_with(const std::string& s, const char* prefix);
+bool is_ident_char(char c);
+bool is_digit(char c);
+
+/// Strips leading/trailing spaces, tabs, and a trailing '\r'.
+std::string trim(const std::string& s);
+
+/// True when the next non-space character at or after `from` is '(' —
+/// distinguishes `time(...)` calls from `time_point` mentions.
+bool next_nonspace_is_paren(const std::string& code, std::size_t from);
+
+/// One file split into per-line views by the lexical scrub.
+struct scrubbed {
+  /// Code with comments removed and string/char-literal CONTENTS blanked
+  /// (the delimiting quotes survive). Token rules match against this view
+  /// so banned names in messages or test fixtures cannot fire.
+  std::vector<std::string> code;
+  /// Comment text only — where suppression annotations live.
+  std::vector<std::string> comment;
+  /// Code with string-literal contents KEPT (comments still removed).
+  /// The semantic analyzer reads this view to see telemetry key names in
+  /// sink calls like `set("wall_ms", v)`.
+  std::vector<std::string> code_strings;
+};
+
+/// Lexically scrubs one file. Handles //, /*...*/, "...", '...', raw
+/// strings R"delim(...)delim", and digit separators (1'000'000); an
+/// unterminated ordinary literal recovers at end of line so one bad line
+/// cannot swallow the rest of the file.
+scrubbed scrub(const std::string& text);
+
+/// One parsed `allow(<rule>)` suppression.
+struct allow_entry {
+  std::string rule;
+  std::string justification;
+  int annotation_line = 0;  ///< 1-based, where the annotation itself sits
+  bool used = false;        ///< set by the rule engine; stale ⇒ finding
+};
+
+/// A malformed/unknown annotation, reported back to the rule engine (which
+/// turns it into a finding — annotations are part of the contract).
+struct annotation_issue {
+  int line = 0;
+  std::string message;
+};
+
+/// All suppressions of one file, keyed by the 1-based line they cover.
+struct allow_set {
+  std::map<int, std::vector<allow_entry>> by_line;
+  std::vector<annotation_issue> issues;
+};
+
+/// Parses every `<marker>: allow(<rule>[, <rule>...]) -- <justification>`
+/// annotation in `src`. An annotation must OPEN its comment; prose that
+/// merely mentions the marker mid-comment is ignored. A trailing
+/// annotation covers its own line; an annotation in a pure comment line
+/// covers the next line that has code. `is_known_rule` validates rule ids;
+/// `is_directive`, when provided, names non-allow annotation verbs (e.g.
+/// region markers) that share the marker and are handled by the caller.
+allow_set collect_allows(
+    const scrubbed& src, const std::string& marker,
+    const std::function<bool(const std::string&)>& is_known_rule,
+    const std::function<bool(const std::string&)>& is_directive = {});
+
+}  // namespace radiocast::lint

@@ -2,165 +2,13 @@
 
 #include <algorithm>
 #include <array>
-#include <cctype>
-#include <map>
 #include <utility>
+
+#include "lint/lexer.h"
 
 namespace radiocast::lint {
 
 namespace {
-
-bool starts_with(const std::string& s, const char* prefix) {
-  return s.rfind(prefix, 0) == 0;
-}
-
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-bool is_digit(char c) { return c >= '0' && c <= '9'; }
-
-std::string trim(const std::string& s) {
-  const std::size_t b = s.find_first_not_of(" \t");
-  if (b == std::string::npos) return "";
-  const std::size_t e = s.find_last_not_of(" \t\r");
-  return s.substr(b, e - b + 1);
-}
-
-// ---------------------------------------------------------------------------
-// Lexical scrub: split into lines, blank out string/char literal contents,
-// and separate comment text (where suppression annotations live) from code.
-// ---------------------------------------------------------------------------
-
-struct scrubbed {
-  std::vector<std::string> code;     ///< literals blanked, comments removed
-  std::vector<std::string> comment;  ///< comment text only
-};
-
-/// True when `code` ends in a raw-string prefix (R, uR, UR, LR, u8R) that
-/// is not the tail of a longer identifier.
-bool ends_with_raw_prefix(const std::string& code) {
-  const std::size_t n = code.size();
-  if (n == 0 || code[n - 1] != 'R') return false;
-  std::size_t start = n - 1;  // first char of the candidate prefix
-  if (start >= 1 && (code[start - 1] == 'u' || code[start - 1] == 'U' ||
-                     code[start - 1] == 'L')) {
-    --start;
-    if (start >= 1 && code[start] == 'u' && code[start - 1] == 'u') {
-      // not a prefix; "uu" cannot start one
-    } else if (start >= 1 && code[start - 1] == '8' && start >= 2 &&
-               code[start - 2] == 'u') {
-      start -= 2;  // u8R
-    }
-  }
-  return start == 0 || !is_ident_char(code[start - 1]);
-}
-
-scrubbed scrub(const std::string& text) {
-  scrubbed out;
-  out.code.emplace_back();
-  out.comment.emplace_back();
-  enum class state { code, line_comment, block_comment, string, chr, raw };
-  state st = state::code;
-  std::string raw_end;  // ")delim\"" closing the active raw string
-  const std::size_t n = text.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    const char c = text[i];
-    if (c == '\n') {
-      if (st == state::line_comment) st = state::code;
-      // Unterminated ordinary literal: recover at end of line so one bad
-      // line cannot swallow the rest of the file.
-      if (st == state::string || st == state::chr) st = state::code;
-      out.code.emplace_back();
-      out.comment.emplace_back();
-      continue;
-    }
-    std::string& code = out.code.back();
-    std::string& comment = out.comment.back();
-    switch (st) {
-      case state::code:
-        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
-          st = state::line_comment;
-          ++i;
-        } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
-          st = state::block_comment;
-          ++i;
-        } else if (c == '"' && ends_with_raw_prefix(code)) {
-          raw_end.clear();
-          raw_end.push_back(')');
-          std::size_t j = i + 1;
-          while (j < n && text[j] != '(' && text[j] != '\n') {
-            raw_end.push_back(text[j]);
-            ++j;
-          }
-          raw_end.push_back('"');
-          i = j;  // at '(' (or recover at newline-1)
-          if (j < n && text[j] == '\n') --i;
-          st = state::raw;
-          code.push_back('"');
-        } else if (c == '"') {
-          st = state::string;
-          code.push_back('"');
-        } else if (c == '\'' && !code.empty() && is_digit(code.back())) {
-          code.push_back(c);  // digit separator, e.g. 1'000'000
-        } else if (c == '\'') {
-          st = state::chr;
-          code.push_back('\'');
-        } else {
-          code.push_back(c);
-        }
-        break;
-      case state::line_comment:
-        comment.push_back(c);
-        break;
-      case state::block_comment:
-        if (c == '*' && i + 1 < n && text[i + 1] == '/') {
-          st = state::code;
-          ++i;
-        } else {
-          comment.push_back(c);
-        }
-        break;
-      case state::string:
-        if (c == '\\' && i + 1 < n && text[i + 1] != '\n') {
-          ++i;
-        } else if (c == '"') {
-          st = state::code;
-          code.push_back('"');
-        }
-        break;
-      case state::chr:
-        if (c == '\\' && i + 1 < n && text[i + 1] != '\n') {
-          ++i;
-        } else if (c == '\'') {
-          st = state::code;
-          code.push_back('\'');
-        }
-        break;
-      case state::raw:
-        if (text.compare(i, raw_end.size(), raw_end) == 0) {
-          i += raw_end.size() - 1;
-          st = state::code;
-          code.push_back('"');
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Suppression annotations
-// ---------------------------------------------------------------------------
-
-constexpr char kMarker[] = "radiocast-lint";
-
-struct allow_entry {
-  std::string rule;
-  std::string justification;
-  int annotation_line;  // 1-based, where the annotation itself sits
-  bool used = false;
-};
 
 // ---------------------------------------------------------------------------
 // Rule tables
@@ -204,7 +52,8 @@ struct rule_scope {
 rule_scope scope_for(const std::string& path) {
   rule_scope s;
   const bool in_src = starts_with(path, "src/");
-  // R1: everywhere; util/rng.{h,cpp} is the one sanctioned implementation.
+  // R1: everywhere — src/, tests/, tools/, bench/, examples/ alike;
+  // util/rng.{h,cpp} is the one sanctioned implementation.
   s.no_raw_random =
       path != "src/util/rng.cpp" && path != "src/util/rng.h";
   // R2: bench/ harness timing and src/exec/ wall-clock accounting are the
@@ -214,21 +63,19 @@ rule_scope scope_for(const std::string& path) {
   // allow so the justification is auditable in the lint report.
   s.wall_clock =
       !starts_with(path, "bench/") && !starts_with(path, "src/exec/");
-  // R3 + R5: library code only.
-  s.unordered_iter = in_src;
+  // R3: library code, tests, and tools — a test that iterates an
+  // unordered container can assert on hash order and pass on exactly one
+  // libstdc++ build, and a tool can leak hash order into a report diff.
+  // bench/ stays out of scope (tables are presentation, and sweeps never
+  // route results through hash containers today).
+  s.unordered_iter = in_src || starts_with(path, "tests/") ||
+                     starts_with(path, "tools/");
+  // R5: library code only.
   s.iostream = in_src;
   // R4: the subsystems whose invariants encode paper-level claims.
   s.check_msg =
       starts_with(path, "src/adversary/") || starts_with(path, "src/exec/");
   return s;
-}
-
-bool next_nonspace_is_paren(const std::string& code, std::size_t from) {
-  for (std::size_t i = from; i < code.size(); ++i) {
-    if (code[i] == ' ' || code[i] == '\t') continue;
-    return code[i] == '(';
-  }
-  return false;
 }
 
 }  // namespace
@@ -243,8 +90,8 @@ const std::vector<rule_info>& rules() {
        "and src/exec/; src/campaign/ checkpoint timestamps are permitted "
        "only through an annotated allow"},
       {"unordered-iter",
-       "no std::unordered_map/set use in src/ without an annotated "
-       "justification; iteration order can leak into results"},
+       "no std::unordered_map/set use in src/, tests/, or tools/ without "
+       "an annotated justification; iteration order can leak into results"},
       {"check-msg",
        "RC_CHECK in src/adversary/ and src/exec/ must carry a message "
        "(use RC_CHECK_MSG)"},
@@ -280,77 +127,16 @@ std::vector<finding> lint_file(const std::string& path,
 
   // Pass 1: collect suppression annotations (and lint the annotations
   // themselves — they are part of the contract, not free-form comments).
-  std::map<int, std::vector<allow_entry>> allows;  // target line → entries
-  for (int ln = 1; ln <= line_count; ++ln) {
-    // An annotation must open its comment (`// radiocast-lint: ...`);
-    // prose that merely mentions the marker mid-comment is not one.
-    const std::string comment =
-        trim(src.comment[static_cast<std::size_t>(ln - 1)]);
-    if (!starts_with(comment, kMarker)) continue;
-    auto bad = [&](const std::string& why) {
-      out.push_back({"lint-annotation", path, ln, why, raw_line(ln), false,
-                     ""});
-    };
-    std::string rest = trim(comment.substr(sizeof(kMarker) - 1));
-    if (!rest.empty() && rest.front() == ':') rest = trim(rest.substr(1));
-    if (!starts_with(rest, "allow(")) {
-      bad("malformed annotation; expected "
-          "`radiocast-lint: allow(<rule>) -- <justification>`");
-      continue;
-    }
-    const std::size_t close = rest.find(')');
-    if (close == std::string::npos) {
-      bad("malformed annotation; unterminated allow(");
-      continue;
-    }
-    std::vector<std::string> ids;
-    std::string id_list = rest.substr(6, close - 6);
-    std::size_t pos = 0;
-    while (pos <= id_list.size()) {
-      const std::size_t comma = id_list.find(',', pos);
-      ids.push_back(trim(id_list.substr(
-          pos, comma == std::string::npos ? std::string::npos : comma - pos)));
-      if (comma == std::string::npos) break;
-      pos = comma + 1;
-    }
-    std::string tail = trim(rest.substr(close + 1));
-    std::string justification;
-    if (starts_with(tail, "--")) justification = trim(tail.substr(2));
-    if (justification.empty()) {
-      bad("suppression needs a justification: "
-          "`allow(<rule>) -- <why this cannot affect results>`");
-      continue;
-    }
-    bool ok = true;
-    for (const std::string& id : ids) {
-      if (!is_known_rule(id)) {
-        bad("unknown rule '" + id + "' in allow()");
-        ok = false;
-      }
-    }
-    if (!ok) continue;
-    // A trailing annotation covers its own line; an annotation in a pure
-    // comment covers the next line that has code (the justification may
-    // continue over several comment lines).
-    const bool pure_comment =
-        trim(src.code[static_cast<std::size_t>(ln - 1)]).empty();
-    int target = ln;
-    if (pure_comment) {
-      target = ln + 1;
-      while (target <= line_count &&
-             trim(src.code[static_cast<std::size_t>(target - 1)]).empty()) {
-        ++target;
-      }
-    }
-    for (const std::string& id : ids) {
-      allows[target].push_back({id, justification, ln, false});
-    }
+  allow_set allows = collect_allows(src, "radiocast-lint", is_known_rule);
+  for (const annotation_issue& issue : allows.issues) {
+    out.push_back({"lint-annotation", path, issue.line, issue.message,
+                   raw_line(issue.line), false, ""});
   }
 
   auto emit = [&](const std::string& rule, int ln, std::string message) {
     finding f{rule, path, ln, std::move(message), raw_line(ln), false, ""};
-    auto it = allows.find(ln);
-    if (it != allows.end()) {
+    auto it = allows.by_line.find(ln);
+    if (it != allows.by_line.end()) {
       for (allow_entry& a : it->second) {
         if (a.rule == rule) {
           a.used = true;
@@ -412,9 +198,9 @@ std::vector<finding> lint_file(const std::string& path,
       if (scope.unordered_iter && in_table(kUnorderedTokens, tok)) {
         emit("unordered-iter", ln,
              "'std::" + tok +
-                 "' in src/ — iteration order can leak into results; use a "
-                 "sorted std::vector, or annotate why membership-only use "
-                 "is safe");
+                 "' in src/, tests/, or tools/ — iteration order can leak "
+                 "into results; use a sorted std::vector, or annotate why "
+                 "membership-only use is safe");
       }
       if (scope.check_msg && tok == "RC_CHECK" &&
           next_nonspace_is_paren(code, i)) {
@@ -427,7 +213,7 @@ std::vector<finding> lint_file(const std::string& path,
 
   // Pass 3: stale suppressions are findings too — an allow() that matches
   // nothing no longer documents anything and must be deleted.
-  for (const auto& [target, entries] : allows) {
+  for (const auto& [target, entries] : allows.by_line) {
     (void)target;
     for (const allow_entry& a : entries) {
       if (!a.used) {

@@ -8,11 +8,12 @@
 // (docs/STATIC_ANALYSIS.md):
 //
 //   R1 no-raw-random   all randomness flows through util/rng.h
+//                      (everywhere: src/, tests/, tools/, bench/, examples/)
 //   R2 wall-clock      no wall-clock APIs outside bench/ and src/exec/
 //                      (src/campaign/ checkpoint timestamps: annotated
 //                      allow only)
-//   R3 unordered-iter  no std::unordered_{map,set} use in src/ without an
-//                      annotated justification
+//   R3 unordered-iter  no std::unordered_{map,set} use in src/, tests/, or
+//                      tools/ without an annotated justification
 //   R4 check-msg       RC_CHECK in src/adversary/ and src/exec/ must carry
 //                      a message (RC_CHECK_MSG)
 //   R5 iostream        no <iostream> in src/ library code
@@ -22,10 +23,12 @@
 // either trailing the offending line or on the line directly above it.
 // The justification is mandatory; a bare allow() is itself a finding.
 //
-// The engine is deliberately dependency-free and text-based (a lexer that
-// strips comments, string/char literals, and raw strings, then matches
-// identifier tokens) so it builds in seconds and runs before any compile
-// stage in scripts/ci.sh. It is a tripwire, not a type checker: rules are
+// The engine is deliberately dependency-free and text-based (the shared
+// lexer in tools/lint/lexer.h strips comments, string/char literals, and
+// raw strings, then this engine matches identifier tokens) so it builds in
+// seconds and runs before any compile stage in scripts/ci.sh. The semantic
+// analyzer (tools/analyze/) builds on the same lexer for flow- and
+// structure-level rules this token tripwire cannot express. Rules are
 // scoped by path prefix, and tests feed it synthetic paths plus inline
 // snippets (tests/lint_test.cpp).
 #pragma once

@@ -1,8 +1,10 @@
 // radiocast_inspect — reads the JSON artifacts this repository's tooling
 // emits: BENCH_<name>.json bench telemetry (schema "radiocast.bench.v1";
 // see docs/OBSERVABILITY.md), radiocast_lint reports (schema
-// "radiocast.lint.v1"; see docs/STATIC_ANALYSIS.md), and radiocast_chaos
-// fuzzing reports (schema "radiocast.chaos.v1"; see docs/FAULTS.md).
+// "radiocast.lint.v1") and radiocast_analyze reports (schema
+// "radiocast.analysis.v1"; both in docs/STATIC_ANALYSIS.md), and
+// radiocast_chaos fuzzing reports (schema "radiocast.chaos.v1"; see
+// docs/FAULTS.md).
 //
 //   radiocast_inspect print    FILE        human-readable summary
 //   radiocast_inspect validate FILE...     schema check; exit 1 on failure
@@ -278,6 +280,105 @@ struct validator {
     return failures == 0;
   }
 
+  /// radiocast.analysis.v1: the report radiocast_analyze --json writes.
+  /// Structurally the lint report (pass/path/line findings, counted
+  /// summary) plus the layer list and the include DAG.
+  void check_analysis_finding(const json_value& f, const std::string& where,
+                              bool suppressed) {
+    require(f, where, "pass", json_value::kind::string);
+    require(f, where, "path", json_value::kind::string);
+    require(f, where, "line", json_value::kind::integer);
+    require(f, where, "message", json_value::kind::string);
+    require(f, where, "snippet", json_value::kind::string);
+    if (suppressed) {
+      require(f, where, "justification", json_value::kind::string);
+    }
+  }
+
+  bool run_analysis(const json_value& doc) {
+    require(doc, "root", "tool", json_value::kind::string);
+    require(doc, "root", "files_scanned", json_value::kind::integer);
+    require(doc, "root", "passes", json_value::kind::array);
+    require(doc, "root", "layers", json_value::kind::array);
+    require(doc, "root", "include_graph", json_value::kind::object);
+    require(doc, "root", "findings", json_value::kind::array);
+    require(doc, "root", "suppressed", json_value::kind::array);
+    require(doc, "root", "summary", json_value::kind::object);
+    const json_value* pass_table = doc.find("passes");
+    if (pass_table != nullptr && pass_table->is_array()) {
+      if (pass_table->items().empty()) fail("passes array is empty");
+      for (std::size_t i = 0; i < pass_table->items().size(); ++i) {
+        const std::string where = "passes[" + std::to_string(i) + "]";
+        require(pass_table->items()[i], where, "id",
+                json_value::kind::string);
+        require(pass_table->items()[i], where, "summary",
+                json_value::kind::string);
+      }
+    }
+    const json_value* layers = doc.find("layers");
+    if (layers != nullptr && layers->is_array() && layers->items().empty()) {
+      fail("layers array is empty");
+    }
+    const json_value* graph = doc.find("include_graph");
+    if (graph != nullptr && graph->is_object()) {
+      require(*graph, "include_graph", "nodes", json_value::kind::array);
+      require(*graph, "include_graph", "edges", json_value::kind::array);
+      const json_value* nodes = graph->find("nodes");
+      if (nodes != nullptr && nodes->is_array()) {
+        for (std::size_t i = 0; i < nodes->items().size(); ++i) {
+          const std::string where =
+              "include_graph.nodes[" + std::to_string(i) + "]";
+          require(nodes->items()[i], where, "path",
+                  json_value::kind::string);
+          require(nodes->items()[i], where, "layer",
+                  json_value::kind::string);
+        }
+      }
+      const json_value* edges = graph->find("edges");
+      if (edges != nullptr && edges->is_array()) {
+        for (std::size_t i = 0; i < edges->items().size(); ++i) {
+          const std::string where =
+              "include_graph.edges[" + std::to_string(i) + "]";
+          require(edges->items()[i], where, "from",
+                  json_value::kind::string);
+          require(edges->items()[i], where, "to", json_value::kind::string);
+        }
+      }
+    }
+    for (const char* key : {"findings", "suppressed"}) {
+      const json_value* arr = doc.find(key);
+      if (arr == nullptr || !arr->is_array()) continue;
+      for (std::size_t i = 0; i < arr->items().size(); ++i) {
+        check_analysis_finding(
+            arr->items()[i],
+            std::string(key) + "[" + std::to_string(i) + "]",
+            std::string(key) == "suppressed");
+      }
+    }
+    const json_value* summary = doc.find("summary");
+    if (summary != nullptr && summary->is_object()) {
+      require(*summary, "summary", "findings", json_value::kind::integer);
+      require(*summary, "summary", "suppressed", json_value::kind::integer);
+      require(*summary, "summary", "clean", json_value::kind::boolean);
+      require(*summary, "summary", "by_pass", json_value::kind::object);
+      const json_value* open = doc.find("findings");
+      const json_value* supp = doc.find("suppressed");
+      const json_value* n_open = summary->find("findings");
+      const json_value* n_supp = summary->find("suppressed");
+      if (open != nullptr && open->is_array() && n_open != nullptr &&
+          n_open->as_int() !=
+              static_cast<std::int64_t>(open->items().size())) {
+        fail("summary.findings disagrees with the findings array");
+      }
+      if (supp != nullptr && supp->is_array() && n_supp != nullptr &&
+          n_supp->as_int() !=
+              static_cast<std::int64_t>(supp->items().size())) {
+        fail("summary.suppressed disagrees with the suppressed array");
+      }
+    }
+    return failures == 0;
+  }
+
   bool run(const json_value& doc) {
     const json_value* schema = doc.find("schema");
     if (schema == nullptr || !schema->is_string()) {
@@ -285,6 +386,9 @@ struct validator {
       return false;
     }
     if (schema->as_string() == "radiocast.lint.v1") return run_lint(doc);
+    if (schema->as_string() == "radiocast.analysis.v1") {
+      return run_analysis(doc);
+    }
     if (schema->as_string() == "radiocast.chaos.v1") {
       // The chaos schema's structural validator lives with its writer
       // (src/fault/chaos.cpp) so tests can drive both against the same
