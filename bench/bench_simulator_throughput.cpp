@@ -432,6 +432,147 @@ void check_mega_scale(bench::reporter& rep) {
                "regressed");
 }
 
+// --------------------------------------------------------------------------
+// Deterministic-protocol SoA measurement.
+// --------------------------------------------------------------------------
+
+// Times a fixed step WINDOW of the same seeded run under a given engine.
+// The deterministic token protocols keep every informed node in the awake
+// list until the traversal winds down, so timing a full n = 2^18 run would
+// cost Θ(n²) node-steps regardless of topology; a truncated window bounds
+// the work while still measuring the engines on the real mega-scale graph.
+// Truncation is exact: both engines stop after the same `window` steps of
+// bit-identical work, so every record field still has to match.
+engine_timing time_engine_window(const graph& g, const protocol& proto,
+                                 int reps, step_engine engine,
+                                 std::int64_t window, int step_threads,
+                                 std::int64_t shard_grain) {
+  engine_timing out;
+  for (int rep = 0; rep < reps; ++rep) {
+    run_options opts;
+    opts.seed = 42;
+    opts.max_steps = window;
+    opts.stop = stop_condition::all_halted;
+    opts.engine = engine;
+    opts.step_threads = step_threads;
+    opts.step_shard_grain = shard_grain;
+    const auto start = std::chrono::steady_clock::now();
+    run_result r = run_broadcast(g, proto, opts);
+    const double ms =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    out.steps = r.steps;
+    // radiocast-analyze: allow(taint) -- min-of-reps selection between
+    // bit-identical runs (same seed and step window); timing picks which
+    // copy to keep, never what it contains.
+    if (ms < out.min_ms) {
+      out.min_ms = ms;
+      out.result = std::move(r);
+    }
+  }
+  return out;
+}
+
+void require_identical(const run_result& a, const run_result& b,
+                       const char* what) {
+  RC_CHECK_MSG(a.steps == b.steps && a.informed_step == b.informed_step &&
+                   a.transmissions == b.transmissions &&
+                   a.collisions == b.collisions &&
+                   a.deliveries == b.deliveries &&
+                   a.informed_at == b.informed_at,
+               std::string("soa engine diverged from the frontier engine: ") +
+                   what);
+}
+
+// The deterministic protocols (select-and-send, complete-layered) under
+// frontier vs SoA on an n = 2^18 thin-layer network: the SoA traits forms
+// must be bit-identical where the speedup is measured, and the gated
+// `det_soa_speedup` (combined frontier wall-clock over combined SoA
+// wall-clock across both protocols) must stay above 1×. The per-protocol
+// legs are recorded separately for diagnosis but not hard-gated: the
+// select-and-send margin is a few percent and would flake on noisy hosts,
+// while the combined ratio is dominated by the complete-layered leg and
+// only dips below 1× on a genuine step-loop regression. Also records a
+// step_threads = 4 sharded-step measurement so the multi-core intra-step
+// number lands in a committed baseline.
+void check_deterministic_scale(bench::reporter& rep) {
+  const node_id n = bench::smoke() ? (1 << 13) : (1 << 18);
+  const int d = bench::smoke() ? 32 : 1024;  // thin layers: width = n / d
+  const std::int64_t window = bench::smoke() ? 8'000 : 40'000;
+  const int reps = bench::smoke() ? 3 : 5;
+  const int par_threads = 4;
+  // Small shard grain for the threads run so intra-step sharding engages
+  // even at smoke scale (awake counts there stay below the default grain);
+  // the ordered merge keeps any grain bit-identical to the serial loop.
+  const std::int64_t grain = 512;
+  graph g = make_complete_layered_uniform(n, d);
+
+  obs::json_value values = obs::json_value::object();
+  values.set("n", n);
+  values.set("d", d);
+  values.set("window_steps", window);
+  values.set("reps", reps);
+  values.set("hardware_threads", exec::hardware_threads());
+  double wall = 0.0;
+  double frontier_total_ms = 0.0;
+  double soa_total_ms = 0.0;
+
+  const char* kProtos[] = {"select-and-send", "complete-layered"};
+  const char* kTags[] = {"sas", "cl"};
+  for (int p = 0; p < 2; ++p) {
+    const auto proto = make_protocol(kProtos[p], n - 1);
+    time_engine_window(g, *proto, 1, step_engine::soa, window, 1, 0);
+    const engine_timing fro = time_engine_window(
+        g, *proto, reps, step_engine::frontier, window, 1, 0);
+    const engine_timing soa = time_engine_window(
+        g, *proto, reps, step_engine::soa, window, 1, 0);
+    const engine_timing soa4 = time_engine_window(
+        g, *proto, reps, step_engine::soa, window, par_threads, grain);
+
+    // Bit-identity enforced where the speedup is measured — single-thread
+    // SoA against the frontier oracle, and the sharded run against both.
+    require_identical(fro.result, soa.result, kProtos[p]);
+    require_identical(soa.result, soa4.result, kProtos[p]);
+
+    const double speedup = soa.min_ms > 0.0 ? fro.min_ms / soa.min_ms : 1.0;
+    const double speedup4 =
+        soa4.min_ms > 0.0 ? fro.min_ms / soa4.min_ms : 1.0;
+    frontier_total_ms += fro.min_ms;
+    soa_total_ms += soa.min_ms;
+    const std::string tag = kTags[p];
+    values.set(tag + "_steps", soa.steps);
+    values.set(tag + "_frontier_min_ms", fro.min_ms);
+    values.set(tag + "_soa_min_ms", soa.min_ms);
+    values.set(tag + "_soa_threads4_min_ms", soa4.min_ms);
+    values.set(tag + "_soa_speedup", speedup);
+    values.set(tag + "_soa_threads4_speedup", speedup4);
+    wall += fro.min_ms + soa.min_ms + soa4.min_ms;
+
+    std::cout << "deterministic scale: " << kProtos[p] << " frontier="
+              << fro.min_ms << "ms soa=" << soa.min_ms << "ms soa(t=4)="
+              << soa4.min_ms << "ms over " << soa.steps
+              << " steps (soa_speedup=" << speedup << "x)\n";
+  }
+  const double det_soa_speedup =
+      soa_total_ms > 0.0 ? frontier_total_ms / soa_total_ms : 1.0;
+  values.set("det_soa_speedup", det_soa_speedup);
+  rep.add_analytic_case(
+      "deterministic_scale/layered_uniform/n=" + std::to_string(n) +
+          "/d=" + std::to_string(d),
+      bench::params("n", n, "d", d, "window", window), std::move(values),
+      wall);
+
+  // The deterministic SoA traits exist to make the token protocols usable
+  // at mega scale; the hard floor here is >1× so noisy or single-core CI
+  // hosts don't flake, with the measured ratio recorded for the regress
+  // gate (`det_soa_speedup`, tolerance-checked in scripts/ci.sh stage 6).
+  RC_CHECK_MSG(det_soa_speedup > 1.0,
+               "soa traits not faster than the frontier engine for the "
+               "deterministic protocols: the devirtualized step loop has "
+               "regressed");
+}
+
 }  // namespace
 }  // namespace radiocast
 
@@ -453,5 +594,6 @@ int main(int argc, char** argv) {
   radiocast::check_parallel_speedup(rep);
   radiocast::check_frontier_speedup(rep);
   radiocast::check_mega_scale(rep);
+  radiocast::check_deterministic_scale(rep);
   return 0;
 }

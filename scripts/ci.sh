@@ -209,7 +209,7 @@ build/tools/radiocast_inspect regress \
   bench/baselines/BENCH_simulator_throughput.json \
   "$smoke_dir"/BENCH_simulator_throughput.json \
   --tolerance speedup=75 --tolerance soa_speedup=75 \
-  --tolerance off_over_on=75
+  --tolerance off_over_on=75 --tolerance det_soa_speedup=75
 build/tools/radiocast_inspect regress \
   bench/baselines/BENCH_fault_resilience.json \
   "$smoke_dir"/BENCH_fault_resilience.json

@@ -235,7 +235,13 @@ std::optional<shard_artifact> read_shard_file(const std::string& path,
 }
 
 bool is_wall_clock_key(const std::string& key) {
-  if (key == "speedup" || key == "off_over_on") return true;
+  // Any "*speedup" ratio (speedup, soa_speedup, det_soa_speedup, …) is
+  // derived from same-process wall-clock pairs, like off_over_on.
+  if (key.size() >= 7 &&
+      key.compare(key.size() - 7, 7, "speedup") == 0) {
+    return true;
+  }
+  if (key == "off_over_on") return true;
   if (key.rfind("steps_per_sec", 0) == 0) return true;
   return key.size() >= 3 && key.compare(key.size() - 3, 3, "_ms") == 0;
 }

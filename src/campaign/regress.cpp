@@ -8,8 +8,13 @@ namespace radiocast::campaign {
 namespace {
 
 bool higher_better_key(const std::string& key) {
-  return key == "speedup" || key == "soa_speedup" ||
-         key == "off_over_on" || key.rfind("steps_per_sec", 0) == 0;
+  // Every "*speedup" ratio (speedup, soa_speedup, det_soa_speedup, the
+  // per-protocol legs) is a wall-clock-derived higher-is-better value.
+  if (key.size() >= 7 &&
+      key.compare(key.size() - 7, 7, "speedup") == 0) {
+    return true;
+  }
+  return key == "off_over_on" || key.rfind("steps_per_sec", 0) == 0;
 }
 
 double default_tolerance(const std::string& label) {

@@ -11,7 +11,7 @@
 //   steps.mean       lower better    0%   (trial records are deterministic)
 //   timeout_rate     lower better    0%
 //   values.steps     exact           —    (a step-count drift is a bug)
-//   speedup, off_over_on,
+//   *speedup, off_over_on,
 //   steps_per_sec_*  higher better   50%  (wall-clock derived: host noise)
 //
 // Every other key — wall_ms and friends in particular — is ignored: host

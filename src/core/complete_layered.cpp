@@ -3,6 +3,8 @@
 #include <optional>
 
 #include "core/echo.h"
+#include "core/echo_soa.h"
+#include "sim/soa_engine.h"
 
 namespace radiocast {
 
@@ -149,11 +151,175 @@ class cl_node final : public protocol_node {
   std::optional<selection_driver> driver_;
 };
 
+// SoA mirror of cl_node (sim/soa_engine.h traits). pending_tx and
+// selection_driver are replaced by their POD mirrors (core/echo_soa.h);
+// every hook must stay behaviorally identical to the virtual node above —
+// the three-way differential suite and the chaos engine-bit-identity
+// invariant hold the pair together. The chain head's selection driver
+// never carries a metrics registry (become_head above never calls
+// set_metrics), so every sel_* call passes nullptr.
+struct cl_soa_traits {
+  node_id r_bound = 1;  // shared config: the label bound r, set by the entry
+
+  struct state {
+    node_id label = -1;
+    node_id helper = -1;
+    std::int32_t layer = -1;
+    std::int32_t drive_start = 0;
+    soa_pending pending;
+    soa_selection sel;
+    bool informed = false;
+    bool halted = false;
+    bool head = false;
+    bool awaiting_presence = false;
+  };
+
+  void init(state* s, node_id label, const protocol_params&) const {
+    *s = state{};
+    s->label = label;
+    if (label == 0) {
+      s->informed = true;
+      s->layer = 0;
+    }
+  }
+
+  std::optional<message> on_step(state* s, const node_context& ctx) const {
+    std::optional<message> out;
+    if (s->label == 0 && ctx.step == 0) {
+      s->awaiting_presence = true;
+      out = message{kAnnounce, 0, 0, 0, 0, 0};
+    } else if (auto due = take_pending(s, ctx.step)) {
+      out = due;
+    } else if (s->head && ctx.step >= s->drive_start) {
+      out = drive(s, ctx.step);
+    }
+    if (out) out->d = s->layer;  // every message carries the sender's layer
+    return out;
+  }
+
+  void on_receive(state* s, const node_context& ctx,
+                  const message& msg) const {
+    if (!s->informed) {
+      s->informed = true;
+      s->layer = static_cast<std::int32_t>(msg.d) + 1;
+    }
+    switch (msg.kind) {
+      case kAnnounce:
+        s->pending.schedule_structural(
+            ctx.step + 2 * static_cast<std::int64_t>(s->label), kPresence);
+        break;
+      case kPresence:
+        if (s->label == 0 && s->awaiting_presence) {
+          s->awaiting_presence = false;
+          // The virtual node re-reads msg.from only from the scheduled
+          // message; the source's helper slot is dead otherwise, so it
+          // stashes v₁'s label for the kStopSelect reconstruction.
+          s->helper = msg.from;
+          s->pending.schedule_structural(ctx.step + 1, kStopSelect);
+        }
+        break;
+      case kStopSelect:
+        s->pending.clear();  // cancel outstanding presence reservations
+        if (static_cast<node_id>(msg.a) == s->label) {
+          become_head(s, msg.from, ctx.step + 1);
+        }
+        break;
+      case kSelect:
+        if (static_cast<node_id>(msg.a) == s->label) {
+          // Start after the selector's stop-layer step.
+          become_head(s, msg.from, ctx.step + 2);
+        }
+        break;
+      case kOrder:
+        if (s->head) break;  // a head never answers another head's order
+        soa_schedule_echo_replies(
+            &s->pending, kKinds, msg, ctx.step, s->label,
+            /*is_member=*/s->layer == static_cast<std::int32_t>(msg.d) + 1);
+        break;
+      case kReply:
+        if (s->head) sel_on_receive(&s->sel, kKinds, msg);
+        break;
+      case kStopLayer:
+        if (s->layer == static_cast<std::int32_t>(msg.b)) s->halted = true;
+        break;
+      case kStopAll:
+        s->halted = true;
+        break;
+      default:
+        break;
+    }
+  }
+
+  bool informed(const state& s) const { return s.informed; }
+  bool halted(const state& s) const { return s.halted; }
+
+  void on_restart(state* s, const node_context&) const {
+    init(s, s->label, protocol_params{});
+  }
+
+ private:
+  void become_head(state* s, node_id previous_head, std::int64_t start) const {
+    s->head = true;
+    s->helper = previous_head;
+    s->drive_start = static_cast<std::int32_t>(start);
+    s->pending.clear();
+    sel_init(&s->sel, r_bound);
+  }
+
+  // Mirror of pending_tx::take + the original schedule sites: reconstructs
+  // the due message from the structural kind and the node's state.
+  std::optional<message> take_pending(state* s, std::int64_t step) const {
+    switch (s->pending.take(step)) {
+      case 1:
+        if (s->pending.one_kind == kPresence) {
+          return message{kPresence, s->label, 0, 0, 0, 0};
+        }
+        if (s->pending.one_kind == kStopSelect) {
+          return message{kStopSelect, 0, s->helper, 0, 0, 0};
+        }
+        // kStopLayer: b = the layer below this head, fixed on first
+        // contact and immutable until an (queue-clearing) restart.
+        return message{kStopLayer, s->label, 0, s->layer - 1, 0, 0};
+      case 2:
+        return message{kReply, s->label, 0, 0, 0, 0};
+      default:
+        return std::nullopt;
+    }
+  }
+
+  std::optional<message> drive(state* s, std::int64_t step) const {
+    std::optional<message> out =
+        sel_on_step(&s->sel, kKinds, s->helper, r_bound, nullptr);
+    if (!sel_finished(s->sel)) return out;
+    s->head = false;
+    if (sel_selected(s->sel)) {
+      const node_id next = s->sel.heard1;
+      // Select now; order L_{k−1} to stop one step later.
+      s->pending.schedule_structural(step + 1, kStopLayer);
+      return message{kSelect, s->label, next, 0, 0, 0};
+    }
+    // No next layer: k = D. Stop the neighbors and ourselves.
+    s->halted = true;
+    return message{kStopAll, s->label, 0, 0, 0, 0};
+  }
+};
+
+run_result cl_soa_entry(const graph& g, const protocol&, node_id r,
+                        const run_options& opts) {
+  cl_soa_traits traits;
+  traits.r_bound = r;
+  return run_broadcast_soa(g, traits, r, opts);
+}
+
 }  // namespace
 
 std::unique_ptr<protocol_node> complete_layered_protocol::make_node(
     node_id label, const protocol_params& params) const {
   return std::make_unique<cl_node>(label, params);
+}
+
+soa_entry complete_layered_protocol::soa_runner() const {
+  return &cl_soa_entry;
 }
 
 }  // namespace radiocast

@@ -1,0 +1,326 @@
+// POD mirrors of the echo subprotocol state (core/echo.h) for the SoA step
+// engine (sim/soa_engine.h): a compact future-transmission window replacing
+// pending_tx, and a flat selection_driver replacing the heap-held state
+// machine. Every function here must stay BEHAVIORALLY IDENTICAL to its
+// virtual counterpart — same emissions, same metrics writes — the three-way
+// differential suite and the chaos engine-bit-identity invariant hold the
+// pairs together.
+//
+// WHY THE COMPACT PENDING QUEUE IS SAFE (pending_tx holds arbitrary
+// entries; soa_pending holds one structural slot + an 8-bit reply window):
+//
+//   * Structural entries (presence reservations, stop/token notices,
+//     stop-layer orders) are provably exclusive: a node schedules its
+//     presence reply at most once per run (there is exactly one source
+//     announcement), the source's stop notice is guarded by
+//     awaiting_presence, and a head's stop-layer order is scheduled only
+//     after become_head cleared the queue — so at most ONE structural
+//     entry is ever live, and it always precedes any reply entry in the
+//     virtual queue's insertion order (replies need a prior echo order).
+//     take()'s structural-first tie-break therefore matches pending_tx's
+//     scan-first-exact-match order.
+//   * Echo replies from one node are CONTENT-IDENTICAL ({reply_kind,
+//     self}), so a step's reply only needs a presence bit, not a payload.
+//     The radio model delivers at most one order per step, so replies land
+//     at most 2 steps ahead — the 8-bit window never overflows — and
+//     duplicate same-step replies collapse into one bit, exactly matching
+//     pending_tx, where take() fires the first match once and strands the
+//     duplicate forever.
+//   * Stale entries (a reservation whose step passed while the node was
+//     crashed, or a reply shadowed by a same-step structural entry) never
+//     fire in pending_tx — take() demands exact step equality. soa_pending
+//     purges them instead of carrying them; the emissions are identical.
+//
+// Step fields are 32-bit to fit the engine's 64-byte state budget: the
+// furthest schedule is step + 2·label + 2, so runs stay exact through
+// step ≈ 2³¹ − 2·r — far past every configured max_steps.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+
+#include "core/echo.h"
+#include "obs/metrics.h"
+#include "sim/message.h"
+#include "util/assert.h"
+
+namespace radiocast {
+
+/// Future-transmission window (12 bytes): one structural entry (kind +
+/// step) plus an 8-bit reply window anchored at reply_base (bit k set ⇔ a
+/// reply is owed at step reply_base + k).
+struct soa_pending {
+  std::int32_t one_step = -1;    ///< structural entry's step; −1 = none
+  std::int32_t reply_base = 0;   ///< step of reply bit 0
+  std::uint8_t reply_mask = 0;   ///< bit k ⇒ reply owed at reply_base + k
+  std::int8_t one_kind = 0;      ///< structural entry's message_kind
+
+  void clear() {
+    one_step = -1;
+    reply_mask = 0;
+  }
+
+  /// Schedules the (unique — see header comment) structural entry.
+  void schedule_structural(std::int64_t step, message_kind kind) {
+    RC_CHECK_MSG(one_step == -1 || one_step < static_cast<std::int32_t>(step),
+                 "soa_pending: overlapping structural schedules");
+    one_step = static_cast<std::int32_t>(step);
+    one_kind = static_cast<std::int8_t>(kind);
+  }
+
+  /// Schedules an echo reply for `step` (≤ 2 steps ahead).
+  void schedule_reply(std::int64_t step) {
+    const auto s = static_cast<std::int32_t>(step);
+    if (reply_mask == 0) {
+      reply_base = s;
+      reply_mask = 1;
+      return;
+    }
+    if (s < reply_base) {
+      const std::int32_t shift = reply_base - s;
+      RC_CHECK(shift < 8);
+      reply_mask = static_cast<std::uint8_t>(reply_mask << shift);
+      reply_base = s;
+      reply_mask |= 1;
+      return;
+    }
+    const std::int32_t bit = s - reply_base;
+    RC_CHECK_MSG(bit < 8, "soa_pending: reply scheduled past the window");
+    reply_mask |= static_cast<std::uint8_t>(std::uint8_t{1} << bit);
+  }
+
+  /// What fires at `step`: 0 = nothing, 1 = the structural entry (caller
+  /// reconstructs the message from one_kind + its own state), 2 = a reply.
+  /// Purges entries whose step has passed (they can never fire — exactly
+  /// pending_tx's exact-step-match semantics).
+  int take(std::int64_t step) {
+    const auto s = static_cast<std::int32_t>(step);
+    if (reply_mask != 0 && reply_base < s) {
+      const std::int32_t shift = s - reply_base;
+      reply_mask = shift >= 8
+                       ? std::uint8_t{0}
+                       : static_cast<std::uint8_t>(reply_mask >> shift);
+      reply_base = s;
+    }
+    if (one_step != -1 && one_step < s) one_step = -1;
+    if (one_step == s) {
+      one_step = -1;
+      return 1;
+    }
+    if (reply_mask != 0 && reply_base == s && (reply_mask & 1) != 0) {
+      reply_mask = static_cast<std::uint8_t>(reply_mask & ~std::uint8_t{1});
+      return 2;
+    }
+    return 0;
+  }
+};
+
+/// Responder-side mirror of schedule_echo_replies (core/echo.cpp): same
+/// membership decision, replies recorded as window bits.
+inline void soa_schedule_echo_replies(soa_pending* out,
+                                      const selection_kinds& kinds,
+                                      const message& order, std::int64_t step,
+                                      node_id self, bool is_member) {
+  RC_REQUIRE(order.kind == kinds.order);
+  const auto lo = static_cast<node_id>(order.a);
+  const auto hi = static_cast<node_id>(order.b);
+  const auto helper = static_cast<node_id>(order.c);
+  if (is_member && self >= lo && self <= hi) {
+    out->schedule_reply(step + 1);
+    out->schedule_reply(step + 2);
+  } else if (self == helper) {
+    out->schedule_reply(step + 2);
+  }
+}
+
+/// Flat selection_driver state (24 bytes). The selected responder label is
+/// heard1 once status == selected (the driver copies *heard1_ into
+/// selected_; here they are the same slot). recoveries are not counted in
+/// state — only the metrics side effect exists, emitted at recover time.
+struct soa_selection {
+  node_id lo = 0, hi = 0;
+  node_id heard1 = -1, heard2 = -1;  ///< −1 mirrors an empty optional
+  std::int32_t segments = 0;
+  std::uint8_t status = 0;      ///< 0 running, 1 empty_set, 2 selected
+  std::uint8_t phase = 0;       ///< 0 full_probe, 1 doubling, 2 binary
+  std::uint8_t sub = 0;         ///< 0 send_order, 1 listen1, 2 listen2,
+                                ///< 3 evaluate
+  std::uint8_t doubling_k = 0;
+};
+
+namespace soa_echo_detail {
+
+inline constexpr std::uint8_t kRunning = 0, kEmptySet = 1, kSelected = 2;
+inline constexpr std::uint8_t kFullProbe = 0, kDoubling = 1, kBinary = 2;
+inline constexpr std::uint8_t kSendOrder = 0, kListen1 = 1, kListen2 = 2,
+                              kEvaluate = 3;
+inline constexpr int kOutcomeEmpty = 0, kOutcomeUnique = 1, kOutcomeMulti = 2;
+
+inline void sel_recover(soa_selection* s, node_id bound,
+                        obs::metrics_registry* metrics) {
+  if (metrics != nullptr) {
+    metrics->get_counter("echo.recoveries").add();
+  }
+  s->phase = kFullProbe;
+  s->doubling_k = 0;
+  s->lo = 0;
+  s->hi = bound;
+}
+
+inline void sel_note_segment(soa_selection* s,
+                             obs::metrics_registry* metrics) {
+  ++s->segments;
+  if (metrics != nullptr) {
+    const char* tag = s->phase == kFullProbe ? "full_probe"
+                      : s->phase == kDoubling ? "doubling"
+                                              : "binary";
+    metrics->get_counter("echo.segments", tag).add();
+  }
+}
+
+// Mirror of selection_driver::advance — every branch, in order.
+inline void sel_advance(soa_selection* s, int outcome, node_id bound,
+                        obs::metrics_registry* metrics) {
+  switch (s->phase) {
+    case kFullProbe:
+      switch (outcome) {
+        case kOutcomeEmpty:
+          s->status = kEmptySet;
+          return;
+        case kOutcomeUnique:
+          s->status = kSelected;  // selected label = heard1
+          return;
+        default:
+          s->phase = kDoubling;
+          s->doubling_k = 1;
+          s->lo = 1;
+          s->hi = 2;
+          return;
+      }
+    case kDoubling:
+      switch (outcome) {
+        case kOutcomeEmpty: {
+          ++s->doubling_k;
+          if ((std::int64_t{1} << (s->doubling_k - 1)) > bound) {
+            sel_recover(s, bound, metrics);
+            return;
+          }
+          s->lo = 1;
+          s->hi = static_cast<node_id>(
+              std::min<std::int64_t>(std::int64_t{1} << s->doubling_k,
+                                     static_cast<std::int64_t>(bound)));
+          return;
+        }
+        case kOutcomeUnique:
+          s->status = kSelected;
+          return;
+        default: {
+          const std::int64_t m = std::int64_t{1} << s->doubling_k;
+          s->phase = kBinary;
+          s->lo = 1;
+          s->hi = static_cast<node_id>(std::max<std::int64_t>(1, m / 2));
+          return;
+        }
+      }
+    default:
+      switch (outcome) {
+        case kOutcomeUnique:
+          s->status = kSelected;
+          return;
+        case kOutcomeEmpty: {
+          const node_id size = s->hi - s->lo + 1;
+          const node_id next = std::max<node_id>(1, size / 2);
+          s->lo = s->hi + 1;
+          s->hi = s->hi + next;
+          if (s->lo > bound + 1) sel_recover(s, bound, metrics);
+          return;
+        }
+        default: {
+          const node_id size = s->hi - s->lo + 1;
+          if (size < 2) {
+            sel_recover(s, bound, metrics);
+            return;
+          }
+          s->hi = s->lo + size / 2 - 1;
+          return;
+        }
+      }
+  }
+}
+
+}  // namespace soa_echo_detail
+
+/// Mirror of the selection_driver constructor.
+inline void sel_init(soa_selection* s, node_id bound) {
+  RC_REQUIRE(bound >= 1);
+  *s = soa_selection{};
+  s->lo = 0;
+  s->hi = bound;
+}
+
+/// Mirror of selection_driver::on_step.
+inline std::optional<message> sel_on_step(soa_selection* s,
+                                          const selection_kinds& kinds,
+                                          node_id helper, node_id bound,
+                                          obs::metrics_registry* metrics) {
+  using namespace soa_echo_detail;
+  RC_REQUIRE(s->status == kRunning);
+  switch (s->sub) {
+    case kSendOrder:
+      s->heard1 = -1;
+      s->heard2 = -1;
+      s->sub = kListen1;
+      sel_note_segment(s, metrics);
+      return message{kinds.order, -1, s->lo, s->hi, helper};
+    case kListen1:
+      s->sub = kListen2;
+      return std::nullopt;
+    case kListen2:
+      s->sub = kEvaluate;
+      return std::nullopt;
+    default: {
+      // Impossible-reply patterns restart the probe; see the virtual
+      // driver for the reliability argument.
+      if (s->heard1 != -1 && s->heard2 == -1) {
+        sel_advance(s, kOutcomeUnique, bound, metrics);
+      } else if (s->heard1 == -1 && s->heard2 != -1 && s->heard2 == helper) {
+        sel_advance(s, kOutcomeEmpty, bound, metrics);
+      } else if (s->heard1 == -1 && s->heard2 == -1) {
+        sel_advance(s, kOutcomeMulti, bound, metrics);
+      } else {
+        sel_recover(s, bound, metrics);
+      }
+      if (s->status != kRunning) return std::nullopt;
+      // Immediately issue the next order in this same step.
+      s->heard1 = -1;
+      s->heard2 = -1;
+      s->sub = kListen1;
+      sel_note_segment(s, metrics);
+      return message{kinds.order, -1, s->lo, s->hi, helper};
+    }
+  }
+}
+
+/// Mirror of selection_driver::on_receive.
+inline void sel_on_receive(soa_selection* s, const selection_kinds& kinds,
+                           const message& msg) {
+  using namespace soa_echo_detail;
+  if (msg.kind != kinds.reply) return;
+  if (s->sub == kListen2) {
+    s->heard1 = msg.from;
+  } else if (s->sub == kEvaluate) {
+    s->heard2 = msg.from;
+  }
+}
+
+/// True once the selection is no longer running.
+inline bool sel_finished(const soa_selection& s) {
+  return s.status != soa_echo_detail::kRunning;
+}
+
+inline bool sel_selected(const soa_selection& s) {
+  return s.status == soa_echo_detail::kSelected;
+}
+
+}  // namespace radiocast

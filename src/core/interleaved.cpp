@@ -1,6 +1,8 @@
 #include "core/interleaved.h"
 
 #include "core/select_and_send.h"
+#include "core/select_and_send_soa.h"
+#include "sim/soa_engine.h"
 
 namespace radiocast {
 
@@ -55,11 +57,85 @@ class interleaved_node final : public protocol_node {
   bool informed_;
 };
 
+// SoA mirror of interleaved_node (sim/soa_engine.h traits). The odd-step
+// Select-and-Send stream reuses the shared sas_proto state machine
+// (core/select_and_send_soa.h) with a null metrics registry, matching the
+// virtual wrapper's sub-context. begin_step hoists the round-robin slot
+// and virtual-substep arithmetic out of the per-node loop: they depend
+// only on the global step, not on the node.
+struct interleaved_soa_traits {
+  node_id r_bound = 1;        // shared config: the label bound r
+  std::int64_t modulus = 1;   // round-robin modulus, r + 1
+  // Per-step hoists, recomputed by begin_step.
+  bool even_step = false;
+  std::int64_t rr_slot = 0;   // (step / 2) % modulus on even steps
+  std::int64_t sub_step = 0;  // (step − 1) / 2, the sas virtual step
+
+  struct state {
+    sas_proto::sas_soa_state sas;
+    bool rr_informed = false;
+  };
+
+  void begin_step(std::int64_t step) {
+    even_step = (step % 2 == 0);
+    rr_slot = (step / 2) % modulus;
+    sub_step = (step - 1) / 2;
+  }
+
+  void init(state* s, node_id label, const protocol_params&) const {
+    sas_proto::sas_soa_init(&s->sas, label);
+    s->rr_informed = (label == 0);
+  }
+
+  std::optional<message> on_step(state* s, const node_context&) const {
+    if (even_step) {
+      // Round-robin stream on virtual step ctx.step / 2.
+      if ((s->rr_informed || s->sas.informed) && rr_slot == s->sas.label) {
+        return message{kRoundRobinPayload, s->sas.label, 0, 0, 0, 0};
+      }
+      return std::nullopt;
+    }
+    return sas_proto::sas_soa_on_step(&s->sas, sub_step, r_bound, nullptr);
+  }
+
+  void on_receive(state* s, const node_context&, const message& m) const {
+    s->rr_informed = true;
+    if (!even_step) {
+      sas_proto::sas_soa_on_receive(&s->sas, sub_step, r_bound, nullptr, m);
+    }
+    // Even-step (round-robin) receptions carry no protocol state beyond
+    // the source word itself.
+  }
+
+  bool informed(const state& s) const {
+    return s.rr_informed || s.sas.informed;
+  }
+  bool halted(const state& s) const { return s.sas.halted; }
+
+  void on_restart(state* s, const node_context&) const {
+    // Both interleaved streams lose their volatile state together.
+    sas_proto::sas_soa_restart(&s->sas);
+    s->rr_informed = (s->sas.label == 0);
+  }
+};
+
+run_result interleaved_soa_entry(const graph& g, const protocol&, node_id r,
+                                 const run_options& opts) {
+  interleaved_soa_traits traits;
+  traits.r_bound = r;
+  traits.modulus = static_cast<std::int64_t>(r) + 1;
+  return run_broadcast_soa(g, traits, r, opts);
+}
+
 }  // namespace
 
 std::unique_ptr<protocol_node> interleaved_protocol::make_node(
     node_id label, const protocol_params& params) const {
   return std::make_unique<interleaved_node>(label, params);
+}
+
+soa_entry interleaved_protocol::soa_runner() const {
+  return &interleaved_soa_entry;
 }
 
 }  // namespace radiocast

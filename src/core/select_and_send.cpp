@@ -3,21 +3,25 @@
 #include <optional>
 
 #include "core/echo.h"
+#include "core/select_and_send_soa.h"
 #include "obs/metrics.h"
+#include "sim/soa_engine.h"
 
 namespace radiocast {
 
 namespace {
 
-// Message kinds (see core/echo.h for the order/reply payload layout).
-constexpr message_kind kAnnounce = 1;   // source's step-0 announcement
-constexpr message_kind kPresence = 2;   // neighbor i replies in step 2i
-constexpr message_kind kStopToken = 3;  // a = label receiving the token
-constexpr message_kind kOrder = 4;      // echo order
-constexpr message_kind kReply = 5;      // echo reply
-constexpr message_kind kToken = 6;      // a = label receiving the token
+// Message kinds, shared with the SoA mirror (core/select_and_send_soa.h)
+// so the two forms cannot drift apart; see core/echo.h for the order/reply
+// payload layout.
+constexpr message_kind kAnnounce = sas_proto::kAnnounce;
+constexpr message_kind kPresence = sas_proto::kPresence;
+constexpr message_kind kStopToken = sas_proto::kStopToken;
+constexpr message_kind kOrder = sas_proto::kOrder;
+constexpr message_kind kReply = sas_proto::kReply;
+constexpr message_kind kToken = sas_proto::kToken;
 
-constexpr selection_kinds kKinds{kOrder, kReply};
+constexpr selection_kinds kKinds = sas_proto::kKinds;
 
 class sas_node final : public protocol_node {
  public:
@@ -157,11 +161,58 @@ class sas_node final : public protocol_node {
   std::optional<selection_driver> driver_;
 };
 
+// SoA mirror of sas_node (sim/soa_engine.h traits). The state machine
+// itself lives in core/select_and_send_soa.h — shared with the interleaved
+// protocol's odd-step stream — so this traits struct is the thin adapter
+// between the engine's hook signatures and the sas core. Every hook must
+// stay behaviorally identical to the virtual node above; the three-way
+// differential suite and the chaos engine-bit-identity invariant hold the
+// pair together.
+struct sas_soa_traits {
+  node_id r_bound = 1;  // shared config: the label bound r, set by the entry
+
+  struct state {
+    sas_proto::sas_soa_state core;
+  };
+
+  void init(state* s, node_id label, const protocol_params&) const {
+    sas_proto::sas_soa_init(&s->core, label);
+  }
+
+  std::optional<message> on_step(state* s, const node_context& ctx) const {
+    return sas_proto::sas_soa_on_step(&s->core, ctx.step, r_bound,
+                                      ctx.metrics);
+  }
+
+  void on_receive(state* s, const node_context& ctx, const message& m) const {
+    sas_proto::sas_soa_on_receive(&s->core, ctx.step, r_bound, ctx.metrics,
+                                  m);
+  }
+
+  bool informed(const state& s) const { return s.core.informed; }
+  bool halted(const state& s) const { return s.core.halted; }
+
+  void on_restart(state* s, const node_context&) const {
+    sas_proto::sas_soa_restart(&s->core);
+  }
+};
+
+run_result sas_soa_entry(const graph& g, const protocol&, node_id r,
+                         const run_options& opts) {
+  sas_soa_traits traits;
+  traits.r_bound = r;
+  return run_broadcast_soa(g, traits, r, opts);
+}
+
 }  // namespace
 
 std::unique_ptr<protocol_node> select_and_send_protocol::make_node(
     node_id label, const protocol_params& params) const {
   return std::make_unique<sas_node>(label, params);
+}
+
+soa_entry select_and_send_protocol::soa_runner() const {
+  return &sas_soa_entry;
 }
 
 }  // namespace radiocast

@@ -28,6 +28,7 @@
 #include "graph/generators.h"
 #include "sim/simulator.h"
 #include "util/assert.h"
+#include "util/bitset.h"
 #include "util/rng.h"
 
 namespace radiocast::fault {
@@ -163,7 +164,9 @@ void verify_one_engine(const graph& g, fault_model* model, std::uint64_t seed,
   // non-cloneable model, off the trace's own fault events).
   std::vector<std::int64_t> informed_at(ns, -1);
   informed_at[0] = 0;
-  std::vector<std::uint8_t> crashed(ns, 0), received_any(ns, 0);
+  util::bitset crashed;  // step_view::crashed is the packed mask form
+  crashed.assign(ns, false);
+  std::vector<std::uint8_t> received_any(ns, 0);
   std::vector<std::int64_t> tx_stamp(ns, -1), arr_stamp(ns, -1),
       resolved(ns, -1), last_rx(ns, -1);
   std::vector<int> arrivals(ns, 0);
@@ -172,9 +175,9 @@ void verify_one_engine(const graph& g, fault_model* model, std::uint64_t seed,
   std::vector<node_id> tx_list, touched;
   step_faults buf;
 
-  const auto apply_crash = [&](node_id v) { crashed[idx(v)] = 1; };
+  const auto apply_crash = [&](node_id v) { crashed.set(idx(v)); };
   const auto apply_recover = [&](node_id v, bool amnesia) {
-    crashed[idx(v)] = 0;
+    crashed.reset(idx(v));
     if (amnesia) {
       received_any[idx(v)] = 0;
       if (v != 0 && informed_at[idx(v)] != -1) informed_at[idx(v)] = -1;
@@ -195,13 +198,13 @@ void verify_one_engine(const graph& g, fault_model* model, std::uint64_t seed,
       // Idempotent application, exactly like the simulator's: only
       // effective transitions produce events.
       for (const node_id v : buf.crashes) {
-        if (v < 0 || v >= n || crashed[idx(v)] != 0) continue;
+        if (v < 0 || v >= n || crashed.test(idx(v))) continue;
         apply_crash(v);
         expected.push_back({0, v, 0});
       }
       for (const node_recovery& r : buf.recoveries) {
         const node_id v = r.node;
-        if (v < 0 || v >= n || crashed[idx(v)] == 0) continue;
+        if (v < 0 || v >= n || !crashed.test(idx(v))) continue;
         apply_recover(v, r.amnesia);
         expected.push_back({1, v, r.amnesia ? node_id{1} : node_id{0}});
       }
@@ -283,7 +286,7 @@ void verify_one_engine(const graph& g, fault_model* model, std::uint64_t seed,
         continue;
       }
       chk->count(chaos_invariant::no_delivery_to_crashed);
-      if (crashed[idx(v)] != 0) {
+      if (crashed.test(idx(v))) {
         chk->fail(chaos_invariant::no_delivery_to_crashed,
                   at_step(step,
                           "crashed node " + std::to_string(v) + " transmitted"));
@@ -317,7 +320,7 @@ void verify_one_engine(const graph& g, fault_model* model, std::uint64_t seed,
     touched.clear();
     for (const node_id t : tx_list) {
       for (const node_id v : g.out_neighbors(t)) {
-        if (crashed[idx(v)] != 0) continue;
+        if (crashed.test(idx(v))) continue;
         if (down.contains(t, v)) continue;
         if (arr_stamp[idx(v)] != step) {
           arr_stamp[idx(v)] = step;
@@ -347,7 +350,7 @@ void verify_one_engine(const graph& g, fault_model* model, std::uint64_t seed,
           ++total_coll;
           resolved[idx(v)] = step;
           chk->count(chaos_invariant::no_delivery_to_crashed);
-          if (crashed[idx(v)] != 0) {
+          if (crashed.test(idx(v))) {
             chk->fail(chaos_invariant::no_delivery_to_crashed,
                       at_step(step, "collision observed by crashed node " +
                                         std::to_string(v)));
@@ -376,7 +379,7 @@ void verify_one_engine(const graph& g, fault_model* model, std::uint64_t seed,
           resolved[idx(v)] = step;
           const node_id s = e.msg.from;
           chk->count(chaos_invariant::no_delivery_to_crashed);
-          if (crashed[idx(v)] != 0) {
+          if (crashed.test(idx(v))) {
             chk->fail(chaos_invariant::no_delivery_to_crashed,
                       at_step(step, "delivery to crashed node " +
                                         std::to_string(v)));
@@ -390,7 +393,7 @@ void verify_one_engine(const graph& g, fault_model* model, std::uint64_t seed,
             break;
           }
           chk->count(chaos_invariant::no_delivery_to_crashed);
-          if (crashed[idx(s)] != 0) {
+          if (crashed.test(idx(s))) {
             chk->fail(chaos_invariant::no_delivery_to_crashed,
                       at_step(step, "delivery from crashed node " +
                                         std::to_string(s)));
@@ -509,7 +512,7 @@ void verify_one_engine(const graph& g, fault_model* model, std::uint64_t seed,
   chk->count(chaos_invariant::completion_semantics);
   if (res.completed) {
     for (node_id v = 0; v < n; ++v) {
-      if (crashed[idx(v)] != 0) continue;
+      if (crashed.test(idx(v))) continue;
       if (idx(v) < res.informed_at.size() && res.informed_at[idx(v)] == -1) {
         chk->fail(chaos_invariant::completion_semantics,
                   "completed with uninformed live node " + std::to_string(v));
@@ -533,7 +536,7 @@ void verify_one_engine(const graph& g, fault_model* model, std::uint64_t seed,
   if (model == nullptr && res.completed) {
     reach = n;
     inf_reach = n;
-  } else if (crashed[0] == 0) {
+  } else if (!crashed.test(0)) {
     std::vector<std::uint8_t> seen(ns, 0);
     std::vector<node_id> order;
     seen[0] = 1;
@@ -542,7 +545,7 @@ void verify_one_engine(const graph& g, fault_model* model, std::uint64_t seed,
       const node_id u = order[head];
       for (const node_id v : g.out_neighbors(u)) {
         if (seen[idx(v)] != 0) continue;
-        if (crashed[idx(v)] != 0) continue;
+        if (crashed.test(idx(v))) continue;
         if (down.contains(u, v)) continue;
         seen[idx(v)] = 1;
         order.push_back(v);
@@ -569,7 +572,7 @@ void verify_one_engine(const graph& g, fault_model* model, std::uint64_t seed,
   run_outcome expect = run_outcome::stuck;
   if (res.completed) {
     expect = run_outcome::completed;
-  } else if (model != nullptr && crashed[0] != 0) {
+  } else if (model != nullptr && crashed.test(0)) {
     expect = run_outcome::source_lost;
   } else if (inf_reach == reach) {
     expect = run_outcome::unreachable;

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/bitset.h"
 #include "util/rng.h"
 
 namespace radiocast::fault {
@@ -57,8 +58,9 @@ struct step_view {
   const graph* g = nullptr;
   /// Per node: first step at which it became informed; −1 = uninformed.
   const std::vector<std::int64_t>* informed_at = nullptr;
-  /// Per node: 1 once crash-stopped (includes crashes applied this step).
-  const std::vector<std::uint8_t>* crashed = nullptr;
+  /// Per node: bit set once crash-stopped (includes crashes applied this
+  /// step). Packed words (util/bitset.h) — probe with crashed->test(v).
+  const util::bitset* crashed = nullptr;
 };
 
 /// A crashed node rejoining the computation (recovery models, recovery.h).

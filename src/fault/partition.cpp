@@ -159,7 +159,7 @@ void frontier_cut_model::begin_step(const step_view& view, step_faults* out) {
   // in a composite (view.crashed) — or we crashed it in a prior step.
   auto is_down = [&](node_id v) {
     return down_[static_cast<std::size_t>(v)] != 0 ||
-           (*view.crashed)[static_cast<std::size_t>(v)] != 0;
+           view.crashed->test(static_cast<std::size_t>(v));
   };
   auto is_informed = [&](node_id v) {
     return (*view.informed_at)[static_cast<std::size_t>(v)] >= 0;

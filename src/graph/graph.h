@@ -93,6 +93,21 @@ class graph {
     return build_in_[i];
   }
 
+  /// First flat CSR slot of v's out-row (finalized graphs only): the i-th
+  /// entry of out_neighbors(v) occupies edge slot out_edge_base(v) + i.
+  /// Slots index the packed per-edge masks in the simulator (down edges).
+  std::size_t out_edge_base(node_id v) const {
+    RC_REQUIRE(finalized_ && valid(v));
+    return out_off_[static_cast<std::size_t>(v)];
+  }
+
+  /// Total number of out-edge slots (finalized graphs only): directed edge
+  /// count, or twice the edge count for undirected graphs.
+  std::size_t out_slot_count() const {
+    RC_REQUIRE(finalized_);
+    return out_adj_.size();
+  }
+
   node_id out_degree(node_id v) const {
     return static_cast<node_id>(out_neighbors(v).size());
   }

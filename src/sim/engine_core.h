@@ -21,9 +21,9 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <optional>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "fault/fault_model.h"
@@ -34,6 +34,7 @@
 #include "sim/simulator.h"
 #include "sim/trace.h"
 #include "util/assert.h"
+#include "util/bitset.h"
 #include "util/rng.h"
 
 namespace radiocast::detail {
@@ -146,16 +147,20 @@ class run_base {
     tx_stamp_.assign(static_cast<std::size_t>(n_), -1);
 
     // The awake set: source + every node that has received at least one
-    // message, minus crashed nodes. awake_[v] ⇔ v ∈ awake_list_ (sorted
-    // ascending, so phase 1 visits nodes in the same order as the
+    // message, minus crashed nodes. awake_.test(v) ⇔ v ∈ awake_list_
+    // (sorted ascending, so phase 1 visits nodes in the same order as the
     // reference engine's 0…n−1 sweep). Maintained by every engine — the
     // reference loop ignores the list but still reports sim.awake.
-    awake_.assign(static_cast<std::size_t>(n_), 0);
-    awake_[0] = 1;
+    awake_.assign(static_cast<std::size_t>(n_), false);
+    awake_.set(0);
     awake_list_.push_back(0);
 
     if (faults_ != nullptr) {
-      crashed_.assign(static_cast<std::size_t>(n_), 0);
+      crashed_.assign(static_cast<std::size_t>(n_), false);
+      // Per-edge down mask over the flat CSR slots: the i-th out-neighbor
+      // of u is down iff down_mask_.test(out_edge_base(u) + i). Sized once
+      // from the graph; undirected edges mark both directions' slots.
+      down_mask_.assign(g_.out_slot_count(), false);
       faults_->begin_run({&g_, opts_.seed, opts_.max_steps});
     }
   }
@@ -164,17 +169,51 @@ class run_base {
 
   static std::size_t idx(node_id v) { return static_cast<std::size_t>(v); }
 
-  std::uint64_t edge_key(node_id a, node_id b) const {
-    if (!g_.is_directed() && a > b) std::swap(a, b);
-    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
-           static_cast<std::uint32_t>(b);
+  // Flat CSR slot of edge u→v (for the down mask). Churn events are rare
+  // and every built-in model churns real edges only, so the linear row
+  // scan off the hot path is cheaper than keeping a hash map around.
+  std::size_t edge_slot(node_id u, node_id v) const {
+    const auto row = g_.out_neighbors(u);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (row[i] == v) return g_.out_edge_base(u) + i;
+    }
+    RC_CHECK_MSG(false, "fault model churned a non-edge (" +
+                            std::to_string(u) + " -> " + std::to_string(v) +
+                            ")");
+    return 0;
+  }
+
+  // Applies one edge-churn transition to the slot mask. Returns false for
+  // idempotent no-ops (downing a down edge, restoring an up one) so the
+  // caller counts each LOGICAL transition once — matching the old
+  // normalized-key set's insert/erase result. Undirected edges flip the
+  // slots of both directions together.
+  bool set_edge_down(node_id u, node_id v, bool down) {
+    const std::size_t s = edge_slot(u, v);
+    if (down_mask_.test(s) == down) return false;
+    if (down) {
+      down_mask_.set(s);
+      ++down_count_;
+    } else {
+      down_mask_.reset(s);
+      --down_count_;
+    }
+    if (!g_.is_directed()) {
+      const std::size_t t = edge_slot(v, u);
+      if (down) {
+        down_mask_.set(t);
+      } else {
+        down_mask_.reset(t);
+      }
+    }
+    return true;
   }
 
   // Crashed nodes are exempt from both stop conditions: completion means
   // every *surviving* node is informed (resp. halted).
   bool all_halted() {
     for (node_id v = 0; v < n_; ++v) {
-      if (faults_ != nullptr && crashed_[idx(v)] != 0) continue;
+      if (faults_ != nullptr && crashed_.test(idx(v))) continue;
       if (!derived().proto_halted(v)) return false;
     }
     return true;
@@ -198,17 +237,16 @@ class run_base {
     faults_->begin_step(view, &step_faults_buf_);
     for (const node_id v : step_faults_buf_.crashes) {
       RC_CHECK_MSG(v >= 0 && v < n_, "fault model crashed an unknown node");
-      auto& mark = crashed_[idx(v)];
-      if (mark != 0) continue;
-      mark = 1;
+      if (crashed_.test(idx(v))) continue;
+      crashed_.set(idx(v));
       ++result_.crashed_nodes;
       if (result_.informed_at[idx(v)] == -1) {
         ++crashed_uninformed_;
       } else {
         ++crashed_informed_;
       }
-      if (awake_[idx(v)] != 0) {
-        awake_[idx(v)] = 0;
+      if (awake_.test(idx(v))) {
+        awake_.reset(idx(v));
         --awake_count_;
         const auto it =
             std::lower_bound(awake_list_.begin(), awake_list_.end(), v);
@@ -223,7 +261,7 @@ class run_base {
       apply_recovery(r, step);
     }
     for (const auto& [u, v] : step_faults_buf_.edges_down) {
-      if (!down_edges_.insert(edge_key(u, v)).second) continue;
+      if (!set_edge_down(u, v, true)) continue;
       ++result_.churned_edges;
       if (opts_.sink != nullptr) {
         message m;
@@ -232,7 +270,7 @@ class run_base {
       }
     }
     for (const auto& [u, v] : step_faults_buf_.edges_up) {
-      if (down_edges_.erase(edge_key(u, v)) == 0) continue;
+      if (!set_edge_down(u, v, false)) continue;
       ++result_.churned_edges;
       if (opts_.sink != nullptr) {
         message m;
@@ -251,9 +289,8 @@ class run_base {
   void apply_recovery(const fault::node_recovery& r, std::int64_t step) {
     const node_id v = r.node;
     RC_CHECK_MSG(v >= 0 && v < n_, "fault model recovered an unknown node");
-    auto& mark = crashed_[idx(v)];
-    if (mark == 0) return;  // recovering a live node is a no-op
-    mark = 0;
+    if (!crashed_.test(idx(v))) return;  // recovering a live node is a no-op
+    crashed_.reset(idx(v));
     ++result_.recoveries;
     const bool was_informed = result_.informed_at[idx(v)] != -1;
     if (was_informed) {
@@ -281,8 +318,8 @@ class run_base {
       }
     }
     // Awake ⇔ source or has received at least one (surviving) message.
-    if ((v == 0 || received_any_[idx(v)] != 0) && awake_[idx(v)] == 0) {
-      awake_[idx(v)] = 1;
+    if ((v == 0 || received_any_[idx(v)] != 0) && !awake_.test(idx(v))) {
+      awake_.set(idx(v));
       ++awake_count_;
       const auto it =
           std::lower_bound(awake_list_.begin(), awake_list_.end(), v);
@@ -323,25 +360,38 @@ class run_base {
   // Debug sweep (run_options::verify_sleepers): the dormant-node contract
   // of sim/protocol.h, verified live. Every node the engine skipped gets an
   // on_step call anyway; transmitting, or touching its generator, is a
-  // protocol bug.
+  // protocol bug. Word-at-a-time: a 64-node block that is entirely awake
+  // or crashed is skipped with one OR + compare.
   void sweep_sleepers(std::int64_t step) {
-    for (node_id v = 1; v < n_; ++v) {
-      if (awake_[idx(v)] != 0) continue;
-      if (faults_ != nullptr && crashed_[idx(v)] != 0) continue;
-      const rng before = gens_[idx(v)];
-      node_context ctx{step, &gens_[idx(v)], opts_.metrics};
-      const std::optional<message> decision = derived().proto_step(v, ctx);
-      RC_CHECK_MSG(!decision.has_value(),
-                   "dormant-node contract violated: node " +
-                       std::to_string(v) +
-                       " transmitted without ever receiving (step " +
-                       std::to_string(step) + ")");
-      RC_CHECK_MSG(gens_[idx(v)] == before,
-                   "dormant-node contract violated: node " +
-                       std::to_string(v) +
-                       " drew randomness while dormant (step " +
-                       std::to_string(step) + ")");
+    for (std::size_t w = 0; w < awake_.word_count(); ++w) {
+      std::uint64_t skip = awake_.word(w);
+      if (faults_ != nullptr) skip |= crashed_.word(w);
+      if (w == 0) skip |= 1;  // the source (node 0) is never swept
+      // Tail bits past n_ are zero in both masks, so ~skip raises them;
+      // the v >= n_ break below retires them (bits ascend within a word).
+      std::uint64_t rest = ~skip;
+      while (rest != 0) {
+        const auto b = static_cast<unsigned>(std::countr_zero(rest));
+        rest &= rest - 1;
+        const auto v = static_cast<node_id>(w * util::bitset::kWordBits + b);
+        if (v >= n_) break;
+        sweep_one(v, step);
+      }
     }
+  }
+
+  void sweep_one(node_id v, std::int64_t step) {
+    const rng before = gens_[idx(v)];
+    node_context ctx{step, &gens_[idx(v)], opts_.metrics};
+    const std::optional<message> decision = derived().proto_step(v, ctx);
+    RC_CHECK_MSG(!decision.has_value(),
+                 "dormant-node contract violated: node " + std::to_string(v) +
+                     " transmitted without ever receiving (step " +
+                     std::to_string(step) + ")");
+    RC_CHECK_MSG(gens_[idx(v)] == before,
+                 "dormant-node contract violated: node " + std::to_string(v) +
+                     " drew randomness while dormant (step " +
+                     std::to_string(step) + ")");
   }
 
   void bump_arrival(node_id v, node_id t, std::int64_t step) {
@@ -367,8 +417,8 @@ class run_base {
     // not stepped in this step's phase 1 — same as the reference engine,
     // where a node's first post-reception on_step is next step's); the
     // mask flips now so the sweep and the crash path see them awake.
-    if (awake_[idx(v)] == 0) {
-      awake_[idx(v)] = 1;
+    if (!awake_.test(idx(v))) {
+      awake_.set(idx(v));
       newly_awake_.push_back(v);
       ++awake_count_;
     }
@@ -493,7 +543,7 @@ class run_base {
       sr_f_crashed_->push(result_.crashed_nodes);
       sr_f_recoveries_->push(result_.recoveries);
       sr_f_suppressed_->push(result_.suppressed_deliveries - suppressed_before);
-      sr_f_down_edges_->push(static_cast<std::int64_t>(down_edges_.size()));
+      sr_f_down_edges_->push(down_count_);
     }
   }
 
@@ -547,7 +597,7 @@ class run_base {
       result_.outcome = run_outcome::completed;
       return;
     }
-    const bool source_down = faults_ != nullptr && crashed_[0] != 0;
+    const bool source_down = faults_ != nullptr && crashed_.test(0);
     if (!source_down) {
       bfs_seen_.assign(static_cast<std::size_t>(n_), 0);
       bfs_queue_.clear();
@@ -555,12 +605,14 @@ class run_base {
       bfs_queue_.push_back(0);
       for (std::size_t head = 0; head < bfs_queue_.size(); ++head) {
         const node_id u = bfs_queue_[head];
-        for (const node_id v : g_.out_neighbors(u)) {
+        const auto row = g_.out_neighbors(u);
+        const std::size_t base = faults_ != nullptr ? g_.out_edge_base(u) : 0;
+        for (std::size_t i = 0; i < row.size(); ++i) {
+          const node_id v = row[i];
           if (bfs_seen_[idx(v)] != 0) continue;
           if (faults_ != nullptr &&
-              (crashed_[idx(v)] != 0 ||
-               (!down_edges_.empty() &&
-                down_edges_.count(edge_key(u, v)) != 0))) {
+              (crashed_.test(idx(v)) ||
+               (down_count_ != 0 && down_mask_.test(base + i)))) {
             continue;
           }
           bfs_seen_[idx(v)] = 1;
@@ -584,8 +636,8 @@ class run_base {
   }
 
   // Phase 2 with hoisted fault branches, shared by the frontier and SoA
-  // engines: the loop body is selected once per step, and the down-edge
-  // hash probe runs only when an edge is actually down.
+  // engines: the loop body is selected once per step, and the per-slot
+  // down-edge mask is consulted only while an edge is actually down.
   void phase_two_hoisted(std::int64_t step) {
     if (faults_ == nullptr) {
       for (const node_id t : transmitters_) {
@@ -593,18 +645,20 @@ class run_base {
           bump_arrival(v, t, step);
         }
       }
-    } else if (down_edges_.empty()) {
+    } else if (down_count_ == 0) {
       for (const node_id t : transmitters_) {
         for (const node_id v : g_.out_neighbors(t)) {
-          if (crashed_[idx(v)] != 0) continue;  // injection site 3
+          if (crashed_.test(idx(v))) continue;  // injection site 3
           bump_arrival(v, t, step);
         }
       }
     } else {
       for (const node_id t : transmitters_) {
-        for (const node_id v : g_.out_neighbors(t)) {
-          if (crashed_[idx(v)] != 0 ||
-              down_edges_.count(edge_key(t, v)) != 0) {
+        const auto row = g_.out_neighbors(t);
+        const std::size_t base = g_.out_edge_base(t);
+        for (std::size_t i = 0; i < row.size(); ++i) {
+          const node_id v = row[i];
+          if (crashed_.test(idx(v)) || down_mask_.test(base + i)) {
             continue;  // no signal: neither a delivery nor a collision
           }
           bump_arrival(v, t, step);
@@ -661,7 +715,7 @@ class run_base {
       // Phase 1: collect transmit decisions from ALL nodes.
       transmitters_.clear();
       for (node_id v = 0; v < n_; ++v) {
-        if (faults_ != nullptr && crashed_[idx(v)] != 0) {
+        if (faults_ != nullptr && crashed_.test(idx(v))) {
           continue;  // injection site 2: crashed nodes never transmit
         }
         step_node</*check_spontaneous=*/true>(v, step);
@@ -671,11 +725,13 @@ class run_base {
       // Phase 2: resolve receptions — touch only transmitters' neighbors.
       touched_.clear();
       for (const node_id t : transmitters_) {
-        for (const node_id v : g_.out_neighbors(t)) {
+        const auto row = g_.out_neighbors(t);
+        const std::size_t base = faults_ != nullptr ? g_.out_edge_base(t) : 0;
+        for (std::size_t i = 0; i < row.size(); ++i) {
+          const node_id v = row[i];
           if (faults_ != nullptr &&  // injection site 3: crashes + churn
-              (crashed_[idx(v)] != 0 ||
-               (!down_edges_.empty() &&
-                down_edges_.count(edge_key(t, v)) != 0))) {
+              (crashed_.test(idx(v)) ||
+               (down_count_ != 0 && down_mask_.test(base + i)))) {
             continue;  // no signal: neither a delivery nor a collision
           }
           bump_arrival(v, t, step);
@@ -715,8 +771,9 @@ class run_base {
   // awake ⇔ source or received_any (and alive).
   std::vector<std::uint8_t> received_any_;
 
-  // Awake set (see finish_setup comment).
-  std::vector<std::uint8_t> awake_;
+  // Awake set (see finish_setup comment). Packed words so the sleeper
+  // sweep can retire 64 nodes per OR.
+  util::bitset awake_;
   std::vector<node_id> awake_list_;
   std::vector<node_id> newly_awake_;
 
@@ -730,12 +787,15 @@ class run_base {
   std::vector<std::int64_t> tx_stamp_;
 
   // Fault state, allocated only for fault-injected runs. The simulator —
-  // not the models — owns the crash mask and down-edge set, so the hot
-  // loop never pays a virtual call per node or per edge.
-  std::vector<std::uint8_t> crashed_;
-  // radiocast-lint: allow(unordered-iter) -- membership-only (insert/erase/
-  // count/size); nothing ever iterates it, so hash order cannot reach results
-  std::unordered_set<std::uint64_t> down_edges_;
+  // not the models — owns the crash mask and down-edge mask, so the hot
+  // loop never pays a virtual call per node or per edge. Both are packed
+  // words: the crash probe is one shift+AND, and the down-edge probe
+  // indexes the flat CSR slot (out_edge_base(t) + i) instead of hashing
+  // an (u,v) key. down_count_ tracks LOGICAL down edges (undirected edges
+  // count once) for the hoisted fast path and the metrics series.
+  util::bitset crashed_;
+  util::bitset down_mask_;
+  std::int64_t down_count_ = 0;
   fault::step_faults step_faults_buf_;
   std::vector<fault::delivery_candidate> pending_;
 

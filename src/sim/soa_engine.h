@@ -121,6 +121,24 @@ class soa_run final : public detail::run_base<soa_run<Traits>> {
         grain_(opts.step_shard_grain > 0 ? opts.step_shard_grain
                                          : kDefaultGrain) {
     this->finish_setup(profiler);
+    if (step_threads_ > 1) {
+      // Pool and shard arenas are run-lifetime, sized once from the graph
+      // here (still inside the "setup" span's wall-clock): the sharded
+      // step loop below never allocates. Serial runs (step_threads == 1)
+      // never shard and skip all of it.
+      pool_ = std::make_unique<exec::thread_pool>(step_threads_ - 1);
+      const auto n = static_cast<std::size_t>(this->n_);
+      p1_tx_arena_.resize(n);
+      p1_counts_.assign(static_cast<std::size_t>(step_threads_), 0);
+      p2_scratch_.resize(static_cast<std::size_t>(step_threads_));
+      for (shard_scratch& sc : p2_scratch_) {
+        sc.stamp.assign(n, -1);
+        sc.arrivals.assign(n, 0);
+        sc.last_sender.assign(n, -1);
+        sc.touched.reserve(n);
+      }
+      p2_bounds_.reserve(static_cast<std::size_t>(step_threads_) + 1);
+    }
   }
 
   using base::run;
@@ -152,18 +170,8 @@ class soa_run final : public detail::run_base<soa_run<Traits>> {
   }
 
   // radiocast-analyze: hot-path-begin -- the sharded step loop; no
-  // allocation, formatting, throwing, or stream I/O past first-step
-  // warm-up (RC_* args exempt).
-
-  void ensure_pool() {
-    if (pool_ == nullptr) {
-      // Shard 0 runs on the calling thread (exec::run_shards), so the pool
-      // only needs workers for shards 1…N−1.
-      // radiocast-analyze: allow(hot-path) -- one-time lazy pool
-      // construction, taken only by the first step that actually shards.
-      pool_ = std::make_unique<exec::thread_pool>(step_threads_ - 1);
-    }
-  }
+  // allocation, formatting, throwing, or stream I/O (RC_* args exempt).
+  // The pool and every shard arena are built once in the constructor.
 
   // Phase 1: transmit decisions over the awake list — sharded when there
   // is enough work, serial otherwise (and always serial when metrics are
@@ -182,17 +190,14 @@ class soa_run final : public detail::run_base<soa_run<Traits>> {
       }
       return;
     }
-    ensure_pool();
-    if (p1_tx_.size() < static_cast<std::size_t>(shards)) {
-      p1_tx_.resize(static_cast<std::size_t>(shards));
-    }
     exec::run_shards(*pool_, shards, [&](int s) {
       const auto lo =
           static_cast<std::size_t>(awake_sz * s / shards);
       const auto hi =
           static_cast<std::size_t>(awake_sz * (s + 1) / shards);
-      auto& out = p1_tx_[static_cast<std::size_t>(s)];
-      out.clear();
+      // Shard s's transmitters land at arena offset lo — its slice of the
+      // awake list emits at most hi − lo of them, so slices never overlap.
+      std::size_t count = 0;
       for (std::size_t i = lo; i < hi; ++i) {
         const node_id v = this->awake_list_[i];
         // ctx.metrics is null by the gate above — identical to what the
@@ -203,14 +208,19 @@ class soa_run final : public detail::run_base<soa_run<Traits>> {
         decision->from = this->labels_[idx(v)];
         this->tx_msg_[idx(v)] = *decision;
         this->tx_stamp_[idx(v)] = step;
-        out.push_back(v);
+        p1_tx_arena_[lo + count] = v;
+        ++count;
       }
+      p1_counts_[static_cast<std::size_t>(s)] = count;
     });
     // Ordered merge: shard s covered an ascending contiguous slice of the
     // awake list, so shard-order concatenation is the serial visit order —
     // transmitters_, the energy counts, and the trace all match serial.
-    for (std::size_t s = 0; s < static_cast<std::size_t>(shards); ++s) {
-      for (const node_id v : p1_tx_[s]) {
+    for (int s = 0; s < shards; ++s) {
+      const auto lo = static_cast<std::size_t>(awake_sz * s / shards);
+      const std::size_t count = p1_counts_[static_cast<std::size_t>(s)];
+      for (std::size_t i = 0; i < count; ++i) {
+        const node_id v = p1_tx_arena_[lo + i];
         this->transmitters_.push_back(v);
         ++this->result_.transmissions_per_node[idx(v)];
         if (this->opts_.sink != nullptr) {
@@ -240,7 +250,6 @@ class soa_run final : public detail::run_base<soa_run<Traits>> {
       this->phase_two_hoisted(step);
       return;
     }
-    ensure_pool();
 
     // Greedy contiguous partition of the transmitter list, balanced by
     // out-degree sum. Deterministic: a function of transmitters_ and the
@@ -260,22 +269,15 @@ class soa_run final : public detail::run_base<soa_run<Traits>> {
     }
     p2_bounds_.push_back(this->transmitters_.size());
     const auto used = static_cast<int>(p2_bounds_.size()) - 1;
-    if (p2_scratch_.size() < static_cast<std::size_t>(used)) {
-      p2_scratch_.resize(static_cast<std::size_t>(used));
-    }
 
     // Select the fault branch once per step, like phase_two_hoisted.
     const int mode = this->faults_ == nullptr
                          ? 0
-                         : (this->down_edges_.empty() ? 1 : 2);
+                         : (this->down_count_ == 0 ? 1 : 2);
     exec::run_shards(*pool_, used, [&](int s) {
+      // used ≤ shards ≤ step_threads_, so the constructor-built scratch
+      // set always covers s; nothing here allocates.
       auto& sc = p2_scratch_[static_cast<std::size_t>(s)];
-      const auto n = static_cast<std::size_t>(this->n_);
-      if (sc.stamp.size() != n) {
-        sc.stamp.assign(n, -1);
-        sc.arrivals.assign(n, 0);
-        sc.last_sender.assign(n, -1);
-      }
       sc.touched.clear();
       const auto bump = [&sc, step](node_id v, node_id t) {
         auto& st = sc.stamp[idx(v)];
@@ -298,16 +300,19 @@ class soa_run final : public detail::run_base<soa_run<Traits>> {
         for (std::size_t i = lo; i < hi; ++i) {
           const node_id t = this->transmitters_[i];
           for (const node_id v : this->g_.out_neighbors(t)) {
-            if (this->crashed_[idx(v)] != 0) continue;  // injection site 3
+            if (this->crashed_.test(idx(v))) continue;  // injection site 3
             bump(v, t);
           }
         }
       } else {
         for (std::size_t i = lo; i < hi; ++i) {
           const node_id t = this->transmitters_[i];
-          for (const node_id v : this->g_.out_neighbors(t)) {
-            if (this->crashed_[idx(v)] != 0 ||
-                this->down_edges_.count(this->edge_key(t, v)) != 0) {
+          const auto row = this->g_.out_neighbors(t);
+          const std::size_t slot0 = this->g_.out_edge_base(t);
+          for (std::size_t j = 0; j < row.size(); ++j) {
+            const node_id v = row[j];
+            if (this->crashed_.test(idx(v)) ||
+                this->down_mask_.test(slot0 + j)) {
               continue;  // no signal: neither a delivery nor a collision
             }
             bump(v, t);
@@ -374,10 +379,15 @@ class soa_run final : public detail::run_base<soa_run<Traits>> {
   const int step_threads_;
   const std::int64_t grain_;
 
-  // Intra-step pool and shard scratch, created lazily on the first step
-  // that actually shards (small runs never pay for them).
+  // Intra-step pool and shard arenas, built once in the constructor when
+  // step_threads_ > 1 (serial runs never pay for them) and reused for the
+  // run's lifetime — the step loop itself never allocates. Phase 1 shard s
+  // writes its transmitters at arena offset lo(s): its awake-list slice is
+  // [lo, hi) so slices cannot overlap, and the ordered merge reads them
+  // back in shard order.
   std::unique_ptr<exec::thread_pool> pool_;
-  std::vector<std::vector<node_id>> p1_tx_;
+  std::vector<node_id> p1_tx_arena_;
+  std::vector<std::size_t> p1_counts_;
   struct shard_scratch {
     std::vector<std::int64_t> stamp;
     std::vector<int> arrivals;

@@ -383,6 +383,84 @@ struct bad_soa_traits {
   EXPECT_EQ(fired(rep, "contract"), 1);
 }
 
+TEST(AnalyzeTest, ContractAcceptsNestedPodStateMembers) {
+  // complete_layered's shape: the state embeds the POD echo/selection
+  // mirrors (core/echo_soa.h) as plain members. Nested POD structs are
+  // value types, not owning containers — the checker must stay quiet.
+  const report rep = run_one("src/core/cl_like.cpp", R"cpp(
+struct cl_like_soa_traits {
+  node_id r_bound = 1;
+  struct state {
+    node_id label = -1;
+    node_id helper = -1;
+    std::int32_t layer = -1;
+    soa_pending pending;
+    soa_selection sel;
+    bool informed = false;
+    bool halted = false;
+  };
+  void init(state* s, node_id label, const protocol_params& p) const;
+  std::optional<message> on_step(state* s, const node_context& ctx) const;
+  void on_receive(state* s, const node_context& ctx, const message& m) const;
+  bool informed(const state& s) const;
+  bool halted(const state& s) const;
+  void on_restart(state* s, const node_context& ctx) const;
+};
+soa_entry cl_like_protocol::soa_runner() const { return &cl_like_entry; }
+)cpp");
+  EXPECT_EQ(fired(rep, "contract"), 0);
+}
+
+TEST(AnalyzeTest, ContractAcceptsSharedSubProtocolState) {
+  // interleaved's shape: the state embeds another protocol's POD state
+  // machine wholesale, and the schedule hoist lives in a non-const
+  // begin_step(std::int64_t) mutating traits-level scratch.
+  const report rep = run_one("src/core/il_like.cpp", R"cpp(
+struct il_like_soa_traits {
+  node_id r_bound = 1;
+  std::int64_t modulus = 1;
+  bool even_step = false;
+  std::int64_t rr_slot = 0;
+  struct state {
+    sas_proto::sas_soa_state sas;
+    bool rr_informed = false;
+  };
+  void begin_step(std::int64_t step);
+  void init(state* s, node_id label, const protocol_params& p) const;
+  std::optional<message> on_step(state* s, const node_context& ctx) const;
+  void on_receive(state* s, const node_context& ctx, const message& m) const;
+  bool informed(const state& s) const;
+  bool halted(const state& s) const;
+  void on_restart(state* s, const node_context& ctx) const;
+};
+soa_entry il_like_protocol::soa_runner() const { return &il_like_entry; }
+)cpp");
+  EXPECT_EQ(fired(rep, "contract"), 0);
+}
+
+TEST(AnalyzeTest, ContractFiresOnLossyBeginStepInSharedStateShape) {
+  // The same interleaved-like shape with begin_step(int): the modulus
+  // arithmetic would silently truncate past 2^31 steps. One finding —
+  // the nested sub-protocol state must not mask the signature check.
+  const report rep = run_one("src/core/il_bad.cpp", R"cpp(
+struct il_bad_soa_traits {
+  std::int64_t modulus = 1;
+  struct state {
+    sas_proto::sas_soa_state sas;
+    bool rr_informed = false;
+  };
+  void begin_step(int step);
+  void init(state* s, node_id label, const protocol_params& p) const;
+  std::optional<message> on_step(state* s, const node_context& ctx) const;
+  void on_receive(state* s, const node_context& ctx, const message& m) const;
+  bool informed(const state& s) const;
+  bool halted(const state& s) const;
+  void on_restart(state* s, const node_context& ctx) const;
+};
+)cpp");
+  EXPECT_EQ(fired(rep, "contract"), 1);
+}
+
 TEST(AnalyzeTest, ContractFiresOnEntryWithoutTraits) {
   const report rep = run_one("src/core/bad.cpp", R"cpp(
 soa_entry bad_protocol::soa_runner() const { return &some_entry_fn; }

@@ -373,6 +373,8 @@ TEST(ArtifactTest, WallClockKeyClassifier) {
   EXPECT_TRUE(campaign::is_wall_clock_key("batch_wall_ms"));
   EXPECT_TRUE(campaign::is_wall_clock_key("reference_min_ms"));
   EXPECT_TRUE(campaign::is_wall_clock_key("speedup"));
+  EXPECT_TRUE(campaign::is_wall_clock_key("soa_speedup"));
+  EXPECT_TRUE(campaign::is_wall_clock_key("det_soa_speedup"));
   EXPECT_TRUE(campaign::is_wall_clock_key("off_over_on"));
   EXPECT_TRUE(campaign::is_wall_clock_key("steps_per_sec_frontier"));
   EXPECT_FALSE(campaign::is_wall_clock_key("steps"));

@@ -577,6 +577,30 @@ TEST(EngineDifferentialTest, AllProtocolsAllGraphFamilies) {
   }
 }
 
+TEST(EngineDifferentialTest, CompleteLayeredOnItsOwnFamily) {
+  // The structure-aware baseline never appears in general_protocols (it
+  // requires its own topology family), so its SoA traits get a dedicated
+  // three-way leg here: fault-free on two layer shapes, then crash and
+  // loss models — completion under faults is data, byte-equality of
+  // whatever happened is the contract.
+  const fault_factory crash = [] {
+    fault::crash_options o;
+    o.crash_probability = 0.002;
+    return std::make_unique<fault::crash_model>(o);
+  };
+  const fault_factory loss = [] {
+    return std::make_unique<fault::loss_model>(fault::loss_options{0.15});
+  };
+  for (int d : {2, 5}) {
+    const graph g = make_complete_layered_uniform(25, d);
+    const auto proto = make_protocol("complete-layered", g.node_count() - 1);
+    const std::string what = "layered25/d" + std::to_string(d);
+    expect_engines_agree(g, *proto, nullptr, 0, what + "/faultfree");
+    expect_engines_agree(g, *proto, crash, 0, what + "/crash");
+    expect_engines_agree(g, *proto, loss, 0, what + "/loss");
+  }
+}
+
 TEST(EngineDifferentialTest, DirectedGraphs) {
   rng topo_gen(307);
   const graph g = make_directed_layered({1, 5, 5, 5, 4}, 0.5, topo_gen);
@@ -641,9 +665,75 @@ TEST(EngineDifferentialTest, UnderEveryFaultModel) {
        }},
   };
   for (const auto& [ftag, factory] : models) {
-    for (const std::string proto_name : {"decay", "round-robin"}) {
+    // Memoryless protocols plus the token-carrying SoA-traits protocols
+    // (select-and-send's DFS token, interleaved's odd-step stream) run
+    // under every model, amnesia included: a token protocol may stall
+    // after a state-wiping restart — completion is data, not a guarantee
+    // — but whatever happens must be byte-equal across engines. The
+    // rejection side of that contract (an RC_CHECK escaping identically
+    // from every engine, should a restart ever land mid-invariant) is
+    // covered by TokenProtocolsUnderAmnesiaStayEngineIdentical below.
+    for (const std::string proto_name :
+         {"decay", "round-robin", "select-and-send", "interleaved"}) {
       const auto proto = make_protocol(proto_name, g.node_count() - 1);
       expect_engines_agree(g, *proto, factory, 0, ftag + "/" + proto_name);
+    }
+  }
+}
+
+TEST(EngineDifferentialTest, TokenProtocolsUnderAmnesiaStayEngineIdentical) {
+  // A token protocol that loses its state mid-traversal is in a world its
+  // invariants do not fully describe: a structural message arriving after
+  // the wipe may legitimately fire an RC_CHECK (the chaos sampler excludes
+  // token protocols for exactly this reason). That rejection is part of
+  // the engine contract too — for every seed, all three engines must agree
+  // on WHETHER the run is rejected, and when it is not, on every record
+  // field. (Empirically the protocols ride out every amnesia schedule
+  // tried so far — restarted nodes re-join as fresh listeners — so the
+  // rejection branch below is armed but not required to fire.)
+  rng topo_gen(317);
+  const graph g = make_gnp_connected(22, 0.2, topo_gen);
+  const auto run_one = [&](const protocol& proto, step_engine engine,
+                           std::uint64_t seed, run_result* out) {
+    fault::recovery_options o;
+    o.crash_probability = 0.02;
+    o.mode = fault::recovery_mode::amnesia;
+    o.downtime = 3;
+    o.recovery_probability = 0.3;
+    fault::recovery_model faults(o);
+    run_options opts;
+    opts.seed = seed;
+    opts.max_steps = 5'000;
+    opts.faults = &faults;
+    opts.engine = engine;
+    try {
+      *out = run_broadcast(g, proto, opts);
+    } catch (const invariant_error&) {
+      return true;  // rejected
+    }
+    return false;
+  };
+  for (const std::string proto_name : {"select-and-send", "interleaved"}) {
+    const auto proto = make_protocol(proto_name, g.node_count() - 1);
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      const std::string what =
+          proto_name + "/amnesia/seed" + std::to_string(seed);
+      run_result ref, fro, soa;
+      const bool ref_rejected =
+          run_one(*proto, step_engine::reference, seed, &ref);
+      const bool fro_rejected =
+          run_one(*proto, step_engine::frontier, seed, &fro);
+      const bool soa_rejected = run_one(*proto, step_engine::soa, seed, &soa);
+      EXPECT_EQ(ref_rejected, fro_rejected) << what;
+      EXPECT_EQ(ref_rejected, soa_rejected) << what;
+      if (ref_rejected) continue;
+      EXPECT_EQ(ref.steps, fro.steps) << what;
+      EXPECT_EQ(ref.steps, soa.steps) << what;
+      EXPECT_EQ(ref.transmissions, soa.transmissions) << what;
+      EXPECT_EQ(ref.collisions, soa.collisions) << what;
+      EXPECT_EQ(ref.deliveries, soa.deliveries) << what;
+      EXPECT_EQ(ref.informed_at, soa.informed_at) << what;
+      EXPECT_EQ(ref.outcome, soa.outcome) << what;
     }
   }
 }

@@ -137,6 +137,58 @@ TEST(StressTest, SoaMatchesFrontierAtScale) {
   EXPECT_EQ(soa.informed_at, fro.informed_at);
 }
 
+// Engine-matching helper for the deterministic-protocol scale checks
+// below: one seed, soa vs frontier, every record field exact. The token
+// protocols keep all informed nodes in the awake list, so sizes here are
+// bounded by steps × awake ≈ n² — a few thousand nodes is already well
+// past what the differential matrix runs.
+void expect_soa_matches_frontier(const graph& g, const protocol& proto,
+                                 run_options opts) {
+  opts.engine = step_engine::soa;
+  const run_result soa = run_broadcast(g, proto, opts);
+  opts.engine = step_engine::frontier;
+  const run_result fro = run_broadcast(g, proto, opts);
+  EXPECT_EQ(soa.completed, fro.completed);
+  EXPECT_EQ(soa.steps, fro.steps);
+  EXPECT_EQ(soa.informed_step, fro.informed_step);
+  EXPECT_EQ(soa.transmissions, fro.transmissions);
+  EXPECT_EQ(soa.collisions, fro.collisions);
+  EXPECT_EQ(soa.deliveries, fro.deliveries);
+  EXPECT_EQ(soa.informed_at, fro.informed_at);
+}
+
+TEST(StressTest, SelectAndSendSoaMatchesFrontierOnLongPath) {
+  const node_id n = 8192;
+  graph g = make_path(n);
+  const auto proto = make_protocol("select-and-send", n - 1);
+  run_options opts;
+  opts.max_steps = 50'000'000;
+  opts.stop = stop_condition::all_halted;
+  expect_soa_matches_frontier(g, *proto, opts);
+}
+
+TEST(StressTest, CompleteLayeredSoaMatchesFrontierOnWideNetwork) {
+  const node_id n = 8192;
+  graph g = make_complete_layered_uniform(n, 16);  // 512-wide layers
+  const auto proto = make_protocol("complete-layered", n - 1);
+  run_options opts;
+  opts.max_steps = 10'000'000;
+  expect_soa_matches_frontier(g, *proto, opts);
+}
+
+TEST(StressTest, InterleavedSoaMatchesFrontierAtScale) {
+  // Interleaved drives both of its halves at once — the even-step
+  // round-robin stream and the odd-step select-and-send token — so this
+  // exercises the composed begin_step schedule hoist at a size where a
+  // modulus slip would visibly desynchronize the two engines.
+  const node_id n = 4096;
+  graph g = make_complete_layered_uniform(n, 64);
+  const auto proto = make_protocol("interleaved", n - 1);
+  run_options opts;
+  opts.max_steps = 50'000'000;
+  expect_soa_matches_frontier(g, *proto, opts);
+}
+
 TEST(StressTest, GeometricFieldAtScale) {
   rng gen(7);
   graph g = make_random_geometric(2000, 0.05, gen);

@@ -1,11 +1,14 @@
 // Unit tests for the utility substrate: RNG, integer math, statistics,
-// least-squares fitting, table rendering, CLI parsing.
+// least-squares fitting, table rendering, CLI parsing, packed bit masks.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <sstream>
 
 #include "util/assert.h"
+#include "util/bitset.h"
 #include "util/cli.h"
 #include "util/fit.h"
 #include "util/math.h"
@@ -457,6 +460,100 @@ TEST(CliTest, BooleanSpellings) {
   cli_args args(3, argv);
   EXPECT_FALSE(args.get_bool("x", true));
   EXPECT_TRUE(args.get_bool("y", false));
+}
+
+// ---------- packed bit masks ----------
+
+TEST(BitsetTest, SizeEdgesKeepTailBitsZero) {
+  // 0, 63, 64 and 65 bits cover: empty, a partial word, an exact word
+  // boundary, and one bit spilling into a second word. The word-level
+  // contract is that tail bits past size() are ZERO even after assign(n,
+  // true), so word-at-a-time consumers may OR whole words unmasked.
+  for (const std::size_t n : {std::size_t{0}, std::size_t{63},
+                              std::size_t{64}, std::size_t{65}}) {
+    util::bitset b;
+    b.assign(n, true);
+    EXPECT_EQ(b.size(), n);
+    EXPECT_EQ(b.count(), n);
+    EXPECT_EQ(b.word_count(), (n + 63) / 64);
+    EXPECT_EQ(b.any(), n != 0);
+    std::size_t word_pop = 0;
+    for (std::size_t w = 0; w < b.word_count(); ++w) {
+      word_pop += static_cast<std::size_t>(std::popcount(b.word(w)));
+    }
+    EXPECT_EQ(word_pop, n) << "tail bits leaked past size() at n=" << n;
+  }
+}
+
+TEST(BitsetTest, WordBoundaryBitsLandInTheRightWord) {
+  util::bitset b;
+  b.assign(130, false);
+  // Straddle both word boundaries: last bit of word 0, first of word 1,
+  // last of word 1, first of word 2.
+  for (const std::size_t i : {std::size_t{63}, std::size_t{64},
+                              std::size_t{127}, std::size_t{128}}) {
+    b.set(i);
+    EXPECT_TRUE(b.test(i));
+  }
+  EXPECT_EQ(b.word(0), std::uint64_t{1} << 63);
+  EXPECT_EQ(b.word(1), (std::uint64_t{1} << 63) | 1);
+  EXPECT_EQ(b.word(2), 1u);
+  EXPECT_EQ(b.count(), 4u);
+  b.reset(64);
+  EXPECT_FALSE(b.test(64));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(127));
+  EXPECT_EQ(b.word(1), std::uint64_t{1} << 63);
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(BitsetTest, PopcountSkipScanFindsExactlyTheSetBits) {
+  // The engine's sweep idiom: scan word(), peel bits with countr_zero.
+  // Bits chosen to hit word edges (0, 63, 64) and an interior run.
+  util::bitset b;
+  b.assign(200, false);
+  const std::size_t picks[] = {0, 7, 63, 64, 65, 130, 199};
+  for (const std::size_t i : picks) b.set(i);
+  std::vector<std::size_t> seen;
+  for (std::size_t w = 0; w < b.word_count(); ++w) {
+    std::uint64_t rest = b.word(w);
+    while (rest != 0) {
+      const auto bit = static_cast<std::size_t>(std::countr_zero(rest));
+      rest &= rest - 1;
+      seen.push_back(w * util::bitset::kWordBits + bit);
+    }
+  }
+  EXPECT_EQ(seen, std::vector<std::size_t>(std::begin(picks),
+                                           std::end(picks)));
+  EXPECT_EQ(b.count(), std::size(picks));
+}
+
+TEST(BitsetTest, AnyNoneAndReassignment) {
+  util::bitset b;
+  b.assign(65, false);
+  EXPECT_TRUE(b.none());
+  b.set(64);  // only bit: first of the second word
+  EXPECT_TRUE(b.any());
+  EXPECT_EQ(b.count(), 1u);
+  b.reset(64);
+  EXPECT_TRUE(b.none());
+  // assign() must clear old contents, including when shrinking across a
+  // word boundary.
+  b.set(3);
+  b.assign(5, false);
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_TRUE(b.none());
+}
+
+TEST(BitsetTest, OutOfRangeAccessRejected) {
+  util::bitset b;
+  b.assign(64, false);
+  EXPECT_THROW(b.test(64), precondition_error);
+  EXPECT_THROW(b.set(64), precondition_error);
+  EXPECT_THROW(b.reset(64), precondition_error);
+  EXPECT_THROW(b.word(1), precondition_error);
+  util::bitset empty;
+  EXPECT_THROW(empty.test(0), precondition_error);
 }
 
 }  // namespace
